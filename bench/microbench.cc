@@ -1,0 +1,116 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself: raw cache
+ * array throughput, hierarchy accesses, full-core simulation speed,
+ * receiver round cost, and end-to-end trial cost. Useful for keeping
+ * the experiment harnesses fast and for spotting regressions.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "attack/receiver.hh"
+#include "attack/sender.hh"
+#include "cpu/core.hh"
+#include "workload/generator.hh"
+
+using namespace specint;
+
+namespace
+{
+
+void
+BM_CacheArrayTouchHit(benchmark::State &state)
+{
+    CacheArray cache({"c", 64, 8, ReplKind::Qlru,
+                      QlruVariant::h11m1r0u0()});
+    cache.fill(0x1000);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.touch(0x1000));
+}
+BENCHMARK(BM_CacheArrayTouchHit);
+
+void
+BM_CacheArrayFillEvict(benchmark::State &state)
+{
+    CacheArray cache({"c", 64, 8, ReplKind::Qlru,
+                      QlruVariant::h11m1r0u0()});
+    Addr a = 0;
+    for (auto _ : state) {
+        cache.fill(a);
+        a += 64 * 64; // same set, new line
+    }
+}
+BENCHMARK(BM_CacheArrayFillEvict);
+
+void
+BM_HierarchyColdAccess(benchmark::State &state)
+{
+    Hierarchy hier(HierarchyConfig::small());
+    Addr a = 0;
+    Tick now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            hier.access(0, a, AccessType::Data, now++));
+        a += 64;
+    }
+}
+BENCHMARK(BM_HierarchyColdAccess);
+
+void
+BM_CoreSimulation(benchmark::State &state)
+{
+    WorkloadSpec spec;
+    spec.instructions = static_cast<unsigned>(state.range(0));
+    const GeneratedWorkload wl = generateWorkload(spec);
+    for (auto _ : state) {
+        Hierarchy hier(HierarchyConfig::small());
+        MainMemory mem;
+        for (const auto &[a, v] : wl.memInit)
+            mem.write(a, v);
+        Core core(CoreConfig{}, 0, hier, mem);
+        const CoreStats s = core.run(wl.prog);
+        state.counters["cycles_per_sec"] = benchmark::Counter(
+            static_cast<double>(s.cycles), benchmark::Counter::kIsRate);
+    }
+}
+BENCHMARK(BM_CoreSimulation)->Arg(1000)->Arg(4000);
+
+void
+BM_ReceiverPrimeDecode(benchmark::State &state)
+{
+    Hierarchy hier(HierarchyConfig::small());
+    AttackerAgent attacker(hier, 1);
+    const Addr a = 0x01000040;
+    const Addr b = findCongruentAddr(hier, a, 0x40000000);
+    QlruReceiver recv(hier, attacker, a, b);
+    for (auto _ : state) {
+        recv.prime();
+        hier.access(0, a, AccessType::Data, 0);
+        hier.access(0, b, AccessType::Data, 0);
+        benchmark::DoNotOptimize(recv.decode());
+    }
+}
+BENCHMARK(BM_ReceiverPrimeDecode);
+
+void
+BM_EndToEndAttackTrial(benchmark::State &state)
+{
+    Hierarchy hier(HierarchyConfig::small());
+    MainMemory mem;
+    Core victim(CoreConfig{}, 0, hier, mem);
+    victim.setScheme(makeScheme(SchemeKind::DomNonTso));
+    AttackerAgent attacker(hier, 1);
+    TrialHarness harness(hier, mem, victim, attacker);
+    SenderParams params;
+    params.gadget = GadgetKind::Npeu;
+    params.ordering = OrderingKind::VdVd;
+    const SenderProgram sp = buildSender(params, hier);
+    unsigned secret = 0;
+    for (auto _ : state) {
+        harness.prepare(sp, secret ^= 1);
+        benchmark::DoNotOptimize(harness.run(sp).orderSignal());
+    }
+}
+BENCHMARK(BM_EndToEndAttackTrial);
+
+} // namespace

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The paper's representative end-to-end result (§4.4): "in the I-Cache
+ * PoC, choosing a rate of 465 bps (0.2 error-rate), an AES-128 key can
+ * be leaked in under 0.3 s with 80% accuracy."
+ *
+ * A 128-bit AES key is transmitted over the I-Cache channel under the
+ * calibrated noise model at a low trials-per-bit setting; the demo
+ * reports recovered key bits, accuracy, effective bit rate and wall
+ * time at the nominal 3.6 GHz clock.
+ */
+
+#include <cstdio>
+
+#include "attack/channel.hh"
+
+using namespace specint;
+
+int
+main()
+{
+    std::printf("=== AES-128 key leak over the I-Cache channel "
+                "(paper §4.4 representative result) ===\n\n");
+
+    // The victim's AES-128 key (16 bytes).
+    const unsigned char key[16] = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae,
+                                   0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88,
+                                   0x09, 0xcf, 0x4f, 0x3c};
+    std::vector<std::uint8_t> bits;
+    for (unsigned char byte : key)
+        for (int b = 7; b >= 0; --b)
+            bits.push_back((byte >> b) & 1);
+
+    ChannelConfig cfg;
+    cfg.scheme = SchemeKind::DomNonTso;
+    cfg.trialsPerBit = 2; // high-rate / moderate-error operating point
+    cfg.noise = NoiseConfig::calibrated();
+    cfg.seed = 2026;
+
+    const ChannelResult res = runICacheChannel(bits, cfg);
+
+    const double accuracy =
+        1.0 - res.errorRate(); // fraction of key bits correct
+    const double bps = res.bitsPerSecond(cfg.clockGhz);
+    const double seconds =
+        static_cast<double>(res.totalCycles) / (cfg.clockGhz * 1e9);
+
+    std::printf("key bits sent:      %u\n", res.bitsSent);
+    std::printf("bit errors:         %u\n", res.bitErrors);
+    std::printf("accuracy:           %.1f%%\n", accuracy * 100.0);
+    std::printf("effective bit rate: %.0f bps\n", bps);
+    std::printf("wall time @3.6GHz:  %.3f s\n", seconds);
+    std::printf("\npaper's operating point: 465 bps, 0.2 error rate, "
+                "AES-128 key in <0.3 s at ~80%% accuracy\n");
+
+    const bool shape = accuracy >= 0.75 && seconds < 1.0 && bps > 100;
+    std::printf("shape check (>=75%% accuracy, <1 s, >100 bps): %s\n",
+                shape ? "PASS" : "FAIL");
+    return shape ? 0 : 1;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The paper's defenses in action (§5): the basic fence defense and the
+ * advanced (hold-resources + age-priority) design both neutralise
+ * every interference gadget — at very different performance costs.
+ *
+ * For each defense the demo (1) re-runs all three gadgets and shows
+ * the ordering/presence signal is secret-independent, (2) checks the
+ * executable ideal-invisible-speculation property C(E) == C(NoSpec(E))
+ * (§5.1), and (3) reports the workload-suite slowdown.
+ */
+
+#include <cstdio>
+
+#include "attack/security.hh"
+#include "attack/sender.hh"
+#include "cpu/core.hh"
+#include "sim/stats.hh"
+#include "workload/suite.hh"
+
+using namespace specint;
+
+namespace
+{
+
+bool
+attackBlocked(SchemeKind scheme, GadgetKind g, OrderingKind o)
+{
+    Hierarchy hier(HierarchyConfig::small());
+    MainMemory mem;
+    Core victim(CoreConfig{}, 0, hier, mem);
+    victim.setScheme(makeScheme(scheme));
+    AttackerAgent attacker(hier, 1);
+    TrialHarness harness(hier, mem, victim, attacker);
+
+    SenderParams params;
+    params.gadget = g;
+    params.ordering = o;
+    const SenderProgram sp = buildSender(params, hier);
+
+    int sig[2];
+    bool present[2];
+    for (unsigned secret = 0; secret < 2; ++secret) {
+        harness.prepare(sp, secret);
+        const TrialResult r = harness.run(sp);
+        sig[secret] = r.orderSignal();
+        present[secret] = r.targetPresent;
+    }
+    if (o == OrderingKind::Presence)
+        return present[0] == present[1];
+    return !(sig[0] >= 0 && sig[1] >= 0 && sig[0] != sig[1]);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Defenses vs speculative interference ===\n\n");
+
+    const std::vector<SchemeKind> defenses = {
+        SchemeKind::FenceSpectre, SchemeKind::FenceFuturistic,
+        SchemeKind::AdvancedDefense};
+
+    // 1. All gadgets blocked.
+    TextTable blocked({"defense", "NPEU VD-VD", "MSHR VD-VD",
+                       "G^I_RS", "ideal-invisible-spec"});
+    for (SchemeKind d : defenses) {
+        SenderParams p;
+        p.gadget = GadgetKind::Npeu;
+        p.ordering = OrderingKind::VdVd;
+        const bool ideal =
+            checkIdealInvisibleSpeculation(d, p, 0).holds &&
+            checkIdealInvisibleSpeculation(d, p, 1).holds;
+        blocked.addRow(
+            {schemeName(d),
+             attackBlocked(d, GadgetKind::Npeu, OrderingKind::VdVd)
+                 ? "blocked" : "LEAKS",
+             attackBlocked(d, GadgetKind::Mshr, OrderingKind::VdVd)
+                 ? "blocked" : "LEAKS",
+             attackBlocked(d, GadgetKind::Rs, OrderingKind::Presence)
+                 ? "blocked" : "LEAKS",
+             ideal ? "holds" : "violated"});
+    }
+    std::printf("%s\n", blocked.render().c_str());
+
+    // 2. The cost (Fig. 12 in miniature).
+    std::printf("workload-suite slowdown vs unsafe baseline "
+                "(geomean):\n");
+    const auto report = runDefenseOverhead(
+        {SchemeKind::Unsafe, SchemeKind::FenceSpectre,
+         SchemeKind::FenceFuturistic, SchemeKind::AdvancedDefense},
+        spec2017Archetypes(3000));
+    std::printf("  Fence (Spectre):     %.2fx\n", report.geomean[1]);
+    std::printf("  Fence (Futuristic):  %.2fx\n", report.geomean[2]);
+    std::printf("  Advanced (DoM+prio): %.2fx\n", report.geomean[3]);
+    std::printf("\ntakeaway (paper §5): the simple fence achieves "
+                "ideal invisible speculation at a dramatic cost; the "
+                "advanced design blocks the interference channels far "
+                "more cheaply.\n");
+    return 0;
+}

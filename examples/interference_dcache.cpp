@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The paper's D-Cache PoC (§4.2), end to end: a speculative
+ * interference attack leaking a message through Delay-on-Miss —
+ * a defense that provably blocks classic Spectre (see spectre_v1).
+ *
+ * Per bit: the attacker primes the monitored LLC set with the QLRU
+ * replacement-state receiver, mis-trains the victim's bounds check and
+ * invokes the victim. Inside the victim, the mis-speculated G^D_NPEU
+ * gadget reads the secret bit and — through port-0 contention on the
+ * non-pipelined VSQRTPD unit — delays (or not) the *older,
+ * bound-to-retire* load A relative to the reference load B. The
+ * attacker probes the set and decodes the order.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "attack/receiver.hh"
+#include "attack/sender.hh"
+#include "cpu/core.hh"
+
+using namespace specint;
+
+int
+main()
+{
+    const std::string message = "HI";
+
+    std::printf("=== D-Cache speculative interference PoC "
+                "(G^D_NPEU, VD-VD, QLRU receiver) ===\n\n");
+    std::printf("victim protected by: Delay-on-Miss (non-TSO)\n");
+    std::printf("leaking %zu bits: \"%s\"\n\n", message.size() * 8,
+                message.c_str());
+
+    Hierarchy hier(HierarchyConfig::small());
+    MainMemory mem;
+    Core victim(CoreConfig{}, 0, hier, mem);
+    victim.setScheme(makeScheme(SchemeKind::DomNonTso));
+    AttackerAgent attacker(hier, 1);
+    TrialHarness harness(hier, mem, victim, attacker);
+
+    SenderParams params;
+    params.gadget = GadgetKind::Npeu;
+    params.ordering = OrderingKind::VdVd;
+    const SenderProgram sp = buildSender(params, hier);
+    QlruReceiver receiver(hier, attacker, sp.addrA, sp.addrB);
+
+    std::printf("monitored LLC set %u / slice %u; A=0x%llx B=0x%llx\n\n",
+                receiver.setIndex(), receiver.sliceIndex(),
+                static_cast<unsigned long long>(sp.addrA),
+                static_cast<unsigned long long>(sp.addrB));
+
+    std::string recovered;
+    unsigned correct_bits = 0, total_bits = 0;
+    for (char ch : message) {
+        unsigned byte = 0;
+        for (int bit = 7; bit >= 0; --bit) {
+            const unsigned secret =
+                (static_cast<unsigned char>(ch) >> bit) & 1;
+            // Sender: one victim invocation carrying this bit.
+            harness.prepare(sp, secret, nullptr,
+                            /*flush_monitored=*/false);
+            receiver.prime();
+            harness.run(sp);
+            const OrderDecode d = receiver.decode();
+            const unsigned guess = d == OrderDecode::BA ? 1 : 0;
+            byte = (byte << 1) | guess;
+            correct_bits += guess == secret;
+            ++total_bits;
+        }
+        recovered += static_cast<char>(byte);
+    }
+
+    std::printf("recovered: \"%s\"  (%u/%u bits correct)\n",
+                recovered.c_str(), correct_bits, total_bits);
+    const bool ok = recovered == message;
+    std::printf("\n%s\n",
+                ok ? "Delay-on-Miss blocked Spectre, but speculative "
+                     "interference leaked right through it."
+                   : "bit errors occurred");
+    return ok ? 0 : 1;
+}

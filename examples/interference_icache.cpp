@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The paper's I-Cache PoC (§4.3), end to end: the G^I_RS gadget's
+ * dependent ADDs congest the reservation stations when the transmitter
+ * load misses, back-throttling the frontend so a wrong-path I-line is
+ * never fetched; when the transmitter hits, the frontend reaches and
+ * fetches it — a persistent, secret-dependent I-cache/LLC footprint
+ * read out cross-core with Flush+Reload.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "attack/receiver.hh"
+#include "attack/sender.hh"
+#include "cpu/core.hh"
+
+using namespace specint;
+
+int
+main()
+{
+    const std::string message = "RS";
+
+    std::printf("=== I-Cache speculative interference PoC "
+                "(G^I_RS, Flush+Reload receiver) ===\n\n");
+    std::printf("victim protected by: InvisiSpec (Spectre)\n");
+    std::printf("leaking %zu bits: \"%s\"\n\n", message.size() * 8,
+                message.c_str());
+
+    Hierarchy hier(HierarchyConfig::small());
+    MainMemory mem;
+    Core victim(CoreConfig{}, 0, hier, mem);
+    victim.setScheme(makeScheme(SchemeKind::InvisiSpecSpectre));
+    AttackerAgent attacker(hier, 1);
+    TrialHarness harness(hier, mem, victim, attacker);
+
+    SenderParams params;
+    params.gadget = GadgetKind::Rs;
+    params.ordering = OrderingKind::Presence;
+    const SenderProgram sp = buildSender(params, hier);
+    FlushReloadReceiver receiver(hier, attacker, sp.icacheTarget);
+
+    std::printf("monitored I-line: 0x%llx (the gadget's "
+                "'target_instr')\n\n",
+                static_cast<unsigned long long>(sp.icacheTarget));
+
+    std::string recovered;
+    unsigned correct_bits = 0, total_bits = 0;
+    for (char ch : message) {
+        unsigned byte = 0;
+        for (int bit = 7; bit >= 0; --bit) {
+            const unsigned secret =
+                (static_cast<unsigned char>(ch) >> bit) & 1;
+            harness.prepare(sp, secret);
+            receiver.flushTarget();
+            harness.run(sp);
+            // Line present => transmitter hit => secret 0 (Fig. 5).
+            const unsigned guess = receiver.probePresent() ? 0 : 1;
+            byte = (byte << 1) | guess;
+            correct_bits += guess == secret;
+            ++total_bits;
+        }
+        recovered += static_cast<char>(byte);
+    }
+
+    std::printf("recovered: \"%s\"  (%u/%u bits correct)\n",
+                recovered.c_str(), correct_bits, total_bits);
+    return recovered == message ? 0 : 1;
+}

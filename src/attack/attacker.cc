@@ -1,0 +1,21 @@
+#include "attack/attacker.hh"
+
+namespace specint
+{
+
+MemAccessResult
+AttackerAgent::access(Addr addr)
+{
+    const MemAccessResult res = hier_->accessDirect(id_, addr, now_);
+    now_ += res.latency;
+    return res;
+}
+
+bool
+AttackerAgent::isLlcHit(Addr addr)
+{
+    const MemAccessResult res = access(addr);
+    return res.latency < hier_->llcHitThreshold();
+}
+
+} // namespace specint

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * End-to-end covert channels (the paper's two PoCs, §4).
+ *
+ * DCacheChannel — the G^D_NPEU / VD-VD PoC (§4.2): the sender reorders
+ * two bound-to-retire victim loads; the QLRU replacement-state
+ * receiver decodes the order cross-core.
+ *
+ * ICacheChannel — the G^I_RS PoC (§4.3): the sender back-throttles the
+ * frontend so a wrong-path I-line is fetched iff the transmitter load
+ * hits; a Flush+Reload receiver probes the line's presence.
+ *
+ * Both channels transmit multi-bit messages with n trials per bit and
+ * majority voting, under the injected noise model, and report bit
+ * error rate and throughput — the two axes of Fig. 11. Throughput is
+ * converted to bits/s at a nominal clock with a per-trial overhead
+ * constant covering the parts of a real trial the simulator does not
+ * model (re-mis-training loops, core synchronisation, eviction-set
+ * upkeep); see DESIGN.md's substitution table.
+ */
+
+#ifndef SPECINT_ATTACK_CHANNEL_HH
+#define SPECINT_ATTACK_CHANNEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/gadget.hh"
+#include "sim/noise.hh"
+#include "spec/scheme.hh"
+
+namespace specint
+{
+
+/** Channel run configuration. */
+struct ChannelConfig
+{
+    /** Victim scheme under attack. */
+    SchemeKind scheme = SchemeKind::DomNonTso;
+    /** Trials (victim invocations) per transmitted bit. */
+    unsigned trialsPerBit = 3;
+    /** Injected noise. */
+    NoiseConfig noise = NoiseConfig::calibrated();
+    std::uint64_t seed = 42;
+    /** Nominal clock for bits/s conversion (§4.1: 3.6 GHz). */
+    double clockGhz = 3.6;
+    /**
+     * Unmodelled per-trial overhead cycles (see file comment);
+     * 0 = auto-calibrated per channel: the D-Cache trial's repeated
+     * mis-training, eviction-set upkeep and victim synchronisation
+     * cost far more than the I-Cache trial's single flush+reload,
+     * which is why the paper's Fig. 11 shows ~200 bps vs ~1000 bps.
+     */
+    std::uint64_t perTrialOverheadCycles = 0;
+    /** Sender tuning. */
+    SenderParams sender;
+};
+
+/** Channel measurement. */
+struct ChannelResult
+{
+    unsigned bitsSent = 0;
+    unsigned bitErrors = 0;
+    /** Trials whose decode was Unclear and got discarded. */
+    unsigned discardedTrials = 0;
+    std::uint64_t totalCycles = 0;
+
+    double errorRate() const
+    {
+        return bitsSent ? static_cast<double>(bitErrors) / bitsSent
+                        : 0.0;
+    }
+    double bitsPerSecond(double clock_ghz) const
+    {
+        return totalCycles
+                   ? static_cast<double>(bitsSent) * clock_ghz * 1e9 /
+                         static_cast<double>(totalCycles)
+                   : 0.0;
+    }
+};
+
+/** Transmit @p bits over the D-Cache (replacement-state) channel.
+ *  Uses cfg.sender.gadget if it is a D-side gadget (G^D_NPEU by
+ *  default; G^D_MSHR also works against MSHR-vulnerable schemes). */
+ChannelResult
+runDCacheChannel(const std::vector<std::uint8_t> &bits,
+                 const ChannelConfig &cfg);
+
+/** Transmit @p bits over the I-Cache (presence) channel. */
+ChannelResult
+runICacheChannel(const std::vector<std::uint8_t> &bits,
+                 const ChannelConfig &cfg);
+
+/** Random bit string helper. */
+std::vector<std::uint8_t> randomBits(unsigned n, std::uint64_t seed);
+
+} // namespace specint
+
+#endif // SPECINT_ATTACK_CHANNEL_HH

@@ -1,0 +1,455 @@
+#include "attack/gadget.hh"
+
+#include <cassert>
+
+#include "memory/eviction_set.hh"
+#include "sim/log.hh"
+
+namespace specint
+{
+
+namespace
+{
+
+// Register allocation for the sender programs.
+constexpr RegId rZ = 1;      // z pointer-chase value (ends at 0)
+constexpr RegId rF = 2;      // f-chain value (NPEU) / q value (MSHR)
+constexpr RegId rAaddr = 3;  // A address chain (MSHR)
+constexpr RegId rAval = 4;   // value loaded by A
+constexpr RegId rG = 5;      // g-chain value (reference B)
+constexpr RegId rN = 6;      // branch predicate rhs
+constexpr RegId rI = 7;      // i (attacker-controlled index), init 5
+constexpr RegId rSecret = 8; // the transiently accessed secret
+constexpr RegId rX = 9;      // transmitter result
+constexpr RegId rFp = 10;    // gadget chain value
+constexpr RegId rBval = 11;  // value loaded by B
+constexpr RegId rSum = 12;   // G^I_RS accumulator
+
+/** First aux address region; one line per chase node etc. */
+constexpr Addr kAuxBase = 0x02000000;
+// Monitored-set anchor (VD cases). Deliberately NOT set 0, which the
+// "zero line" chased into by the z chain maps to.
+constexpr Addr kAnchor = 0x01000040;
+
+/** Advance from @p start to the next line NOT in (set, slice). */
+Addr
+placeAvoiding(const Hierarchy &hier, Addr start, unsigned set,
+              unsigned slice)
+{
+    Addr a = lineAlign(start);
+    while (hier.llcSetIndex(a) == set && hier.llcSliceIndex(a) == slice)
+        a += kLineBytes;
+    return a;
+}
+
+/** Pad with nops until the next instruction starts a fresh I-line. */
+void
+padToLine(Program &prog)
+{
+    while ((prog.size() * 4) % kLineBytes != 0)
+        prog.nop();
+}
+
+struct AuxAllocator
+{
+    const Hierarchy &hier;
+    unsigned avoidSet;
+    unsigned avoidSlice;
+    Addr next = kAuxBase;
+
+    /** Allocate one fresh line avoiding the monitored set. */
+    Addr line()
+    {
+        const Addr a = placeAvoiding(hier, next, avoidSet, avoidSlice);
+        next = a + kLineBytes;
+        return a;
+    }
+    /** Allocate @p n consecutive-but-safe lines. */
+    std::vector<Addr> lines(unsigned n)
+    {
+        std::vector<Addr> out;
+        for (unsigned k = 0; k < n; ++k)
+            out.push_back(line());
+        return out;
+    }
+
+    /** Allocate @p n *contiguous* lines, none in the monitored set
+     *  (needed for scale-indexed ranges like the MSHR gadget's). */
+    Addr span(unsigned n)
+    {
+        Addr cand = lineAlign(next);
+        for (;;) {
+            bool clean = true;
+            for (unsigned k = 0; k < n && clean; ++k) {
+                const Addr l = cand + static_cast<Addr>(kLineBytes) * k;
+                if (hier.llcSetIndex(l) == avoidSet &&
+                    hier.llcSliceIndex(l) == avoidSlice) {
+                    clean = false;
+                }
+            }
+            if (clean)
+                break;
+            cand += kLineBytes;
+        }
+        next = cand + static_cast<Addr>(kLineBytes) * n;
+        return cand;
+    }
+};
+
+} // namespace
+
+std::string
+gadgetName(GadgetKind g)
+{
+    switch (g) {
+      case GadgetKind::Npeu: return "G^D_NPEU";
+      case GadgetKind::Mshr: return "G^D_MSHR";
+      case GadgetKind::Rs: return "G^I_RS";
+    }
+    return "?";
+}
+
+std::string
+orderingName(OrderingKind o)
+{
+    switch (o) {
+      case OrderingKind::VdVd: return "VD-VD";
+      case OrderingKind::VdVi: return "VD-VI";
+      case OrderingKind::VdAd: return "VD-AD";
+      case OrderingKind::ViAd: return "VI-AD";
+      case OrderingKind::Presence: return "I-presence";
+    }
+    return "?";
+}
+
+Addr
+SenderProgram::monitorSecond() const
+{
+    switch (params.ordering) {
+      case OrderingKind::VdVd: return addrB;
+      case OrderingKind::VdVi: return addrB;
+      case OrderingKind::VdAd:
+      case OrderingKind::ViAd: return refAddr;
+      case OrderingKind::Presence: return kAddrInvalid;
+    }
+    return kAddrInvalid;
+}
+
+namespace
+{
+
+/**
+ * Core builder. @p code_base may be tuned by the caller (two-pass) so
+ * that the fall-through I-line is congruent with the monitored set.
+ * @p fall_line_pc (out) receives the PC of the first fall-through
+ * instruction on its own line (VI orderings) or of the G^I_RS target.
+ */
+SenderProgram
+buildOnce(const SenderParams &p, const Hierarchy &hier, Addr code_base,
+          unsigned *marker_pc)
+{
+    SenderProgram sp;
+    sp.params = p;
+    sp.prog = Program(code_base);
+    Program &prog = sp.prog;
+
+    const bool is_rs = p.gadget == GadgetKind::Rs;
+    const bool wants_vi = p.ordering == OrderingKind::VdVi ||
+                          p.ordering == OrderingKind::ViAd;
+    const bool wants_b = p.ordering == OrderingKind::VdVd ||
+                         p.ordering == OrderingKind::VdVi;
+    // Predicate on the delayed chain (A's value) rather than on a slow
+    // independent chase: used when the *squash time* must carry the
+    // signal (VI orderings).
+    const bool predicate_on_a = wants_vi;
+
+    // The monitored (set, slice) everything else must avoid. For the
+    // VD cases this is the anchor's set; for Presence it is the target
+    // I-line whose set is unconstrained (use the anchor anyway).
+    const unsigned mon_set = hier.llcSetIndex(kAnchor);
+    const unsigned mon_slice = hier.llcSliceIndex(kAnchor);
+    AuxAllocator aux{hier, mon_set, mon_slice, kAuxBase};
+
+    if (p.ordering == OrderingKind::VdVd ||
+        p.ordering == OrderingKind::VdAd) {
+        // A itself is monitored: it lives in the anchor set.
+        sp.addrA = kAnchor;
+    } else if (wants_vi && !is_rs) {
+        // VI orderings: A only supplies the secret-dependent delay of
+        // the branch predicate; it must stay OUT of the monitored set
+        // and is kept LLC-resident so its completion (and thus the
+        // squash time) shifts by cycles, not memory round-trips.
+        sp.addrA = aux.line();
+        sp.llcWarmLines.push_back(sp.addrA);
+    }
+
+    // ---- data layout -------------------------------------------------
+    const std::vector<Addr> z_nodes = aux.lines(p.zDepth);
+    const std::vector<Addr> n_nodes = aux.lines(p.nDepth);
+    const Addr t_base = aux.line();
+    // Reserve the gadget's full candidate range s_base .. s_base+64*M
+    // so no other victim data shares those lines: the MSHR gadget
+    // indexes them with scale = 64*m.
+    const unsigned s_span =
+        (p.gadget == GadgetKind::Mshr ? p.mshrLoads : 1) + 1;
+    const Addr s_base = aux.span(s_span);
+    const Addr q_base = aux.line();
+
+    // z chase: mem[z0] = z1, ..., mem[z_last] = 0; all lines L1-warm.
+    for (unsigned d = 0; d + 1 < p.zDepth; ++d)
+        sp.memInit.emplace_back(z_nodes[d], z_nodes[d + 1]);
+    if (p.zDepth > 0)
+        sp.memInit.emplace_back(z_nodes[p.zDepth - 1], 0);
+    for (Addr a : z_nodes)
+        sp.warmLines.push_back(a);
+    sp.warmLines.push_back(0); // the "zero line" chased into
+
+    // n chase: cold lines, final value 1 (so i=5 >= N=1: not taken).
+    for (unsigned d = 0; d + 1 < p.nDepth; ++d)
+        sp.memInit.emplace_back(n_nodes[d], n_nodes[d + 1]);
+    if (p.nDepth > 0)
+        sp.memInit.emplace_back(n_nodes[p.nDepth - 1], 1);
+    for (Addr a : n_nodes)
+        sp.flushLines.push_back(a);
+
+    // secret slot + transmitter lines
+    sp.secretSlot = t_base;
+    sp.warmLines.push_back(t_base);
+    if (p.gadget == GadgetKind::Npeu) {
+        // secret=1 -> S[64] hit (warm); secret=0 -> S[0] miss (flush)
+        sp.warmLines.push_back(s_base + kLineBytes);
+        sp.flushLines.push_back(s_base);
+    } else if (p.gadget == GadgetKind::Rs) {
+        // Fig. 5 is inverted: secret=0 -> S[0] hit; secret=1 -> miss
+        sp.warmLines.push_back(s_base);
+        sp.flushLines.push_back(s_base + kLineBytes);
+    } else {
+        // MSHR gadget: all M candidate lines LLC-resident but absent
+        // from the victim's private caches, so each is an L1 miss that
+        // occupies an MSHR yet frees it after the (short) LLC latency.
+        for (unsigned m = 0; m < p.mshrLoads; ++m)
+            sp.llcWarmLines.push_back(s_base + 64ULL * m);
+        sp.llcWarmLines.push_back(q_base);
+    }
+
+    prog.setReg(rI, 5);
+
+    // ---- victim code -------------------------------------------------
+    if (!is_rs) {
+        // z chase
+        prog.load(rZ, kNoReg, static_cast<std::int64_t>(z_nodes[0]), 1,
+                  "z0");
+        for (unsigned d = 1; d < p.zDepth; ++d)
+            prog.load(rZ, rZ, 0, 1, "z" + std::to_string(d));
+
+        if (p.gadget == GadgetKind::Npeu) {
+            // f(z): non-pipelined chain generating A's address
+            prog.sqrt(rF, rZ, "f1");
+            for (unsigned k = 1; k < p.fLen; ++k)
+                prog.sqrt(rF, rF, "f" + std::to_string(k + 1));
+            prog.load(rAval, rF,
+                      static_cast<std::int64_t>(sp.addrA), 1, "loadA");
+        } else {
+            // G^D_MSHR target: load q (MSHR-sensitive) feeds A's
+            // address generation.
+            prog.load(rF, rZ, static_cast<std::int64_t>(q_base), 1,
+                      "loadQ");
+            prog.mul(rAaddr, rF, kNoReg, 0, "qmul1");
+            for (unsigned k = 1; k < p.qMulLen; ++k)
+                prog.mul(rAaddr, rAaddr, kNoReg, 0,
+                         "qmul" + std::to_string(k + 1));
+            prog.load(rAval, rAaddr,
+                      static_cast<std::int64_t>(sp.addrA), 1, "loadA");
+        }
+
+        if (wants_b) {
+            // g(z): fixed-latency reference chain on port 1. Each mul
+            // in the chain costs latency+writeback = 5 cycles; the
+            // auto length places B's issue between the two
+            // secret-dependent times of the shifting access.
+            unsigned g_len = p.gLen;
+            if (g_len == 0) {
+                if (p.gadget == GadgetKind::Npeu)
+                    g_len = wants_vi ? 21 : 9;
+                else
+                    g_len = wants_vi ? 30 : 16;
+            }
+            prog.mul(rG, rZ, kNoReg, 0, "g1");
+            for (unsigned k = 1; k < g_len; ++k)
+                prog.mul(rG, rG, kNoReg, 0, "g" + std::to_string(k + 1));
+            prog.load(rBval, rG, 0, 1, "loadB"); // imm patched below
+        }
+
+        if (predicate_on_a) {
+            // Branch resolves only once load A's value returns: the
+            // squash time inherits A's delay (VD-VI / VI-AD).
+            prog.alu(rN, rAval, kNoReg, 1, "pred");
+        } else {
+            prog.load(rN, kNoReg, static_cast<std::int64_t>(n_nodes[0]),
+                      1, "n0");
+            for (unsigned d = 1; d < p.nDepth; ++d)
+                prog.load(rN, rN, 0, 1, "n" + std::to_string(d));
+        }
+    } else {
+        // G^I_RS predicate: independent cold chase.
+        prog.load(rN, kNoReg, static_cast<std::int64_t>(n_nodes[0]), 1,
+                  "n0");
+        for (unsigned d = 1; d < p.nDepth; ++d)
+            prog.load(rN, rN, 0, 1, "n" + std::to_string(d));
+    }
+
+    const unsigned branch_pc =
+        prog.branch(BranchCond::LT, rI, rN, 0, "branch");
+    sp.branchPc = branch_pc;
+
+    // ---- correct (fall-through) path ----------------------------------
+    if (wants_vi) {
+        padToLine(prog);
+        *marker_pc = prog.nop("vi_target");
+        prog.halt();
+    } else {
+        prog.halt();
+    }
+
+    // The gadget must start on a fresh I-line: fetching the predicted
+    // (gadget) path must not incidentally bring in the monitored
+    // fall-through line.
+    padToLine(prog);
+
+    // ---- mis-speculated path: the interference gadget ------------------
+    const unsigned gadget_pc = static_cast<unsigned>(prog.size());
+    prog.setBranchTarget(branch_pc, gadget_pc);
+
+    prog.load(rSecret, kNoReg, static_cast<std::int64_t>(t_base), 1,
+              "access");
+    switch (p.gadget) {
+      case GadgetKind::Npeu:
+        prog.load(rX, rSecret, static_cast<std::int64_t>(s_base), 64,
+                  "transmitter");
+        prog.sqrt(rFp, rX, "fp1");
+        for (unsigned k = 1; k < p.gadgetLen; ++k)
+            prog.sqrt(rFp, rFp, "fp" + std::to_string(k + 1));
+        break;
+      case GadgetKind::Mshr:
+        for (unsigned m = 0; m < p.mshrLoads; ++m) {
+            // addr = secret * (64*m) + s_base: distinct lines iff
+            // secret == 1 (Fig. 4).
+            prog.load(static_cast<RegId>(16 + (m % 16)), rSecret,
+                      static_cast<std::int64_t>(s_base), 64 * m,
+                      "gml" + std::to_string(m));
+        }
+        break;
+      case GadgetKind::Rs:
+        prog.load(rX, rSecret, static_cast<std::int64_t>(s_base), 64,
+                  "transmitter");
+        for (unsigned k = 0; k < p.rsAdds; ++k)
+            prog.alu(rSum, rSum, rX, 0);
+        padToLine(prog);
+        *marker_pc = prog.nop("target_instr");
+        break;
+    }
+    prog.halt();
+
+    // Warm every victim I-line except monitored ones (filled later).
+    for (unsigned pc = 0; pc < prog.size(); ++pc) {
+        const Addr line = prog.instLine(pc);
+        if (sp.warmCodeLines.empty() ||
+            sp.warmCodeLines.back() != line) {
+            sp.warmCodeLines.push_back(line);
+        }
+    }
+    return sp;
+}
+
+} // namespace
+
+SenderProgram
+buildSender(const SenderParams &params, const Hierarchy &hier)
+{
+    if (params.gadget == GadgetKind::Rs)
+        assert(params.ordering == OrderingKind::Presence);
+    if (params.ordering == OrderingKind::Presence)
+        assert(params.gadget == GadgetKind::Rs);
+
+    const bool wants_vi = params.ordering == OrderingKind::VdVi ||
+                          params.ordering == OrderingKind::ViAd;
+
+    unsigned marker_pc = 0;
+    Addr code_base = 0x00400000;
+    SenderProgram sp = buildOnce(params, hier, code_base, &marker_pc);
+
+    // Slide the (line-aligned) code base until the layout is clean:
+    // no victim code line may be congruent with the monitored set —
+    // the receiver's prime would back-invalidate such a line from the
+    // L1-I and every mid-run fetch of it would pollute the monitored
+    // set. For VI orderings the marker line is the one exception: it
+    // must be congruent (it IS the monitored line).
+    if (params.ordering != OrderingKind::Presence) {
+        const unsigned mon_set = hier.llcSetIndex(kAnchor);
+        const unsigned mon_slice = hier.llcSliceIndex(kAnchor);
+        const std::size_t code_lines = sp.prog.size() / 16 + 2;
+        bool placed = false;
+        for (unsigned tries = 0; tries < 1u << 20 && !placed;
+             ++tries, code_base += kLineBytes) {
+            const Addr marker_line =
+                lineAlign(code_base + 4ULL * marker_pc);
+            if (wants_vi &&
+                !(hier.llcSetIndex(marker_line) == mon_set &&
+                  hier.llcSliceIndex(marker_line) == mon_slice &&
+                  marker_line != kAnchor)) {
+                continue;
+            }
+            bool clean = true;
+            for (std::size_t l = 0; l < code_lines && clean; ++l) {
+                const Addr line = lineAlign(code_base) + 64ULL * l;
+                if (wants_vi && line == marker_line)
+                    continue;
+                if (hier.llcSetIndex(line) == mon_set &&
+                    hier.llcSliceIndex(line) == mon_slice) {
+                    clean = false;
+                }
+            }
+            placed = clean;
+        }
+        if (!placed)
+            fatal("buildSender: no clean code placement found");
+        code_base -= kLineBytes; // undo the loop's final increment
+        sp = buildOnce(params, hier, code_base, &marker_pc);
+    }
+
+    // Resolve monitored lines.
+    if (wants_vi || params.ordering == OrderingKind::Presence) {
+        sp.icacheTarget = sp.prog.instLine(marker_pc);
+        sp.flushLines.push_back(sp.icacheTarget);
+        // Monitored I-lines must not be pre-warmed.
+        std::erase(sp.warmCodeLines, sp.icacheTarget);
+    }
+    if (params.ordering == OrderingKind::VdVd ||
+        params.ordering == OrderingKind::VdVi) {
+        // B congruent with the monitored set.
+        std::vector<Addr> excl = {kAnchor};
+        if (sp.icacheTarget != kAddrInvalid)
+            excl.push_back(sp.icacheTarget);
+        sp.addrB = findCongruentAddr(
+            hier, sp.icacheTarget != kAddrInvalid ? sp.icacheTarget
+                                                  : sp.addrA,
+            0x40000000, excl);
+        // Patch loadB's displacement.
+        const int pc_b = sp.prog.findLabel("loadB");
+        assert(pc_b >= 0);
+        sp.prog.setImmediate(static_cast<unsigned>(pc_b),
+                             static_cast<std::int64_t>(sp.addrB));
+    }
+    if (params.ordering == OrderingKind::VdAd ||
+        params.ordering == OrderingKind::ViAd) {
+        const Addr base =
+            sp.icacheTarget != kAddrInvalid ? sp.icacheTarget : sp.addrA;
+        std::vector<Addr> excl = {kAnchor};
+        if (sp.icacheTarget != kAddrInvalid)
+            excl.push_back(sp.icacheTarget);
+        sp.refAddr = findCongruentAddr(hier, base, 0x50000000, excl);
+    }
+    return sp;
+}
+
+} // namespace specint

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Interference gadget / target program builders (paper §3.2.2, §3.3.1).
+ *
+ * A *sender* is a victim program containing an interference gadget in
+ * the shadow of a mispredicted branch plus an interference target of
+ * older, bound-to-retire instructions. The builders here produce the
+ * paper's three gadgets against each reference-access ordering:
+ *
+ *   G^D_NPEU (Fig. 3/6): the gadget is a chain of non-pipelined
+ *     VSQRTPD-like ops data-dependent on a transmitter load whose
+ *     latency depends on the secret. It contends for port 0 with the
+ *     target's address-generation chain f(z), delaying victim load A.
+ *
+ *   G^D_MSHR (Fig. 4): the gadget is M independent loads to lines that
+ *     are distinct iff secret=1, exhausting the L1-D MSHRs and
+ *     delaying a load in the target's address-generation chain.
+ *
+ *   G^I_RS (Fig. 5): the gadget is a long chain of ADDs dependent on
+ *     the transmitter; if the transmitter misses, the full RS stalls
+ *     dispatch and back-throttles fetch, so a later I-line is never
+ *     fetched.
+ *
+ * Orderings (§3.3.1): VD-VD (two victim loads A/B), VD-VI (victim
+ * load vs post-squash instruction fetch), VD-AD and VI-AD (attacker
+ * reference access as the clock).
+ */
+
+#ifndef SPECINT_ATTACK_GADGET_HH
+#define SPECINT_ATTACK_GADGET_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cpu/program.hh"
+#include "memory/hierarchy.hh"
+
+namespace specint
+{
+
+/** Which interference gadget the sender embeds. */
+enum class GadgetKind : std::uint8_t { Npeu, Mshr, Rs };
+
+/** Which pair of unprotected accesses carries the ordering signal. */
+enum class OrderingKind : std::uint8_t
+{
+    VdVd, ///< victim data load A vs victim data load B
+    VdVi, ///< victim data load A vs victim post-squash I-fetch
+    VdAd, ///< victim data load A vs attacker reference access
+    ViAd, ///< victim post-squash I-fetch vs attacker reference access
+    Presence, ///< G^I_RS: presence of the target I-line (Fig. 5)
+};
+
+std::string gadgetName(GadgetKind g);
+std::string orderingName(OrderingKind o);
+
+/** Tuning knobs; defaults work for the default core/hierarchy. */
+struct SenderParams
+{
+    GadgetKind gadget = GadgetKind::Npeu;
+    OrderingKind ordering = OrderingKind::VdVd;
+
+    unsigned zDepth = 6;     ///< z pointer-chase depth (L1-warm)
+    unsigned nDepth = 1;     ///< branch-predicate chase depth (cold)
+    unsigned fLen = 2;       ///< target VSQRTPD chain length (f)
+    unsigned gadgetLen = 8;  ///< gadget VSQRTPD chain length (f')
+    /** Reference-B IntMul chain length (g); 0 = auto-pick a length
+     *  that places B between the two secret-dependent A/I times. */
+    unsigned gLen = 0;
+    unsigned qMulLen = 2;    ///< muls between load q and load A (MSHR)
+    unsigned mshrLoads = 10; ///< M, should equal the L1-D MSHR count
+    unsigned rsAdds = 160;   ///< dependent ADD count (G^I_RS)
+};
+
+/**
+ * A fully described sender: the program plus every address the trial
+ * harness must initialise, warm, flush or monitor.
+ */
+struct SenderProgram
+{
+    Program prog;
+    SenderParams params;
+
+    /** @name Monitored lines */
+    /// @{
+    Addr addrA = kAddrInvalid;       ///< victim load A
+    Addr addrB = kAddrInvalid;       ///< victim load B (VD-VD)
+    Addr icacheTarget = kAddrInvalid;///< monitored I-line (VI / Presence)
+    Addr refAddr = kAddrInvalid;     ///< attacker reference line (AD)
+    /// @}
+
+    /** Memory words to initialise before every trial. */
+    std::vector<std::pair<Addr, std::uint64_t>> memInit;
+    /** Word holding the secret bit (written per trial). */
+    Addr secretSlot = kAddrInvalid;
+
+    /** Lines warmed into the victim's private caches before a run. */
+    std::vector<Addr> warmLines;
+    /** Lines warmed into the LLC only (gadget working set). */
+    std::vector<Addr> llcWarmLines;
+    /** Lines flushed from the whole hierarchy before a run. */
+    std::vector<Addr> flushLines;
+    /** Victim code lines to pre-warm (excludes monitored I-lines). */
+    std::vector<Addr> warmCodeLines;
+
+    /** PC of the mis-trained branch. */
+    std::uint32_t branchPc = 0;
+
+    /** The second monitored line for order decoding (B, the I-line,
+     *  or the attacker reference, depending on the ordering). */
+    Addr monitorSecond() const;
+};
+
+/**
+ * Build a sender for (gadget, ordering) against the given hierarchy
+ * (needed to place congruent/monitored lines). Not every combination
+ * is meaningful: the RS gadget only supports Presence, and Presence
+ * only the RS gadget.
+ */
+SenderProgram buildSender(const SenderParams &params,
+                          const Hierarchy &hier);
+
+} // namespace specint
+
+#endif // SPECINT_ATTACK_GADGET_HH

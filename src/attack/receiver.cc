@@ -1,0 +1,96 @@
+#include "attack/receiver.hh"
+
+#include <cassert>
+
+#include "sim/log.hh"
+
+namespace specint
+{
+
+QlruReceiver::QlruReceiver(Hierarchy &hier, AttackerAgent &attacker,
+                           Addr addr_a, Addr addr_b,
+                           unsigned prime_rounds)
+    : hier_(&hier), attacker_(&attacker), a_(lineAlign(addr_a)),
+      b_(lineAlign(addr_b)), primeRounds_(prime_rounds)
+{
+    assert(hier_->llcSetIndex(a_) == hier_->llcSetIndex(b_) &&
+           hier_->llcSliceIndex(a_) == hier_->llcSliceIndex(b_) &&
+           "A and B must be congruent");
+    const unsigned assoc = hier_->config().llcSlice.ways;
+    assert(assoc >= 2);
+    evs1_ = buildEvictionSet(*hier_, a_, assoc - 1, 0x10000000,
+                             {a_, b_});
+    std::vector<Addr> exclude = {a_, b_};
+    exclude.insert(exclude.end(), evs1_.begin(), evs1_.end());
+    evs2_ = buildEvictionSet(*hier_, a_, assoc - 1, 0x30000000,
+                             exclude);
+}
+
+unsigned
+QlruReceiver::setIndex() const
+{
+    return hier_->llcSetIndex(a_);
+}
+
+unsigned
+QlruReceiver::sliceIndex() const
+{
+    return hier_->llcSliceIndex(a_);
+}
+
+void
+QlruReceiver::prime()
+{
+    // Empty the monitored set deterministically: every line that can
+    // be resident there after previous rounds is one of ours (EVS1,
+    // EVS2, A from a prior probe, B from a prior victim run). Flushing
+    // A/B also forces the victim's next loads to reach the LLC
+    // (Flush+Reload shared memory).
+    attacker_->flush(a_);
+    attacker_->flush(b_);
+    for (Addr ev : evs1_)
+        attacker_->flush(ev);
+    for (Addr ev : evs2_)
+        attacker_->flush(ev);
+
+    // Fill EVS1 into ways 0..assoc-2 in order and A into the rightmost
+    // way — the Fig. 8(a) layout. A must NOT be leftmost: when the
+    // victim's first access is the B miss, U0 aging sends every line
+    // to age 3 and R0 evicts the leftmost, which must be a sacrificial
+    // EVS1 line rather than A itself.
+    for (Addr ev : evs1_)
+        attacker_->access(ev);
+    attacker_->access(a_);
+
+    // Saturate all ages at 0 with hit rounds.
+    for (unsigned round = 1; round < primeRounds_; ++round) {
+        for (Addr ev : evs1_)
+            attacker_->access(ev);
+        attacker_->access(a_);
+    }
+}
+
+OrderDecode
+QlruReceiver::decode()
+{
+    // Probe with the second eviction set...
+    for (Addr ev : evs2_)
+        attacker_->access(ev);
+
+    // ...then time B and A. Exactly one should have survived; the
+    // survivor is the line the victim accessed *second*. B is probed
+    // first: if B survived it hits (no state change), and if B missed
+    // its fill evicts one of the aged EVS2 lines, never A — probing A
+    // first would not be symmetric, since A's miss-fill can age the
+    // set enough to evict a surviving B before it is measured.
+    const bool b_hit = attacker_->isLlcHit(b_);
+    const bool a_hit = attacker_->isLlcHit(a_);
+
+    if (a_hit && !b_hit)
+        return OrderDecode::BA; // A survived: victim issued B then A
+    if (!a_hit && b_hit)
+        return OrderDecode::AB; // B survived: victim issued A then B
+    return OrderDecode::Unclear;
+}
+
+} // namespace specint

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Covert-channel receivers.
+ *
+ * QlruReceiver — the paper's novel replacement-state receiver
+ * (§4.2.2): decodes the *order* of two LLC accesses A and B from the
+ * QLRU replacement state of their shared cache set. Protocol:
+ *
+ *   prime:  flush A and B everywhere; access EVS1 (assoc-1 congruent
+ *           lines) plus A repeatedly, saturating every resident line's
+ *           age at 0. The set now holds exactly EVS1 ∪ {A}.
+ *   victim: issues its two accesses. The first to arrive misses (B) or
+ *           hits (A); under QLRU_H11_M1_R0_U0 the full aging/eviction
+ *           interplay leaves exactly one of A/B resident after probe.
+ *   probe:  access EVS2 (another assoc-1 congruent lines), then time
+ *           A and B: the line accessed *second* by the victim
+ *           survives. A hit on B and miss on A decodes order A-B
+ *           (secret 0); hit on A and miss on B decodes B-A (secret 1).
+ *
+ * FlushReloadReceiver — classic Flush+Reload on a shared line (used by
+ * the I-Cache PoC, §4.3, where presence of the target line is the
+ * signal).
+ */
+
+#ifndef SPECINT_ATTACK_RECEIVER_HH
+#define SPECINT_ATTACK_RECEIVER_HH
+
+#include <vector>
+
+#include "attack/attacker.hh"
+#include "memory/eviction_set.hh"
+#include "memory/hierarchy.hh"
+
+namespace specint
+{
+
+/** Decoded victim access order. */
+enum class OrderDecode : int
+{
+    AB = 0,      ///< A issued before B (secret = 0)
+    BA = 1,      ///< B issued before A (secret = 1)
+    Unclear = -1 ///< both missed (noise) — discard the trial (§4.2.3)
+};
+
+class QlruReceiver
+{
+  public:
+    /**
+     * @param hier shared hierarchy
+     * @param attacker cross-core attacker agent
+     * @param addr_a victim address A (shared memory — Flush+Reload)
+     * @param addr_b victim address B (congruent with A)
+     * @param prime_rounds passes over EVS1 ∪ {A} during prime
+     */
+    QlruReceiver(Hierarchy &hier, AttackerAgent &attacker, Addr addr_a,
+                 Addr addr_b, unsigned prime_rounds = 4);
+
+    /** Prime the monitored set (call before each victim run). */
+    void prime();
+
+    /** Probe and decode the victim's access order. */
+    OrderDecode decode();
+
+    const std::vector<Addr> &evs1() const { return evs1_; }
+    const std::vector<Addr> &evs2() const { return evs2_; }
+    Addr addrA() const { return a_; }
+    Addr addrB() const { return b_; }
+
+    /** Monitored LLC set/slice (for introspection and Fig. 8). */
+    unsigned setIndex() const;
+    unsigned sliceIndex() const;
+
+  private:
+    Hierarchy *hier_;
+    AttackerAgent *attacker_;
+    Addr a_;
+    Addr b_;
+    unsigned primeRounds_;
+    std::vector<Addr> evs1_;
+    std::vector<Addr> evs2_;
+};
+
+/** Flush+Reload receiver on one shared line. */
+class FlushReloadReceiver
+{
+  public:
+    FlushReloadReceiver(Hierarchy &hier, AttackerAgent &attacker,
+                        Addr target)
+        : hier_(&hier), attacker_(&attacker), target_(target)
+    {}
+
+    /** Flush the target line (call before each victim run). */
+    void flushTarget() { attacker_->flush(target_); }
+
+    /** Reload: was the target (re-)fetched by the victim? */
+    bool probePresent() { return attacker_->isLlcHit(target_); }
+
+    Addr target() const { return target_; }
+
+  private:
+    Hierarchy *hier_;
+    AttackerAgent *attacker_;
+    Addr target_;
+};
+
+} // namespace specint
+
+#endif // SPECINT_ATTACK_RECEIVER_HH

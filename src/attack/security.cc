@@ -1,0 +1,93 @@
+#include "attack/security.hh"
+
+#include "attack/sender.hh"
+#include "cpu/core.hh"
+#include "memory/hierarchy.hh"
+
+namespace specint
+{
+
+namespace
+{
+
+/** Victim-core visible accesses, optionally data-only. */
+std::vector<VisibleAccess>
+victimTrace(const Hierarchy &hier, CoreId victim, bool data_only)
+{
+    std::vector<VisibleAccess> out;
+    for (const VisibleAccess &a : hier.llcTrace()) {
+        if (a.core != victim)
+            continue;
+        if (data_only && a.type != AccessType::Data)
+            continue;
+        out.push_back(a);
+    }
+    return out;
+}
+
+SecurityCheck
+compareTraces(const std::vector<VisibleAccess> &a,
+              const std::vector<VisibleAccess> &b)
+{
+    SecurityCheck res;
+    res.lenA = a.size();
+    res.lenB = b.size();
+    const std::size_t n = std::min(a.size(), b.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!(a[i] == b[i])) {
+            res.holds = false;
+            res.divergeIndex = i;
+            return res;
+        }
+    }
+    if (a.size() != b.size()) {
+        res.holds = false;
+        res.divergeIndex = n;
+    }
+    return res;
+}
+
+/** Run the sender once on a fresh system; returns the victim trace. */
+std::vector<VisibleAccess>
+runOnce(SchemeKind scheme, const SenderParams &params, unsigned secret,
+        bool mistrain, bool data_only)
+{
+    Hierarchy hier(HierarchyConfig::small());
+    MainMemory mem;
+    Core victim(CoreConfig{}, 0, hier, mem);
+    victim.setScheme(makeScheme(scheme));
+    AttackerAgent attacker(hier, 1);
+    TrialHarness harness(hier, mem, victim, attacker);
+
+    const SenderProgram sp = buildSender(params, hier);
+    harness.prepare(sp, secret);
+    if (!mistrain) {
+        // Override the harness's mis-training: train the correct
+        // (not-taken) direction so no mis-speculation occurs.
+        victim.predictor().train(sp.branchPc, false, 8);
+    }
+    harness.run(sp);
+    return victimTrace(hier, victim.id(), data_only);
+}
+
+} // namespace
+
+SecurityCheck
+checkIdealInvisibleSpeculation(SchemeKind scheme,
+                               const SenderParams &params,
+                               unsigned secret)
+{
+    const auto spec = runOnce(scheme, params, secret, true, true);
+    const auto nospec = runOnce(scheme, params, secret, false, true);
+    return compareTraces(spec, nospec);
+}
+
+SecurityCheck
+checkSecretIndependence(SchemeKind scheme, const SenderParams &params)
+{
+    const auto t0 = runOnce(scheme, params, 0, true, false);
+    const auto t1 = runOnce(scheme, params, 1, true, false);
+    return compareTraces(t0, t1);
+}
+
+} // namespace specint

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Security definitions from paper §5.1, made executable.
+ *
+ * Ideal invisible speculation: for any execution E, the visible LLC
+ * access pattern C(E) must equal C(NoSpec(E)), where NoSpec(E) is the
+ * execution with no mis-speculation. We realise NoSpec(E) by training
+ * the victim's branch predictor to the architecturally correct
+ * direction, and compare visible *data* access traces. (The paper's
+ * basic defense serialises execution but does not hide speculative
+ * instruction fetch, so the property is stated over data accesses;
+ * the complementary secret-independence check below covers the I-side
+ * channel too.)
+ *
+ * Secret independence: C(E[secret=0]) == C(E[secret=1]) under
+ * identical prediction behaviour — "no cache covert channel for this
+ * sender", the property the attacks falsify.
+ */
+
+#ifndef SPECINT_ATTACK_SECURITY_HH
+#define SPECINT_ATTACK_SECURITY_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "attack/gadget.hh"
+#include "spec/scheme.hh"
+
+namespace specint
+{
+
+/** Outcome of a trace-equivalence check. */
+struct SecurityCheck
+{
+    bool holds = true;
+    /** Index of the first diverging trace entry (if !holds). */
+    std::size_t divergeIndex = 0;
+    std::size_t lenA = 0;
+    std::size_t lenB = 0;
+};
+
+/**
+ * Check C(E) == C(NoSpec(E)) over visible *data* LLC accesses for a
+ * sender program under @p scheme, for the given secret.
+ */
+SecurityCheck
+checkIdealInvisibleSpeculation(SchemeKind scheme,
+                               const SenderParams &params,
+                               unsigned secret);
+
+/**
+ * Check C(E[0]) == C(E[1]) (full visible trace, data + instruction)
+ * for a mis-trained sender under @p scheme.
+ */
+SecurityCheck
+checkSecretIndependence(SchemeKind scheme, const SenderParams &params);
+
+} // namespace specint
+
+#endif // SPECINT_ATTACK_SECURITY_HH

@@ -1,0 +1,33 @@
+#include "cpu/branch_predictor.hh"
+
+namespace specint
+{
+
+bool
+BranchPredictor::predict(std::uint32_t pc) const
+{
+    const auto it = table_.find(pc);
+    return it != table_.end() && it->second >= 2;
+}
+
+void
+BranchPredictor::update(std::uint32_t pc, bool taken)
+{
+    std::uint8_t &ctr = table_[pc];
+    if (taken) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+}
+
+void
+BranchPredictor::train(std::uint32_t pc, bool taken, unsigned times)
+{
+    for (unsigned i = 0; i < times; ++i)
+        update(pc, taken);
+}
+
+} // namespace specint

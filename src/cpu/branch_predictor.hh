@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Branch direction predictor.
+ *
+ * A bimodal table of 2-bit saturating counters indexed by PC. The
+ * attacks mis-train the victim's branch the same way Spectre does
+ * (§4.1: "we trigger branch mispredictions by training the target
+ * branch in a given direction"): the train() helper performs repeated
+ * updates in the desired direction. A noise hook lets the channel
+ * experiments model occasional mis-training failure.
+ */
+
+#ifndef SPECINT_CPU_BRANCH_PREDICTOR_HH
+#define SPECINT_CPU_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace specint
+{
+
+class BranchPredictor
+{
+  public:
+    /** Predicted direction for the branch at @p pc. */
+    bool predict(std::uint32_t pc) const;
+
+    /** Update with the resolved direction. */
+    void update(std::uint32_t pc, bool taken);
+
+    /** Mis-training helper: @p times consecutive updates. */
+    void train(std::uint32_t pc, bool taken, unsigned times = 4);
+
+    /** Forget everything. */
+    void reset() { table_.clear(); }
+
+  private:
+    /** 2-bit counters; >=2 predicts taken. Default: weakly not-taken. */
+    std::unordered_map<std::uint32_t, std::uint8_t> table_;
+};
+
+} // namespace specint
+
+#endif // SPECINT_CPU_BRANCH_PREDICTOR_HH

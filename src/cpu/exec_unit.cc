@@ -1,0 +1,89 @@
+#include "cpu/exec_unit.hh"
+
+namespace specint
+{
+
+void
+PortSet::reset()
+{
+    busyUntil_.fill(0);
+    lastIssueCycle_.fill(kTickMax);
+    holder_.fill(kSeqNumInvalid);
+    holderSpec_.fill(false);
+}
+
+void
+PortSet::beginCycle(Tick)
+{
+    // lastIssueCycle_ entries naturally age out; nothing to do. The
+    // hook exists so future contention counters can be added cheaply.
+}
+
+bool
+PortSet::canIssue(std::uint8_t port, Tick now) const
+{
+    if (busyUntil_[port] > now)
+        return false;
+    if (lastIssueCycle_[port] == now)
+        return false;
+    return true;
+}
+
+int
+PortSet::selectPort(Op op, Tick now) const
+{
+    for (std::uint8_t p : opTraits(op).ports)
+        if (canIssue(p, now))
+            return p;
+    return -1;
+}
+
+void
+PortSet::issue(std::uint8_t port, Op op, Tick now, Tick busy_until,
+               SeqNum holder, bool holder_speculative)
+{
+    lastIssueCycle_[port] = now;
+    if (!opTraits(op).pipelined) {
+        busyUntil_[port] = busy_until;
+        holder_[port] = holder;
+        holderSpec_[port] = holder_speculative;
+    }
+}
+
+void
+PortSet::releaseIfHeldBy(SeqNum holder)
+{
+    for (unsigned p = 0; p < kNumPorts; ++p) {
+        if (holder_[p] == holder) {
+            busyUntil_[p] = 0;
+            holder_[p] = kSeqNumInvalid;
+            holderSpec_[p] = false;
+        }
+    }
+}
+
+void
+PortSet::squashYoungerThan(SeqNum bound)
+{
+    for (unsigned p = 0; p < kNumPorts; ++p) {
+        if (holder_[p] != kSeqNumInvalid && holder_[p] > bound) {
+            busyUntil_[p] = 0;
+            holder_[p] = kSeqNumInvalid;
+            holderSpec_[p] = false;
+        }
+    }
+}
+
+SeqNum
+PortSet::preempt(std::uint8_t port, SeqNum requester)
+{
+    const SeqNum h = holder_[port];
+    if (h == kSeqNumInvalid || !holderSpec_[port] || h <= requester)
+        return kSeqNumInvalid;
+    busyUntil_[port] = 0;
+    holder_[port] = kSeqNumInvalid;
+    holderSpec_[port] = false;
+    return h;
+}
+
+} // namespace specint

@@ -1,0 +1,110 @@
+#include "cpu/isa.hh"
+
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace specint
+{
+
+const OpTraits &
+opTraits(Op op)
+{
+    // Port bindings mirror the Kaby Lake assignments the paper relies
+    // on (§4.2.1): VSQRTPD/VDIVPD are single-uop, low-throughput ops on
+    // port 0; loads use ports 2/3; stores port 4; branches port 6.
+    // IntAlu prefers ports away from port 0 so that ALU traffic does
+    // not accidentally perturb the non-pipelined unit experiments.
+    static const OpTraits nop{1, true, {5, 6, 1, 0}};
+    static const OpTraits alu{1, true, {5, 6, 1, 0}};
+    static const OpTraits mul{4, true, {1}};
+    static const OpTraits sqrt{15, false, {0}};
+    static const OpTraits div{14, false, {0}};
+    static const OpTraits load{1, true, {2, 3}};
+    static const OpTraits store{1, true, {4}};
+    static const OpTraits branch{1, true, {6, 0}};
+    static const OpTraits fence{1, true, {5, 6, 1, 0}};
+    static const OpTraits halt{1, true, {5, 6, 1, 0}};
+
+    switch (op) {
+      case Op::Nop: return nop;
+      case Op::IntAlu: return alu;
+      case Op::IntMul: return mul;
+      case Op::FpSqrt: return sqrt;
+      case Op::FpDiv: return div;
+      case Op::Load: return load;
+      case Op::Store: return store;
+      case Op::Branch: return branch;
+      case Op::Fence: return fence;
+      case Op::Halt: return halt;
+    }
+    panic("opTraits: unknown op");
+}
+
+std::string
+opName(Op op)
+{
+    switch (op) {
+      case Op::Nop: return "nop";
+      case Op::IntAlu: return "add";
+      case Op::IntMul: return "mul";
+      case Op::FpSqrt: return "vsqrtpd";
+      case Op::FpDiv: return "vdivpd";
+      case Op::Load: return "load";
+      case Op::Store: return "store";
+      case Op::Branch: return "br";
+      case Op::Fence: return "fence";
+      case Op::Halt: return "halt";
+    }
+    return "?";
+}
+
+bool
+evalCond(BranchCond cond, std::uint64_t a, std::uint64_t b)
+{
+    switch (cond) {
+      case BranchCond::LT: return a < b;
+      case BranchCond::GE: return a >= b;
+      case BranchCond::EQ: return a == b;
+      case BranchCond::NE: return a != b;
+    }
+    panic("evalCond: unknown condition");
+}
+
+std::string
+disassemble(const StaticInst &si)
+{
+    std::ostringstream os;
+    os << opName(si.op);
+    auto reg = [](RegId r) {
+        return r == kNoReg ? std::string("-") : "r" + std::to_string(r);
+    };
+    switch (si.op) {
+      case Op::IntAlu:
+      case Op::IntMul:
+      case Op::FpSqrt:
+      case Op::FpDiv:
+        os << ' ' << reg(si.dst) << ", " << reg(si.src1) << ", "
+           << reg(si.src2) << ", #" << si.imm;
+        break;
+      case Op::Load:
+        os << ' ' << reg(si.dst) << ", [" << reg(si.src1) << '*'
+           << si.scale << " + " << si.imm << ']';
+        break;
+      case Op::Store:
+        os << " [" << reg(si.src1) << '*' << si.scale << " + " << si.imm
+           << "], " << reg(si.src2);
+        break;
+      case Op::Branch:
+        os << ' ' << reg(si.src1) << ", " << reg(si.src2) << " -> "
+           << si.target;
+        break;
+      default:
+        break;
+    }
+    if (!si.label.empty())
+        os << "  ; " << si.label;
+    return os.str();
+}
+
+} // namespace specint

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Micro-op ISA of the simulated out-of-order core.
+ *
+ * The ISA is deliberately small — just enough to express the paper's
+ * victim/attacker code patterns (Figs. 3-6): dependent ALU chains,
+ * long-latency non-pipelined FP ops (the VSQRTPD/VDIVPD instructions
+ * the D-Cache PoC uses, §4.2.1), loads with scaled register indexing
+ * (for `load(&S[secret * 64])`), stores, conditional branches and
+ * fences.
+ */
+
+#ifndef SPECINT_CPU_ISA_HH
+#define SPECINT_CPU_ISA_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace specint
+{
+
+/** Number of architectural registers. */
+constexpr unsigned kNumRegs = 64;
+
+/** Register designator; kNoReg means "operand unused / reads as 0". */
+using RegId = std::uint8_t;
+constexpr RegId kNoReg = 0xff;
+
+/** Micro-op classes. */
+enum class Op : std::uint8_t
+{
+    Nop,     ///< no-op (also used as the I-cache PoC target marker)
+    IntAlu,  ///< dst = src1 + src2 + imm; 1 cycle, pipelined
+    IntMul,  ///< dst = src1 * src2 + imm; 4 cycles, pipelined
+    FpSqrt,  ///< VSQRTPD analogue; long latency, NON-pipelined, port 0
+    FpDiv,   ///< VDIVPD analogue; long latency, NON-pipelined, port 0
+    Load,    ///< dst = mem[src1 * scale + imm]
+    Store,   ///< mem[src1 * scale + imm] = src2
+    Branch,  ///< conditional branch on (src1 cond src2), target = imm
+    Fence,   ///< software serialisation: issues when it is ROB head
+    Halt,    ///< stop fetching; program completes when this retires
+};
+
+/** Branch condition kinds. */
+enum class BranchCond : std::uint8_t { LT, GE, EQ, NE };
+
+/** One static instruction. */
+struct StaticInst
+{
+    Op op = Op::Nop;
+    RegId dst = kNoReg;
+    RegId src1 = kNoReg;
+    RegId src2 = kNoReg;
+    /** ALU immediate / memory displacement / (branches: unused). */
+    std::int64_t imm = 0;
+    /** Address scale for loads/stores: addr = r[src1]*scale + imm. */
+    std::uint32_t scale = 1;
+    /** Branch condition. */
+    BranchCond cond = BranchCond::NE;
+    /** Branch taken-target (index into the program). */
+    std::uint32_t target = 0;
+    /** Optional label used by experiments to find instructions. */
+    std::string label;
+
+    bool isLoad() const { return op == Op::Load; }
+    bool isStore() const { return op == Op::Store; }
+    bool isBranch() const { return op == Op::Branch; }
+    bool isMem() const { return isLoad() || isStore(); }
+    bool writesReg() const
+    {
+        return dst != kNoReg &&
+               (op == Op::IntAlu || op == Op::IntMul || op == Op::FpSqrt ||
+                op == Op::FpDiv || op == Op::Load);
+    }
+};
+
+/** Execution-resource description of an op class. */
+struct OpTraits
+{
+    Tick latency = 1;
+    bool pipelined = true;
+    /** Issue ports this op may use, in preference order. */
+    std::vector<std::uint8_t> ports;
+};
+
+/** Number of issue ports (Kaby Lake has 8, numbered 0-7; §4.1). */
+constexpr unsigned kNumPorts = 8;
+
+/** Resource traits for an op class. */
+const OpTraits &opTraits(Op op);
+
+/** Printable op name. */
+std::string opName(Op op);
+
+/** Evaluate a branch condition. */
+bool evalCond(BranchCond cond, std::uint64_t a, std::uint64_t b);
+
+/** Disassemble one instruction (debugging aid). */
+std::string disassemble(const StaticInst &si);
+
+} // namespace specint
+
+#endif // SPECINT_CPU_ISA_HH

@@ -1,0 +1,65 @@
+#include "cpu/lsq.hh"
+
+#include <cassert>
+
+namespace specint
+{
+
+bool
+Lsq::allocate(const DynInst &inst)
+{
+    if (inst.isLoad()) {
+        if (lqFull())
+            return false;
+        ++loads_;
+    } else if (inst.isStore()) {
+        if (sqFull())
+            return false;
+        ++stores_;
+    }
+    return true;
+}
+
+void
+Lsq::release(const DynInst &inst)
+{
+    if (inst.isLoad()) {
+        assert(loads_ > 0);
+        --loads_;
+    } else if (inst.isStore()) {
+        assert(stores_ > 0);
+        --stores_;
+    }
+}
+
+DisambigResult
+Lsq::check(const DynInst &load, const Rob &rob) const
+{
+    assert(load.isLoad());
+    DisambigResult res;
+    const Addr word = load.effAddr & ~static_cast<Addr>(7);
+
+    // Scan older stores youngest-first so the nearest matching store
+    // provides the forwarded value.
+    const DynInst *match = nullptr;
+    for (const auto &inst : rob) {
+        if (inst.seq >= load.seq)
+            break;
+        if (!inst.isStore())
+            continue;
+        if (!inst.executed()) {
+            // Address (and data) not known yet: conservative stall.
+            res.blocked = true;
+            return res;
+        }
+        if ((inst.effAddr & ~static_cast<Addr>(7)) == word)
+            match = &inst;
+    }
+    if (match) {
+        res.forward = true;
+        res.forwardValue = match->result;
+    }
+    return res;
+}
+
+} // namespace specint

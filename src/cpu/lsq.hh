@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Load/store queue: occupancy accounting plus memory disambiguation.
+ *
+ * The model is conservative (no memory-dependence speculation): a load
+ * may not issue while an older store's address is unknown, and a load
+ * whose word is covered by a completed older store forwards from the
+ * store queue without touching the cache. This keeps the memory model
+ * simple while preserving the properties the attacks use (loads hitting
+ * the cache hierarchy at issue time).
+ */
+
+#ifndef SPECINT_CPU_LSQ_HH
+#define SPECINT_CPU_LSQ_HH
+
+#include "cpu/rob.hh"
+
+namespace specint
+{
+
+/** Outcome of the disambiguation check for a load about to issue. */
+struct DisambigResult
+{
+    /** Load must wait: some older store's address is unknown. */
+    bool blocked = false;
+    /** Load can forward from an older store. */
+    bool forward = false;
+    std::uint64_t forwardValue = 0;
+};
+
+class Lsq
+{
+  public:
+    Lsq(unsigned lq_size = 72, unsigned sq_size = 56)
+        : lqSize_(lq_size), sqSize_(sq_size)
+    {}
+
+    bool lqFull() const { return loads_ >= lqSize_; }
+    bool sqFull() const { return stores_ >= sqSize_; }
+    unsigned loads() const { return loads_; }
+    unsigned stores() const { return stores_; }
+
+    /** Dispatch-time allocation. @return false if no space. */
+    bool allocate(const DynInst &inst);
+    /** Retire/squash-time release. */
+    void release(const DynInst &inst);
+
+    /**
+     * Check whether @p load (already address-resolved) may issue given
+     * the older stores in @p rob, and whether it can forward.
+     */
+    DisambigResult check(const DynInst &load, const Rob &rob) const;
+
+    void clear() { loads_ = stores_ = 0; }
+
+  private:
+    unsigned lqSize_;
+    unsigned sqSize_;
+    unsigned loads_ = 0;
+    unsigned stores_ = 0;
+};
+
+} // namespace specint
+
+#endif // SPECINT_CPU_LSQ_HH

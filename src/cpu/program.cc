@@ -1,0 +1,179 @@
+#include "cpu/program.hh"
+
+#include <cassert>
+#include <sstream>
+
+namespace specint
+{
+
+unsigned
+Program::add(StaticInst si)
+{
+    code_.push_back(std::move(si));
+    return static_cast<unsigned>(code_.size() - 1);
+}
+
+unsigned
+Program::nop(std::string label)
+{
+    StaticInst si;
+    si.op = Op::Nop;
+    si.label = std::move(label);
+    return add(si);
+}
+
+unsigned
+Program::alu(RegId dst, RegId src1, RegId src2, std::int64_t imm,
+             std::string label)
+{
+    StaticInst si;
+    si.op = Op::IntAlu;
+    si.dst = dst;
+    si.src1 = src1;
+    si.src2 = src2;
+    si.imm = imm;
+    si.label = std::move(label);
+    return add(si);
+}
+
+unsigned
+Program::movi(RegId dst, std::int64_t imm, std::string label)
+{
+    return alu(dst, kNoReg, kNoReg, imm, std::move(label));
+}
+
+unsigned
+Program::mul(RegId dst, RegId src1, RegId src2, std::int64_t imm,
+             std::string label)
+{
+    StaticInst si;
+    si.op = Op::IntMul;
+    si.dst = dst;
+    si.src1 = src1;
+    si.src2 = src2;
+    si.imm = imm;
+    si.label = std::move(label);
+    return add(si);
+}
+
+unsigned
+Program::sqrt(RegId dst, RegId src1, std::string label)
+{
+    StaticInst si;
+    si.op = Op::FpSqrt;
+    si.dst = dst;
+    si.src1 = src1;
+    si.label = std::move(label);
+    return add(si);
+}
+
+unsigned
+Program::fdiv(RegId dst, RegId src1, std::string label)
+{
+    StaticInst si;
+    si.op = Op::FpDiv;
+    si.dst = dst;
+    si.src1 = src1;
+    si.label = std::move(label);
+    return add(si);
+}
+
+unsigned
+Program::load(RegId dst, RegId base, std::int64_t disp,
+              std::uint32_t scale, std::string label)
+{
+    StaticInst si;
+    si.op = Op::Load;
+    si.dst = dst;
+    si.src1 = base;
+    si.imm = disp;
+    si.scale = scale;
+    si.label = std::move(label);
+    return add(si);
+}
+
+unsigned
+Program::store(RegId base, RegId value, std::int64_t disp,
+               std::uint32_t scale, std::string label)
+{
+    StaticInst si;
+    si.op = Op::Store;
+    si.src1 = base;
+    si.src2 = value;
+    si.imm = disp;
+    si.scale = scale;
+    si.label = std::move(label);
+    return add(si);
+}
+
+unsigned
+Program::branch(BranchCond cond, RegId src1, RegId src2,
+                std::uint32_t target, std::string label)
+{
+    StaticInst si;
+    si.op = Op::Branch;
+    si.cond = cond;
+    si.src1 = src1;
+    si.src2 = src2;
+    si.target = target;
+    si.label = std::move(label);
+    return add(si);
+}
+
+unsigned
+Program::fence(std::string label)
+{
+    StaticInst si;
+    si.op = Op::Fence;
+    si.label = std::move(label);
+    return add(si);
+}
+
+unsigned
+Program::halt()
+{
+    StaticInst si;
+    si.op = Op::Halt;
+    return add(si);
+}
+
+void
+Program::setReg(RegId reg, std::uint64_t value)
+{
+    assert(reg < kNumRegs);
+    regs_[reg] = value;
+}
+
+void
+Program::setBranchTarget(unsigned branch_idx, std::uint32_t target)
+{
+    assert(branch_idx < code_.size() && code_[branch_idx].isBranch());
+    code_[branch_idx].target = target;
+}
+
+void
+Program::setImmediate(unsigned idx, std::int64_t imm)
+{
+    assert(idx < code_.size());
+    code_[idx].imm = imm;
+}
+
+int
+Program::findLabel(const std::string &label) const
+{
+    for (std::size_t i = 0; i < code_.size(); ++i)
+        if (code_[i].label == label)
+            return static_cast<int>(i);
+    return -1;
+}
+
+std::string
+Program::listing() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < code_.size(); ++i)
+        os << i << ":\t" << disassemble(code_[i]) << '\n';
+    return os.str();
+}
+
+} // namespace specint

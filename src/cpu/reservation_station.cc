@@ -1,0 +1,27 @@
+#include "cpu/reservation_station.hh"
+
+#include <cassert>
+
+namespace specint
+{
+
+void
+ReservationStation::allocate(DynInst &inst)
+{
+    assert(!full());
+    assert(!inst.inRs);
+    inst.inRs = true;
+    ++used_;
+}
+
+void
+ReservationStation::release(DynInst &inst)
+{
+    if (!inst.inRs)
+        return;
+    inst.inRs = false;
+    assert(used_ > 0);
+    --used_;
+}
+
+} // namespace specint

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Unified reservation station occupancy tracking.
+ *
+ * The RS is the finite structure the G^I_RS gadget congests (§3.2.2,
+ * Fig. 5): dispatch stalls when it is full, which back-throttles the
+ * frontend. Entries are normally freed at issue; under the advanced
+ * defense's "no early release" rule (§5.4) they are held until retire,
+ * which is exactly what makes RS occupancy operand-independent.
+ *
+ * Membership itself is tracked on the DynInst (inRs flag); this class
+ * owns the capacity accounting so the two free-policies stay in one
+ * place.
+ */
+
+#ifndef SPECINT_CPU_RESERVATION_STATION_HH
+#define SPECINT_CPU_RESERVATION_STATION_HH
+
+#include "cpu/rob.hh"
+
+namespace specint
+{
+
+class ReservationStation
+{
+  public:
+    explicit ReservationStation(unsigned capacity = 97)
+        : capacity_(capacity)
+    {}
+
+    unsigned capacity() const { return capacity_; }
+    unsigned occupancy() const { return used_; }
+    bool full() const { return used_ >= capacity_; }
+
+    /** Dispatch an instruction into the RS. */
+    void allocate(DynInst &inst);
+
+    /** Free @p inst's entry (no-op if it holds none). */
+    void release(DynInst &inst);
+
+    void clear() { used_ = 0; }
+
+  private:
+    unsigned capacity_;
+    unsigned used_ = 0;
+};
+
+} // namespace specint
+
+#endif // SPECINT_CPU_RESERVATION_STATION_HH

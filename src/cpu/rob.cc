@@ -1,0 +1,45 @@
+#include "cpu/rob.hh"
+
+#include <cassert>
+
+namespace specint
+{
+
+DynInst &
+Rob::push(DynInst inst)
+{
+    assert(!full());
+    assert(insts_.empty() || inst.seq == insts_.back().seq + 1);
+    insts_.push_back(std::move(inst));
+    return insts_.back();
+}
+
+DynInst *
+Rob::find(SeqNum seq)
+{
+    if (insts_.empty())
+        return nullptr;
+    const SeqNum head = insts_.front().seq;
+    if (seq < head || seq > insts_.back().seq)
+        return nullptr;
+    return &insts_[seq - head];
+}
+
+const DynInst *
+Rob::find(SeqNum seq) const
+{
+    return const_cast<Rob *>(this)->find(seq);
+}
+
+unsigned
+Rob::squashYoungerThan(SeqNum bound)
+{
+    unsigned n = 0;
+    while (!insts_.empty() && insts_.back().seq > bound) {
+        insts_.pop_back();
+        ++n;
+    }
+    return n;
+}
+
+} // namespace specint

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Dynamic instruction record and reorder buffer.
+ *
+ * DynInst carries everything a dynamic instruction accumulates on its
+ * way through the pipeline — renamed operands, issue/complete/writeback
+ * times, memory state, and the defense-related flags (deferred
+ * replacement updates, pending exposure accesses, delayed-until-safe
+ * phases) that the speculation schemes manipulate.
+ *
+ * The ROB is a bounded deque with contiguous sequence numbers, so
+ * lookup by SeqNum is O(1).
+ */
+
+#ifndef SPECINT_CPU_ROB_HH
+#define SPECINT_CPU_ROB_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "cpu/isa.hh"
+#include "sim/types.hh"
+
+namespace specint
+{
+
+/** Pipeline state of a dynamic instruction. */
+enum class InstState : std::uint8_t
+{
+    Dispatched, ///< in ROB + RS, waiting for operands / issue
+    Issued,     ///< executing on a functional unit
+    Completed,  ///< result ready, waiting for a writeback (CDB) slot
+    WrittenBack,///< result broadcast; eligible to retire
+    Retired,
+};
+
+/** Load-specific phase for the speculation schemes. */
+enum class LoadPhase : std::uint8_t
+{
+    None,         ///< not a load / nothing special
+    WaitSafe,     ///< delayed by the scheme until non-speculative
+    WaitMshr,     ///< L1 miss but the MSHR file is full
+    InFlight,     ///< memory access outstanding
+    Done,
+};
+
+/** One dynamic instruction. */
+struct DynInst
+{
+    SeqNum seq = kSeqNumInvalid;
+    std::uint32_t pc = 0;
+    StaticInst si;
+
+    InstState state = InstState::Dispatched;
+
+    /** @name Renamed operands */
+    /// @{
+    bool src1Ready = true;
+    bool src2Ready = true;
+    std::uint64_t src1Val = 0;
+    std::uint64_t src2Val = 0;
+    SeqNum src1Prod = kSeqNumInvalid;
+    SeqNum src2Prod = kSeqNumInvalid;
+    /** Earliest cycle the instruction may issue (operand readiness,
+     *  including the +1 writeback-to-issue delay). */
+    Tick readyAt = 0;
+    /// @}
+
+    /** @name Execution */
+    /// @{
+    int port = -1;
+    Tick dispatchedAt = 0;
+    Tick issuedAt = kTickMax;
+    Tick completeAt = kTickMax;
+    Tick wbAt = kTickMax;
+    Tick retiredAt = kTickMax;
+    std::uint64_t result = 0;
+    bool inRs = false;
+    /** Next cycle a blocked load should re-attempt issue. */
+    Tick retryAt = 0;
+    /// @}
+
+    /** @name Memory */
+    /// @{
+    Addr effAddr = kAddrInvalid;
+    int servedLevel = 0;
+    LoadPhase loadPhase = LoadPhase::None;
+    /** DoM: speculative L1 hit whose replacement update is deferred. */
+    bool deferredTouchPending = false;
+    /** InvisiSpec/SafeSpec/MuonTrap: visible exposure access pending. */
+    bool exposurePending = false;
+    /** Load was served by store-to-load forwarding. */
+    bool forwarded = false;
+    /// @}
+
+    /** @name Branch */
+    /// @{
+    bool predictedTaken = false;
+    bool actualTaken = false;
+    bool mispredicted = false;
+    bool resolved = false;
+    /// @}
+
+    /** I-fetch exposure: line whose visible fetch happens at retire
+     *  (schemes that protect the I-cache). */
+    Addr ifetchExposureLine = kAddrInvalid;
+
+    bool isLoad() const { return si.isLoad(); }
+    bool isStore() const { return si.isStore(); }
+    bool isBranch() const { return si.isBranch(); }
+
+    bool executed() const
+    {
+        return state == InstState::Completed ||
+               state == InstState::WrittenBack ||
+               state == InstState::Retired;
+    }
+    bool writtenBack() const
+    {
+        return state == InstState::WrittenBack ||
+               state == InstState::Retired;
+    }
+};
+
+/**
+ * Reorder buffer: bounded, ordered by SeqNum, contiguous.
+ */
+class Rob
+{
+  public:
+    explicit Rob(unsigned capacity = 224) : capacity_(capacity) {}
+
+    unsigned capacity() const { return capacity_; }
+    bool full() const { return insts_.size() >= capacity_; }
+    bool empty() const { return insts_.empty(); }
+    std::size_t size() const { return insts_.size(); }
+
+    /** Append at the tail. @return reference to the stored record. */
+    DynInst &push(DynInst inst);
+
+    /** O(1) lookup; nullptr if the seq is not in the ROB. */
+    DynInst *find(SeqNum seq);
+    const DynInst *find(SeqNum seq) const;
+
+    DynInst &head() { return insts_.front(); }
+    const DynInst &head() const { return insts_.front(); }
+
+    /** Pop the head (must be retired by the caller first). */
+    void popHead() { insts_.pop_front(); }
+
+    /**
+     * Remove every instruction younger than @p bound (seq > bound).
+     * @return number removed.
+     */
+    unsigned squashYoungerThan(SeqNum bound);
+
+    /** @name Iteration (age order: oldest first) */
+    /// @{
+    auto begin() { return insts_.begin(); }
+    auto end() { return insts_.end(); }
+    auto begin() const { return insts_.begin(); }
+    auto end() const { return insts_.end(); }
+    /// @}
+
+    void clear() { insts_.clear(); }
+
+  private:
+    unsigned capacity_;
+    std::deque<DynInst> insts_;
+};
+
+} // namespace specint
+
+#endif // SPECINT_CPU_ROB_HH

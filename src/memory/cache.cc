@@ -1,0 +1,146 @@
+#include "memory/cache.hh"
+
+#include <cassert>
+
+#include "sim/log.hh"
+
+namespace specint
+{
+
+CacheArray::CacheArray(CacheGeometry geo)
+    : geo_(std::move(geo)),
+      policy_(makePolicy(geo_.policy, geo_.qlru)),
+      lines_(geo_.sets * geo_.ways),
+      repl_(geo_.sets, SetReplState(geo_.ways))
+{
+    assert(geo_.sets > 0 && geo_.ways > 0);
+}
+
+unsigned
+CacheArray::setIndex(Addr addr) const
+{
+    return static_cast<unsigned>(lineNumber(addr) % geo_.sets);
+}
+
+int
+CacheArray::findWay(unsigned set, Addr line_num) const
+{
+    const Line *row = &lines_[static_cast<std::size_t>(set) * geo_.ways];
+    for (unsigned w = 0; w < geo_.ways; ++w)
+        if (row[w].valid && row[w].lineNum == line_num)
+            return static_cast<int>(w);
+    return -1;
+}
+
+int
+CacheArray::findFree(unsigned set) const
+{
+    const Line *row = &lines_[static_cast<std::size_t>(set) * geo_.ways];
+    for (unsigned w = 0; w < geo_.ways; ++w)
+        if (!row[w].valid)
+            return static_cast<int>(w);
+    return -1;
+}
+
+bool
+CacheArray::contains(Addr addr) const
+{
+    return findWay(setIndex(addr), lineNumber(addr)) >= 0;
+}
+
+bool
+CacheArray::touch(Addr addr)
+{
+    const unsigned set = setIndex(addr);
+    const int way = findWay(set, lineNumber(addr));
+    if (way < 0) {
+        ++stats_.misses;
+        return false;
+    }
+    policy_->onHit(repl_[set], static_cast<unsigned>(way));
+    ++stats_.hits;
+    return true;
+}
+
+Addr
+CacheArray::fill(Addr addr)
+{
+    const unsigned set = setIndex(addr);
+    const Addr line_num = lineNumber(addr);
+    assert(findWay(set, line_num) < 0 && "fill of resident line");
+
+    Line *row = &lines_[static_cast<std::size_t>(set) * geo_.ways];
+    Addr evicted = kAddrInvalid;
+
+    int way = findFree(set);
+    if (way < 0) {
+        way = static_cast<int>(policy_->victim(repl_[set]));
+        assert(row[way].valid);
+        evicted = row[way].lineNum << kLineShift;
+        ++stats_.evictions;
+    }
+
+    row[way].valid = true;
+    row[way].lineNum = line_num;
+    policy_->onInsert(repl_[set], static_cast<unsigned>(way));
+    ++stats_.fills;
+    return evicted;
+}
+
+bool
+CacheArray::invalidate(Addr addr)
+{
+    const unsigned set = setIndex(addr);
+    const int way = findWay(set, lineNumber(addr));
+    if (way < 0)
+        return false;
+    lines_[static_cast<std::size_t>(set) * geo_.ways + way].valid = false;
+    ++stats_.invalidations;
+    return true;
+}
+
+void
+CacheArray::reset()
+{
+    for (auto &l : lines_)
+        l.valid = false;
+    for (auto &r : repl_)
+        r.resize(geo_.ways);
+    stats_ = CacheArrayStats{};
+}
+
+void
+CacheArray::deferredTouch(Addr addr)
+{
+    const unsigned set = setIndex(addr);
+    const int way = findWay(set, lineNumber(addr));
+    if (way >= 0)
+        policy_->onHit(repl_[set], static_cast<unsigned>(way));
+}
+
+std::vector<WaySnapshot>
+CacheArray::snapshotSet(unsigned set) const
+{
+    assert(set < geo_.sets);
+    std::vector<WaySnapshot> out(geo_.ways);
+    const Line *row = &lines_[static_cast<std::size_t>(set) * geo_.ways];
+    for (unsigned w = 0; w < geo_.ways; ++w) {
+        out[w].valid = row[w].valid;
+        out[w].lineAddr =
+            row[w].valid ? (row[w].lineNum << kLineShift) : kAddrInvalid;
+        out[w].age = repl_[set].age[w];
+    }
+    return out;
+}
+
+unsigned
+CacheArray::occupancy(unsigned set) const
+{
+    unsigned n = 0;
+    const Line *row = &lines_[static_cast<std::size_t>(set) * geo_.ways];
+    for (unsigned w = 0; w < geo_.ways; ++w)
+        n += row[w].valid ? 1 : 0;
+    return n;
+}
+
+} // namespace specint

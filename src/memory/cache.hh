@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Set-associative cache array.
+ *
+ * CacheArray models the tag/state array of one cache (or one LLC
+ * slice): lookup, replacement-updating touch, fill with victim
+ * selection, invalidation (clflush analogue) and *deferred* touches.
+ * Deferred touches support Delay-on-Miss: a speculative L1 hit returns
+ * data but its replacement update is buffered and only applied when
+ * the load becomes non-speculative (or dropped on squash).
+ *
+ * Timing lives in Hierarchy; CacheArray is purely state.
+ */
+
+#ifndef SPECINT_MEMORY_CACHE_HH
+#define SPECINT_MEMORY_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "memory/replacement.hh"
+#include "sim/types.hh"
+
+namespace specint
+{
+
+/** Static geometry + policy configuration of one cache array. */
+struct CacheGeometry
+{
+    std::string name = "cache";
+    unsigned sets = 64;
+    unsigned ways = 8;
+    ReplKind policy = ReplKind::Lru;
+    QlruVariant qlru = QlruVariant::h11m1r0u0();
+
+    unsigned capacityBytes() const { return sets * ways * kLineBytes; }
+};
+
+/** Snapshot of one way used by tests and the Fig. 8 reproduction. */
+struct WaySnapshot
+{
+    bool valid = false;
+    Addr lineAddr = kAddrInvalid;
+    std::uint8_t age = 0;
+};
+
+/** Occupancy/hit counters for one array. */
+struct CacheArrayStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t fills = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t invalidations = 0;
+};
+
+/**
+ * One set-associative tag array.
+ *
+ * Addresses handed in are full byte addresses; the array internally
+ * works on line numbers. Set index = lineNumber % sets (callers that
+ * slice the LLC hash the slice bits out before constructing the
+ * per-slice line number — see Hierarchy).
+ */
+class CacheArray
+{
+  public:
+    explicit CacheArray(CacheGeometry geo);
+
+    const CacheGeometry &geometry() const { return geo_; }
+
+    /** Set index for an address. */
+    unsigned setIndex(Addr addr) const;
+
+    /** Is the line present? No state change. */
+    bool contains(Addr addr) const;
+
+    /**
+     * Access the line: on hit, apply the replacement update and return
+     * true; on miss return false (no fill — caller decides).
+     */
+    bool touch(Addr addr);
+
+    /** Probe: hit/miss without any replacement update (DoM probe). */
+    bool probe(Addr addr) const { return contains(addr); }
+
+    /**
+     * Fill the line (must not already be present), selecting a victim
+     * if the set is full.
+     * @return the evicted line address, or kAddrInvalid if none.
+     */
+    Addr fill(Addr addr);
+
+    /** Remove the line if present. @return true if it was present. */
+    bool invalidate(Addr addr);
+
+    /** Drop every line (power-on reset). */
+    void reset();
+
+    /**
+     * Apply a replacement update for a line touched speculatively in
+     * the past (DoM's deferred update). No-op if the line has since
+     * been evicted.
+     */
+    void deferredTouch(Addr addr);
+
+    /** Per-way snapshot of one set, for tests and Fig. 8. */
+    std::vector<WaySnapshot> snapshotSet(unsigned set) const;
+
+    /** Number of valid lines in a set. */
+    unsigned occupancy(unsigned set) const;
+
+    const CacheArrayStats &stats() const { return stats_; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        Addr lineNum = 0;
+    };
+
+    /** Find the way holding @p line_num in @p set, or -1. */
+    int findWay(unsigned set, Addr line_num) const;
+    /** Find the leftmost invalid way in @p set, or -1. */
+    int findFree(unsigned set) const;
+
+    CacheGeometry geo_;
+    std::unique_ptr<ReplacementPolicy> policy_;
+    std::vector<Line> lines_;          // sets * ways, row-major
+    std::vector<SetReplState> repl_;   // one per set
+    CacheArrayStats stats_;
+};
+
+} // namespace specint
+
+#endif // SPECINT_MEMORY_CACHE_HH

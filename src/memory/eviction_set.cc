@@ -1,0 +1,55 @@
+#include "memory/eviction_set.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace specint
+{
+
+namespace
+{
+
+bool
+excluded(Addr line, const std::vector<Addr> &exclude)
+{
+    return std::find(exclude.begin(), exclude.end(), line) !=
+           exclude.end();
+}
+
+} // namespace
+
+std::vector<Addr>
+buildEvictionSet(const Hierarchy &hier, Addr target, unsigned count,
+                 Addr search_base, const std::vector<Addr> &exclude)
+{
+    const unsigned want_set = hier.llcSetIndex(target);
+    const unsigned want_slice = hier.llcSliceIndex(target);
+    const Addr target_line = lineAlign(target);
+
+    std::vector<Addr> out;
+    Addr cand = lineAlign(search_base);
+    // The scan is bounded generously; congruent lines recur every
+    // sets*slices lines, so this cannot realistically be hit.
+    const Addr limit = cand + (static_cast<Addr>(1) << 34);
+    while (out.size() < count && cand < limit) {
+        if (cand != target_line && !excluded(cand, exclude) &&
+            hier.llcSetIndex(cand) == want_set &&
+            hier.llcSliceIndex(cand) == want_slice) {
+            out.push_back(cand);
+        }
+        cand += kLineBytes;
+    }
+    if (out.size() < count)
+        fatal("buildEvictionSet: could not find enough congruent lines");
+    return out;
+}
+
+Addr
+findCongruentAddr(const Hierarchy &hier, Addr target, Addr search_base,
+                  const std::vector<Addr> &exclude)
+{
+    return buildEvictionSet(hier, target, 1, search_base, exclude)[0];
+}
+
+} // namespace specint

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Eviction set construction (paper §4.1).
+ *
+ * The D-Cache PoC needs sets of line addresses that map to the same
+ * LLC set *and slice* as a target address. On real hardware this is
+ * done with timing-based group testing; in the simulator the slice
+ * hash and set index are queryable, so we search the address space
+ * directly, which models an attacker that has already recovered the
+ * mapping.
+ */
+
+#ifndef SPECINT_MEMORY_EVICTION_SET_HH
+#define SPECINT_MEMORY_EVICTION_SET_HH
+
+#include <vector>
+
+#include "memory/hierarchy.hh"
+#include "sim/types.hh"
+
+namespace specint
+{
+
+/**
+ * Find @p count distinct line addresses congruent with @p target
+ * (same LLC set index and slice), none equal to @p target's line and
+ * none contained in @p exclude.
+ *
+ * @param hier        hierarchy providing set/slice mapping
+ * @param target      address whose set/slice to match
+ * @param count       number of lines wanted
+ * @param search_base first candidate address (lines scanned upward)
+ * @param exclude     line addresses that must not be reused
+ */
+std::vector<Addr>
+buildEvictionSet(const Hierarchy &hier, Addr target, unsigned count,
+                 Addr search_base = 0x10000000,
+                 const std::vector<Addr> &exclude = {});
+
+/**
+ * Find an address congruent with @p target (same LLC set and slice)
+ * that is not @p target's line and not in @p exclude. Used to place
+ * the victim's second load (B) or the attacker's reference access in
+ * the monitored set.
+ */
+Addr
+findCongruentAddr(const Hierarchy &hier, Addr target,
+                  Addr search_base = 0x40000000,
+                  const std::vector<Addr> &exclude = {});
+
+} // namespace specint
+
+#endif // SPECINT_MEMORY_EVICTION_SET_HH

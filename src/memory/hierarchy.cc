@@ -1,0 +1,246 @@
+#include "memory/hierarchy.hh"
+
+#include <cassert>
+
+#include "sim/log.hh"
+
+namespace specint
+{
+
+HierarchyConfig
+HierarchyConfig::small()
+{
+    HierarchyConfig cfg;
+    cfg.cores = 2;
+    cfg.l1i = {"l1i", 16, 4, ReplKind::Lru, QlruVariant::h11m1r0u0()};
+    cfg.l1d = {"l1d", 16, 4, ReplKind::Lru, QlruVariant::h11m1r0u0()};
+    cfg.l2 = {"l2", 64, 4, ReplKind::Lru, QlruVariant::h11m1r0u0()};
+    cfg.llcSlice = {"llc", 64, 16, ReplKind::Qlru,
+                    QlruVariant::h11m1r0u0()};
+    cfg.llcSlices = 2;
+    return cfg;
+}
+
+HierarchyConfig
+HierarchyConfig::kabyLake()
+{
+    HierarchyConfig cfg;
+    cfg.cores = 2;
+    // 32 KB 8-way L1s, 256 KB 4-way L2, 8 MB 16-way LLC in 4 slices.
+    cfg.l1i = {"l1i", 64, 8, ReplKind::Lru, QlruVariant::h11m1r0u0()};
+    cfg.l1d = {"l1d", 64, 8, ReplKind::Lru, QlruVariant::h11m1r0u0()};
+    cfg.l2 = {"l2", 1024, 4, ReplKind::Lru, QlruVariant::h11m1r0u0()};
+    cfg.llcSlice = {"llc", 2048, 16, ReplKind::Qlru,
+                    QlruVariant::h11m1r0u0()};
+    cfg.llcSlices = 4;
+    return cfg;
+}
+
+std::uint64_t
+MainMemory::read(Addr addr) const
+{
+    const auto it = words_.find(addr & ~static_cast<Addr>(7));
+    return it == words_.end() ? 0 : it->second;
+}
+
+void
+MainMemory::write(Addr addr, std::uint64_t value)
+{
+    words_[addr & ~static_cast<Addr>(7)] = value;
+}
+
+Hierarchy::Hierarchy(HierarchyConfig cfg)
+    : cfg_(std::move(cfg))
+{
+    assert(cfg_.cores >= 1);
+    assert((cfg_.llcSlices & (cfg_.llcSlices - 1)) == 0 &&
+           "llcSlices must be a power of two");
+    for (unsigned c = 0; c < cfg_.cores; ++c) {
+        l1i_.emplace_back(cfg_.l1i);
+        l1d_.emplace_back(cfg_.l1d);
+        l2_.emplace_back(cfg_.l2);
+    }
+    for (unsigned s = 0; s < cfg_.llcSlices; ++s)
+        llc_.emplace_back(cfg_.llcSlice);
+}
+
+unsigned
+Hierarchy::llcSliceIndex(Addr addr) const
+{
+    // XOR-folded slice hash over the line number: the standard
+    // academic stand-in for Intel's undocumented complex hash. All
+    // line-number bits influence the slice, as on real hardware.
+    std::uint64_t h = lineNumber(addr);
+    h ^= h >> 17;
+    h ^= h >> 9;
+    h ^= h >> 5;
+    return static_cast<unsigned>(h & (cfg_.llcSlices - 1));
+}
+
+unsigned
+Hierarchy::llcSetIndex(Addr addr) const
+{
+    return llc_[0].setIndex(addr);
+}
+
+bool
+Hierarchy::llcContains(Addr addr) const
+{
+    return llc_[llcSliceIndex(addr)].contains(addr);
+}
+
+void
+Hierarchy::backInvalidate(Addr line_addr)
+{
+    for (unsigned c = 0; c < cfg_.cores; ++c) {
+        l1i_[c].invalidate(line_addr);
+        l1d_[c].invalidate(line_addr);
+        l2_[c].invalidate(line_addr);
+    }
+}
+
+void
+Hierarchy::llcFill(Addr addr)
+{
+    const Addr evicted = llc_[llcSliceIndex(addr)].fill(addr);
+    if (evicted != kAddrInvalid && cfg_.inclusiveLlc)
+        backInvalidate(evicted);
+}
+
+MemAccessResult
+Hierarchy::access(CoreId core, Addr addr, AccessType type, Tick now)
+{
+    assert(core < cfg_.cores);
+    MemAccessResult res;
+    CacheArray &l1 = (type == AccessType::Instr) ? l1i_[core] : l1d_[core];
+
+    res.latency = cfg_.l1Latency;
+    if (l1.touch(addr)) {
+        res.level = 1;
+        res.l1Hit = true;
+        return res;
+    }
+
+    res.latency += cfg_.l2Latency;
+    if (l2_[core].touch(addr)) {
+        res.level = 2;
+        l1.fill(addr);
+        return res;
+    }
+
+    // The request reaches the shared LLC: this is a visible access and
+    // enters the C(E) trace regardless of hit/miss (both change LLC
+    // replacement state).
+    trace_.push_back({core, lineAlign(addr), now, type});
+
+    res.latency += cfg_.llcLatency;
+    CacheArray &slice = llc_[llcSliceIndex(addr)];
+    if (slice.touch(addr)) {
+        res.level = 3;
+        res.llcHit = true;
+        l2_[core].fill(addr);
+        l1.fill(addr);
+        return res;
+    }
+
+    res.latency += cfg_.memLatency;
+    res.level = 4;
+    llcFill(addr);
+    l2_[core].fill(addr);
+    l1.fill(addr);
+    return res;
+}
+
+MemAccessResult
+Hierarchy::accessInvisible(CoreId core, Addr addr, AccessType type,
+                           Tick) const
+{
+    assert(core < cfg_.cores);
+    MemAccessResult res;
+    const CacheArray &l1 =
+        (type == AccessType::Instr) ? l1i_[core] : l1d_[core];
+
+    res.latency = cfg_.l1Latency;
+    if (l1.contains(addr)) {
+        res.level = 1;
+        res.l1Hit = true;
+        return res;
+    }
+    res.latency += cfg_.l2Latency;
+    if (l2_[core].contains(addr)) {
+        res.level = 2;
+        return res;
+    }
+    res.latency += cfg_.llcLatency;
+    if (llc_[llcSliceIndex(addr)].contains(addr)) {
+        res.level = 3;
+        res.llcHit = true;
+        return res;
+    }
+    res.latency += cfg_.memLatency;
+    res.level = 4;
+    return res;
+}
+
+MemAccessResult
+Hierarchy::accessDirect(CoreId core, Addr addr, Tick now)
+{
+    MemAccessResult res;
+    trace_.push_back({core, lineAlign(addr), now, AccessType::Data});
+
+    res.latency = cfg_.llcLatency;
+    CacheArray &slice = llc_[llcSliceIndex(addr)];
+    if (slice.touch(addr)) {
+        res.level = 3;
+        res.llcHit = true;
+        return res;
+    }
+    res.latency += cfg_.memLatency;
+    res.level = 4;
+    llcFill(addr);
+    return res;
+}
+
+bool
+Hierarchy::l1Probe(CoreId core, Addr addr, AccessType type) const
+{
+    const CacheArray &l1 =
+        (type == AccessType::Instr) ? l1i_[core] : l1d_[core];
+    return l1.contains(addr);
+}
+
+void
+Hierarchy::l1DeferredTouch(CoreId core, Addr addr, AccessType type)
+{
+    CacheArray &l1 =
+        (type == AccessType::Instr) ? l1i_[core] : l1d_[core];
+    l1.deferredTouch(addr);
+}
+
+void
+Hierarchy::flushLine(Addr addr)
+{
+    const Addr line = lineAlign(addr);
+    for (unsigned c = 0; c < cfg_.cores; ++c) {
+        l1i_[c].invalidate(line);
+        l1d_[c].invalidate(line);
+        l2_[c].invalidate(line);
+    }
+    llc_[llcSliceIndex(line)].invalidate(line);
+}
+
+void
+Hierarchy::reset()
+{
+    for (auto &c : l1i_)
+        c.reset();
+    for (auto &c : l1d_)
+        c.reset();
+    for (auto &c : l2_)
+        c.reset();
+    for (auto &c : llc_)
+        c.reset();
+    trace_.clear();
+}
+
+} // namespace specint

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Multi-core cache hierarchy: per-core private L1-I/L1-D/L2 and a
+ * shared, sliced, inclusive LLC — the i7-7700 organisation the paper
+ * evaluates on (§4.1).
+ *
+ * Two properties matter for the attacks and are modelled explicitly:
+ *
+ *  1. A *visible LLC access trace*: every access that reaches the LLC
+ *     (L1 and L2 missed, or a direct attacker access) is recorded in
+ *     order. This trace is the paper's C(E) — the observable the ideal
+ *     invisible speculation definition (§5.1) quantifies over — and the
+ *     physical substrate of the replacement-state receiver.
+ *
+ *  2. *Invisible* accesses (InvisiSpec-style): return the data latency
+ *     a request would experience but change no cache state at any
+ *     level and do not appear in the trace.
+ *
+ * The attacker runs on another physical core. Real attackers bypass
+ * their own private caches with clflush between rounds; we model that
+ * directly with accessDirect(), an LLC-level client (substitution
+ * documented in DESIGN.md).
+ */
+
+#ifndef SPECINT_MEMORY_HIERARCHY_HH
+#define SPECINT_MEMORY_HIERARCHY_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "memory/cache.hh"
+#include "sim/types.hh"
+
+namespace specint
+{
+
+/** Data vs instruction-fetch access. */
+enum class AccessType { Data, Instr };
+
+/** Full hierarchy configuration. */
+struct HierarchyConfig
+{
+    unsigned cores = 2;
+
+    CacheGeometry l1i{"l1i", 64, 8, ReplKind::Lru,
+                      QlruVariant::h11m1r0u0()};
+    CacheGeometry l1d{"l1d", 64, 8, ReplKind::Lru,
+                      QlruVariant::h11m1r0u0()};
+    CacheGeometry l2{"l2", 1024, 4, ReplKind::Lru,
+                     QlruVariant::h11m1r0u0()};
+    /** Geometry of one LLC slice. */
+    CacheGeometry llcSlice{"llc", 2048, 16, ReplKind::Qlru,
+                           QlruVariant::h11m1r0u0()};
+    /** Number of LLC slices (power of two). */
+    unsigned llcSlices = 4;
+
+    Tick l1Latency = 4;
+    Tick l2Latency = 12;
+    Tick llcLatency = 40;
+    Tick memLatency = 200;
+
+    /** Inclusive LLC: LLC evictions back-invalidate private copies. */
+    bool inclusiveLlc = true;
+
+    /** Small config for fast unit tests. */
+    static HierarchyConfig small();
+    /** i7-7700-like default. */
+    static HierarchyConfig kabyLake();
+};
+
+/** Result of one memory access. */
+struct MemAccessResult
+{
+    /** Cycles from issue to data return. */
+    Tick latency = 0;
+    /** Level that served the data: 1=L1, 2=L2, 3=LLC, 4=memory. */
+    int level = 4;
+    bool l1Hit = false;
+    bool llcHit = false;
+};
+
+/** One entry in the visible LLC access trace (C(E)). */
+struct VisibleAccess
+{
+    CoreId core = 0;
+    Addr lineAddr = 0;
+    Tick when = 0;
+    AccessType type = AccessType::Data;
+
+    bool operator==(const VisibleAccess &o) const
+    {
+        // Timing is deliberately excluded: the paper's attacker "sees
+        // the sequence (without timing information) of visible L2
+        // accesses" (§5.1).
+        return core == o.core && lineAddr == o.lineAddr && type == o.type;
+    }
+};
+
+/** Functional backing store: 64-bit words, default-zero. */
+class MainMemory
+{
+  public:
+    std::uint64_t read(Addr addr) const;
+    void write(Addr addr, std::uint64_t value);
+    void clear() { words_.clear(); }
+
+  private:
+    std::unordered_map<Addr, std::uint64_t> words_;
+};
+
+/**
+ * The full multi-core hierarchy.
+ */
+class Hierarchy
+{
+  public:
+    explicit Hierarchy(HierarchyConfig cfg = HierarchyConfig::small());
+
+    const HierarchyConfig &config() const { return cfg_; }
+
+    /**
+     * Visible access from a core: fills and replacement updates apply
+     * at every level; the LLC trace is appended to if the request
+     * reaches the LLC.
+     */
+    MemAccessResult access(CoreId core, Addr addr, AccessType type,
+                           Tick now);
+
+    /**
+     * Invisible access (InvisiSpec/SafeSpec speculative request):
+     * latency as if performed, but no state change and no trace entry.
+     */
+    MemAccessResult accessInvisible(CoreId core, Addr addr,
+                                    AccessType type, Tick now) const;
+
+    /**
+     * Direct LLC client access (attacker agent). Skips private caches:
+     * models a receiver that flushes its own private copies between
+     * rounds, as real cross-core attacks do.
+     */
+    MemAccessResult accessDirect(CoreId core, Addr addr, Tick now);
+
+    /** L1 probe with no state change (Delay-on-Miss hit check). */
+    bool l1Probe(CoreId core, Addr addr, AccessType type) const;
+
+    /** Apply a DoM deferred L1 replacement update. */
+    void l1DeferredTouch(CoreId core, Addr addr, AccessType type);
+
+    /** clflush analogue: remove the line from every cache. */
+    void flushLine(Addr addr);
+
+    /** Reset all arrays and the trace. */
+    void reset();
+
+    /** @name Visible LLC access trace (the paper's C(E)). */
+    /// @{
+    const std::vector<VisibleAccess> &llcTrace() const { return trace_; }
+    void clearLlcTrace() { trace_.clear(); }
+    /// @}
+
+    /** @name Introspection for receivers / tests. */
+    /// @{
+    bool llcContains(Addr addr) const;
+    unsigned llcSliceIndex(Addr addr) const;
+    unsigned llcSetIndex(Addr addr) const;
+    CacheArray &llcSlice(unsigned idx) { return llc_[idx]; }
+    const CacheArray &llcSlice(unsigned idx) const { return llc_[idx]; }
+    CacheArray &l1d(CoreId core) { return l1d_[core]; }
+    CacheArray &l1i(CoreId core) { return l1i_[core]; }
+    CacheArray &l2(CoreId core) { return l2_[core]; }
+    /// @}
+
+    /** Classification threshold: latency below this is an "LLC hit"
+     *  for a direct (attacker) access. */
+    Tick llcHitThreshold() const
+    {
+        return cfg_.llcLatency + cfg_.memLatency / 2;
+    }
+
+  private:
+    /** Fill @p addr into the LLC, back-invalidating on eviction. */
+    void llcFill(Addr addr);
+    /** Back-invalidate a line evicted from the inclusive LLC. */
+    void backInvalidate(Addr line_addr);
+
+    HierarchyConfig cfg_;
+    std::vector<CacheArray> l1i_;
+    std::vector<CacheArray> l1d_;
+    std::vector<CacheArray> l2_;
+    std::vector<CacheArray> llc_;
+    std::vector<VisibleAccess> trace_;
+};
+
+} // namespace specint
+
+#endif // SPECINT_MEMORY_HIERARCHY_HH

@@ -1,0 +1,105 @@
+#include "memory/mshr.hh"
+
+#include <algorithm>
+
+namespace specint
+{
+
+void
+MshrFile::expire(Tick now)
+{
+    std::erase_if(live_, [now](const MshrEntry &e) {
+        return e.readyAt <= now;
+    });
+}
+
+unsigned
+MshrFile::inUse(Tick now)
+{
+    expire(now);
+    return static_cast<unsigned>(live_.size());
+}
+
+bool
+MshrFile::hasEntry(Addr addr, Tick now)
+{
+    expire(now);
+    const Addr line = lineAlign(addr);
+    for (const auto &e : live_)
+        if (e.lineAddr == line)
+            return true;
+    return false;
+}
+
+bool
+MshrFile::allocate(Addr addr, Tick now, Tick ready_at, SeqNum seq,
+                   bool speculative)
+{
+    expire(now);
+    const Addr line = lineAlign(addr);
+    for (auto &e : live_) {
+        if (e.lineAddr == line) {
+            ++e.targets;
+            return true;
+        }
+    }
+    if (live_.size() >= entries_)
+        return false;
+    MshrEntry e;
+    e.lineAddr = line;
+    e.readyAt = ready_at;
+    e.targets = 1;
+    e.allocSeq = seq;
+    e.speculative = speculative;
+    live_.push_back(e);
+    return true;
+}
+
+Tick
+MshrFile::readyAt(Addr addr, Tick now)
+{
+    expire(now);
+    const Addr line = lineAlign(addr);
+    for (const auto &e : live_)
+        if (e.lineAddr == line)
+            return e.readyAt;
+    return kTickMax;
+}
+
+Tick
+MshrFile::earliestReady(Tick now)
+{
+    expire(now);
+    Tick best = kTickMax;
+    for (const auto &e : live_)
+        best = std::min(best, e.readyAt);
+    return best;
+}
+
+bool
+MshrFile::preemptYoungestSpeculative(Tick now)
+{
+    expire(now);
+    auto victim = live_.end();
+    for (auto it = live_.begin(); it != live_.end(); ++it) {
+        if (!it->speculative)
+            continue;
+        if (victim == live_.end() || it->allocSeq > victim->allocSeq)
+            victim = it;
+    }
+    if (victim == live_.end())
+        return false;
+    live_.erase(victim);
+    return true;
+}
+
+void
+MshrFile::squashYoungerThan(SeqNum bound)
+{
+    std::erase_if(live_, [bound](const MshrEntry &e) {
+        return e.speculative && e.allocSeq != kSeqNumInvalid &&
+               e.allocSeq > bound;
+    });
+}
+
+} // namespace specint

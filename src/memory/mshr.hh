@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Miss status holding registers (MSHRs).
+ *
+ * The G^D_MSHR gadget (paper §3.2.2, Fig. 4) works by exhausting the
+ * L1-D MSHR file with M speculative misses to distinct lines, so the
+ * MSHR model must capture: a fixed number of entries, merging of
+ * requests to the same line into one entry, and allocation in issue
+ * order. Entries free when their miss completes.
+ */
+
+#ifndef SPECINT_MEMORY_MSHR_HH
+#define SPECINT_MEMORY_MSHR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace specint
+{
+
+/** One in-flight miss. */
+struct MshrEntry
+{
+    Addr lineAddr = kAddrInvalid;
+    /** Cycle at which the miss data returns and the entry frees. */
+    Tick readyAt = kTickMax;
+    /** Number of requests merged into this entry. */
+    unsigned targets = 0;
+    /** Sequence number of the (youngest) speculative allocator, used
+     *  by AdvancedDefense to preempt speculative holders. */
+    SeqNum allocSeq = kSeqNumInvalid;
+    bool speculative = false;
+};
+
+/**
+ * Fixed-capacity MSHR file for one L1-D cache.
+ */
+class MshrFile
+{
+  public:
+    explicit MshrFile(unsigned entries = 10) : entries_(entries) {}
+
+    unsigned capacity() const { return entries_; }
+
+    /** Entries currently allocated at time @p now (after expiry). */
+    unsigned inUse(Tick now);
+
+    bool full(Tick now) { return inUse(now) >= entries_; }
+
+    /** Is there already an entry for this line? */
+    bool hasEntry(Addr addr, Tick now);
+
+    /**
+     * Allocate an entry (or merge into an existing one) for a miss on
+     * @p addr completing at @p ready_at.
+     * @return true on success; false if the file is full and no merge
+     *         is possible (the load must retry later).
+     */
+    bool allocate(Addr addr, Tick now, Tick ready_at,
+                  SeqNum seq = kSeqNumInvalid, bool speculative = false);
+
+    /**
+     * Completion time of the entry covering @p addr (kTickMax if none).
+     */
+    Tick readyAt(Addr addr, Tick now);
+
+    /**
+     * Earliest completion time over all live entries (kTickMax if the
+     * file is empty) — when a blocked load should retry.
+     */
+    Tick earliestReady(Tick now);
+
+    /**
+     * Free the youngest speculative entry (AdvancedDefense "squashable
+     * resource" rule). @return true if one was freed.
+     */
+    bool preemptYoungestSpeculative(Tick now);
+
+    /** Drop entries allocated by squashed instructions (seq > bound). */
+    void squashYoungerThan(SeqNum bound);
+
+    /** Drop everything. */
+    void reset() { live_.clear(); }
+
+  private:
+    /** Remove entries whose data has returned. */
+    void expire(Tick now);
+
+    unsigned entries_;
+    std::vector<MshrEntry> live_;
+};
+
+} // namespace specint
+
+#endif // SPECINT_MEMORY_MSHR_HH

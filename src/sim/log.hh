@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Minimal leveled logging, modelled on gem5's inform()/warn()/panic()
+ * message functions. Debug tracing is gated by a runtime level so the
+ * hot simulation loop pays only a branch when tracing is off.
+ */
+
+#ifndef SPECINT_SIM_LOG_HH
+#define SPECINT_SIM_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace specint
+{
+
+enum class LogLevel { Silent = 0, Warn = 1, Info = 2, Debug = 3, Trace = 4 };
+
+/** Global log verbosity (default: Warn). */
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+/** Emit a message if @p level is enabled. */
+void logMessage(LogLevel level, const std::string &msg);
+
+/** Informative message users should see at Info verbosity. */
+inline void
+inform(const std::string &msg)
+{
+    logMessage(LogLevel::Info, msg);
+}
+
+/** Something works but is suspicious; always worth flagging. */
+inline void
+warn(const std::string &msg)
+{
+    logMessage(LogLevel::Warn, "warn: " + msg);
+}
+
+/**
+ * Unrecoverable internal invariant violation (simulator bug).
+ * Prints the message and aborts, following gem5 panic() semantics.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Unrecoverable user/configuration error.
+ * Prints the message and exits with status 1 (gem5 fatal() semantics).
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+} // namespace specint
+
+#endif // SPECINT_SIM_LOG_HH

@@ -1,0 +1,27 @@
+#include "sim/noise.hh"
+
+namespace specint
+{
+
+NoiseConfig
+NoiseConfig::calibrated()
+{
+    NoiseConfig cfg;
+    // Values chosen so that a single-trial bit has roughly a 15-25%
+    // raw error probability, matching the high-rate end of Fig. 11.
+    cfg.mistrainFailProb = 0.12;
+    cfg.loadJitterProb = 0.15;
+    cfg.loadJitterMax = 60;
+    cfg.strayEvictionProb = 0.10;
+    return cfg;
+}
+
+Tick
+NoiseModel::loadJitter()
+{
+    if (cfg_.loadJitterMax == 0 || !rng_.chance(cfg_.loadJitterProb))
+        return 0;
+    return rng_.range(1, cfg_.loadJitterMax);
+}
+
+} // namespace specint

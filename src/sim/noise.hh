@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Measurement/system noise model.
+ *
+ * The paper's PoCs run on real hardware and therefore experience
+ * ambient noise: branch mis-training occasionally fails, loads take
+ * variable time (TLB walks, prefetcher interference), and other
+ * processes evict monitored lines between prime and probe. Our
+ * substrate is a deterministic simulator, so the error-rate-vs-bit-rate
+ * trade-off of Figure 11 would collapse to a step function without an
+ * explicit noise source. NoiseModel injects calibrated perturbations so
+ * that the channel exhibits the paper's qualitative behaviour; all
+ * draws come from a seeded Rng for reproducibility.
+ */
+
+#ifndef SPECINT_SIM_NOISE_HH
+#define SPECINT_SIM_NOISE_HH
+
+#include <cstdint>
+
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace specint
+{
+
+/** Tunable probabilities/magnitudes for the injected noise sources. */
+struct NoiseConfig
+{
+    /** Probability that branch mis-training fails for one trial
+     *  (the victim branch predicts correctly, so no gadget runs). */
+    double mistrainFailProb = 0.0;
+
+    /** Probability that a given load suffers a random extra delay
+     *  (models TLB misses / bank conflicts / prefetcher effects). */
+    double loadJitterProb = 0.0;
+
+    /** Maximum extra cycles added when load jitter fires. */
+    Tick loadJitterMax = 0;
+
+    /** Probability that a third party evicts a line from the monitored
+     *  LLC set between the attacker's prime and probe phases. */
+    double strayEvictionProb = 0.0;
+
+    /** No noise at all (unit-test mode). */
+    static NoiseConfig none() { return NoiseConfig{}; }
+
+    /** Calibration that yields paper-like Fig. 11 curves. */
+    static NoiseConfig calibrated();
+};
+
+/**
+ * Stateful sampler over a NoiseConfig. One instance is shared per
+ * experiment so all noise derives from a single seed.
+ */
+class NoiseModel
+{
+  public:
+    explicit NoiseModel(NoiseConfig cfg = NoiseConfig::none(),
+                        std::uint64_t seed = 1)
+        : cfg_(cfg), rng_(seed)
+    {}
+
+    const NoiseConfig &config() const { return cfg_; }
+
+    /** Does branch mis-training fail for this trial? */
+    bool mistrainFails() { return rng_.chance(cfg_.mistrainFailProb); }
+
+    /** Extra latency (possibly 0) to add to one load. */
+    Tick loadJitter();
+
+    /** Does a stray eviction hit the monitored set this trial? */
+    bool strayEviction() { return rng_.chance(cfg_.strayEvictionProb); }
+
+    Rng &rng() { return rng_; }
+
+  private:
+    NoiseConfig cfg_;
+    Rng rng_;
+};
+
+} // namespace specint
+
+#endif // SPECINT_SIM_NOISE_HH

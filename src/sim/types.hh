@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module in the simulator.
+ *
+ * The simulator is cycle-driven: all timing is expressed in core clock
+ * cycles of type Tick. Addresses are byte addresses of type Addr; cache
+ * lines are a fixed 64 bytes throughout, matching the Kaby Lake machine
+ * the paper evaluates on.
+ */
+
+#ifndef SPECINT_SIM_TYPES_HH
+#define SPECINT_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace specint
+{
+
+/** Core clock cycle count. */
+using Tick = std::uint64_t;
+
+/** Byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/** Sentinel for "never" / "not scheduled". */
+constexpr Tick kTickMax = std::numeric_limits<Tick>::max();
+
+/** Sentinel for an invalid address. */
+constexpr Addr kAddrInvalid = std::numeric_limits<Addr>::max();
+
+/** Cache line size in bytes (fixed, as on the paper's Kaby Lake). */
+constexpr unsigned kLineBytes = 64;
+
+/** log2(kLineBytes), used for address decomposition. */
+constexpr unsigned kLineShift = 6;
+
+/** Align an address down to its cache line base. */
+constexpr Addr
+lineAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(kLineBytes - 1);
+}
+
+/** Line number of an address (address >> log2(line size)). */
+constexpr Addr
+lineNumber(Addr a)
+{
+    return a >> kLineShift;
+}
+
+/** Identifier for a hardware client of the shared cache (core id). */
+using CoreId = std::uint8_t;
+
+/** Dynamic instruction sequence number; strictly increasing per core. */
+using SeqNum = std::uint64_t;
+
+constexpr SeqNum kSeqNumInvalid = std::numeric_limits<SeqNum>::max();
+
+} // namespace specint
+
+#endif // SPECINT_SIM_TYPES_HH

@@ -1,0 +1,3 @@
+#include "spec/advanced.hh"
+
+// AdvancedDefenseScheme is header-only; anchored here.

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The paper's sketched advanced defense (§5.4), layered on top of
+ * Delay-on-Miss cache protection:
+ *
+ *  Rule 1 — *no early release*: a speculative instruction holds its
+ *  hardware resources (RS entry; modelled via holdRsUntilRetire) until
+ *  it is non-speculative or squashed, making occupancy duration
+ *  operand-independent.
+ *
+ *  Rule 2 — *never delay an older instruction*: age-priority issue
+ *  with squashable non-pipelined EUs (older ready instructions preempt
+ *  younger speculative occupants) and speculative-MSHR preemption.
+ *
+ * Together these close the interference channels (gadget can no longer
+ * delay the target) while DoM still blocks direct cache-state changes.
+ */
+
+#ifndef SPECINT_SPEC_ADVANCED_HH
+#define SPECINT_SPEC_ADVANCED_HH
+
+#include "spec/scheme.hh"
+
+namespace specint
+{
+
+class AdvancedDefenseScheme : public Scheme
+{
+  public:
+    /** Individual rules can be disabled for the ablation bench. */
+    struct Rules
+    {
+        bool holdResources = true;  ///< rule 1
+        bool agePriority = true;    ///< rule 2 (EUs)
+        bool mshrPreemption = true; ///< rule 2 (MSHRs)
+    };
+
+    AdvancedDefenseScheme() : AdvancedDefenseScheme({true, true, true})
+    {}
+    /** @param base cache-protection policy the scheduler rules are
+     *  layered on: DelayOnMiss (DoM) by default, InvisibleRequest to
+     *  model the rules on an InvisiSpec-style substrate (whose
+     *  speculative misses occupy MSHRs and so exercise rule 2b). */
+    explicit AdvancedDefenseScheme(
+        Rules rules, SpecLoadPolicy base = SpecLoadPolicy::DelayOnMiss)
+        : rules_(rules), base_(base)
+    {}
+
+    std::string name() const override
+    {
+        return base_ == SpecLoadPolicy::DelayOnMiss
+                   ? "Advanced (DoM+prio)"
+                   : "Advanced (IS+prio)";
+    }
+    SafePoint safePoint() const override
+    {
+        return SafePoint::BranchesResolved;
+    }
+    SpecLoadPolicy specLoadPolicy() const override { return base_; }
+    SchedFlags schedFlags() const override
+    {
+        SchedFlags f;
+        f.strictAgePriority = rules_.agePriority;
+        f.holdRsUntilRetire = rules_.holdResources;
+        f.preemptSpecMshr = rules_.mshrPreemption;
+        return f;
+    }
+
+    const Rules &rules() const { return rules_; }
+
+  private:
+    Rules rules_;
+    SpecLoadPolicy base_ = SpecLoadPolicy::DelayOnMiss;
+};
+
+} // namespace specint
+
+#endif // SPECINT_SPEC_ADVANCED_HH

@@ -1,0 +1,3 @@
+#include "spec/conditional.hh"
+
+// ConditionalSpecScheme is header-only; anchored here.

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Conditional Speculation (Li et al., HPCA'19) — paper §2.2.
+ *
+ * "Suspect" speculative loads — cache misses — are delayed; cache hits
+ * proceed with their state changes deferred. We model it with DoM
+ * mechanics and a commit-time (ROB head) safe point, which is the
+ * classification the paper uses for it in §3.3.1: a design that
+ * "unprotects a load only when it becomes the oldest load or the
+ * oldest instruction in the ROB", making it immune to victim-victim
+ * reordering but still exposed to the attacker-reference (VD-AD)
+ * ordering attack.
+ */
+
+#ifndef SPECINT_SPEC_CONDITIONAL_HH
+#define SPECINT_SPEC_CONDITIONAL_HH
+
+#include "spec/scheme.hh"
+
+namespace specint
+{
+
+class ConditionalSpecScheme : public Scheme
+{
+  public:
+    std::string name() const override { return "Conditional Spec."; }
+    SafePoint safePoint() const override { return SafePoint::RobHead; }
+    SpecLoadPolicy specLoadPolicy() const override
+    {
+        return SpecLoadPolicy::DelayOnMiss;
+    }
+};
+
+} // namespace specint
+
+#endif // SPECINT_SPEC_CONDITIONAL_HH

@@ -1,0 +1,3 @@
+#include "spec/dom.hh"
+
+// DomScheme is header-only; anchored here.

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Delay-on-Miss (Sakalis et al., ISCA'19) — paper §2.2.
+ *
+ * Speculative loads that hit in the L1 execute and forward their
+ * results, but the replacement-state update is deferred until the load
+ * becomes non-speculative. Speculative L1 misses are delayed outright
+ * and re-executed at the safe point.
+ *
+ * Two shadow variants (§3.3.1):
+ *  - non-TSO: a load is safe once all older branches have resolved and
+ *    older memory addresses are known — multiple unprotected loads can
+ *    be in flight concurrently (vulnerable to VD-VD reordering).
+ *  - TSO: loads must additionally wait for older loads to complete,
+ *    so at most one unprotected load executes at a time.
+ *
+ * DoM does not protect the I-cache (§3.3.1, Table 1: vulnerable to
+ * G^I_RS via VI-AD).
+ */
+
+#ifndef SPECINT_SPEC_DOM_HH
+#define SPECINT_SPEC_DOM_HH
+
+#include "spec/scheme.hh"
+
+namespace specint
+{
+
+class DomScheme : public Scheme
+{
+  public:
+    explicit DomScheme(bool tso) : tso_(tso) {}
+
+    std::string name() const override
+    {
+        return tso_ ? "DoM (TSO)" : "DoM (non-TSO)";
+    }
+    SafePoint safePoint() const override
+    {
+        return tso_ ? SafePoint::TSO : SafePoint::BranchesResolved;
+    }
+    SpecLoadPolicy specLoadPolicy() const override
+    {
+        return SpecLoadPolicy::DelayOnMiss;
+    }
+
+  private:
+    bool tso_;
+};
+
+} // namespace specint
+
+#endif // SPECINT_SPEC_DOM_HH

@@ -1,0 +1,3 @@
+#include "spec/fence_defense.hh"
+
+// FenceDefenseScheme is header-only; anchored here.

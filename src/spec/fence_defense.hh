@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The paper's basic defense (§5.2): a hardware-inserted fence after
+ * every instruction that may cause a squash. Younger instructions may
+ * still be fetched and dispatched into the ROB, but may not *issue*
+ * until the fence-causing instruction is non-speculative.
+ *
+ *  - Spectre model: fences after branches only — an instruction may
+ *    not issue while an older branch is unresolved.
+ *  - Futuristic model: fences after anything that can squash; loads
+ *    can squash (memory consistency/faults), so instructions also wait
+ *    for all older loads to complete.
+ *
+ * This achieves *ideal invisible speculation* (§5.1): no instruction
+ * with a mis-speculated older instruction ever executes, so the
+ * visible LLC access pattern is squash-invariant. The cost is the
+ * dramatic slowdown Fig. 12 reports.
+ */
+
+#ifndef SPECINT_SPEC_FENCE_DEFENSE_HH
+#define SPECINT_SPEC_FENCE_DEFENSE_HH
+
+#include "spec/scheme.hh"
+
+namespace specint
+{
+
+class FenceDefenseScheme : public Scheme
+{
+  public:
+    explicit FenceDefenseScheme(bool futuristic)
+        : futuristic_(futuristic)
+    {}
+
+    std::string name() const override
+    {
+        return futuristic_ ? "Fence (Futuristic)" : "Fence (Spectre)";
+    }
+    SafePoint safePoint() const override
+    {
+        // Loads only issue once the gate below passes, at which point
+        // they are non-speculative; execute them visibly.
+        return futuristic_ ? SafePoint::TSO : SafePoint::BranchesResolved;
+    }
+    SpecLoadPolicy specLoadPolicy() const override
+    {
+        return SpecLoadPolicy::DelayAlways;
+    }
+
+    bool mayIssue(const IssueContext &ctx) const override
+    {
+        if (ctx.olderUnresolvedBranch)
+            return false;
+        if (futuristic_ && ctx.olderIncompleteLoad)
+            return false;
+        return true;
+    }
+
+  private:
+    bool futuristic_;
+};
+
+} // namespace specint
+
+#endif // SPECINT_SPEC_FENCE_DEFENSE_HH

@@ -1,0 +1,3 @@
+#include "spec/invisispec.hh"
+
+// InvisiSpecScheme is header-only; anchored here.

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * InvisiSpec (Yan et al., MICRO'18) — paper §2.2.
+ *
+ * Speculative loads issue *invisible* requests: data is brought to the
+ * core (into a speculative buffer) without changing cache state at any
+ * level. When the load becomes safe, an "exposure" access makes the
+ * fill visible. Invisible L1 misses still allocate MSHRs — the hook
+ * the G^D_MSHR gadget exploits.
+ *
+ * Modes (§5.2 terminology):
+ *  - Spectre: safe when all older branches have resolved.
+ *  - Futuristic: safe only at the ROB head (any older instruction
+ *    could squash).
+ *
+ * InvisiSpec does not protect instruction fetches (Table 1).
+ */
+
+#ifndef SPECINT_SPEC_INVISISPEC_HH
+#define SPECINT_SPEC_INVISISPEC_HH
+
+#include "spec/scheme.hh"
+
+namespace specint
+{
+
+class InvisiSpecScheme : public Scheme
+{
+  public:
+    explicit InvisiSpecScheme(bool futuristic) : futuristic_(futuristic)
+    {}
+
+    std::string name() const override
+    {
+        return futuristic_ ? "InvisiSpec (Futuristic)"
+                           : "InvisiSpec (Spectre)";
+    }
+    SafePoint safePoint() const override
+    {
+        return futuristic_ ? SafePoint::RobHead
+                           : SafePoint::BranchesResolved;
+    }
+    SpecLoadPolicy specLoadPolicy() const override
+    {
+        return SpecLoadPolicy::InvisibleRequest;
+    }
+
+  private:
+    bool futuristic_;
+};
+
+} // namespace specint
+
+#endif // SPECINT_SPEC_INVISISPEC_HH

@@ -1,0 +1,35 @@
+#include "spec/muontrap.hh"
+
+#include <algorithm>
+
+namespace specint
+{
+
+bool
+MuonTrapScheme::filterProbe(Addr line) const
+{
+    return std::any_of(filter_.begin(), filter_.end(),
+                       [line](const FilterLine &f) {
+                           return f.line == line;
+                       });
+}
+
+void
+MuonTrapScheme::filterFill(Addr line, SeqNum seq)
+{
+    if (filterProbe(line))
+        return;
+    if (filter_.size() >= filterLines_)
+        filter_.pop_front();
+    filter_.push_back({line, seq});
+}
+
+void
+MuonTrapScheme::filterSquashYoungerThan(SeqNum bound)
+{
+    std::erase_if(filter_, [bound](const FilterLine &f) {
+        return f.seq > bound;
+    });
+}
+
+} // namespace specint

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * MuonTrap (Ainsworth & Jones, ISCA'20) — paper §2.2.
+ *
+ * Speculative loads fill a small core-private *filter cache* (L0)
+ * instead of the main hierarchy; on commit the line is made visible,
+ * and on squash the speculatively filled lines are invalidated.
+ * Speculative misses still issue memory requests (and occupy MSHRs),
+ * so MuonTrap is vulnerable to G^D_MSHR (Table 1). It captures
+ * speculative instruction-side state too, so the I-cache channel of
+ * G^I_RS is closed.
+ */
+
+#ifndef SPECINT_SPEC_MUONTRAP_HH
+#define SPECINT_SPEC_MUONTRAP_HH
+
+#include <deque>
+
+#include "spec/scheme.hh"
+
+namespace specint
+{
+
+class MuonTrapScheme : public Scheme
+{
+  public:
+    /** @param filter_lines capacity of the L0 filter cache (lines). */
+    explicit MuonTrapScheme(unsigned filter_lines = 32)
+        : filterLines_(filter_lines)
+    {}
+
+    std::string name() const override { return "MuonTrap"; }
+    SafePoint safePoint() const override { return SafePoint::RobHead; }
+    SpecLoadPolicy specLoadPolicy() const override
+    {
+        return SpecLoadPolicy::InvisibleFilter;
+    }
+    bool protectsIFetch() const override { return true; }
+
+    bool filterProbe(Addr line) const override;
+    void filterFill(Addr line, SeqNum seq) override;
+    void filterSquashYoungerThan(SeqNum bound) override;
+    void reset() override { filter_.clear(); }
+
+  private:
+    struct FilterLine
+    {
+        Addr line;
+        SeqNum seq;
+    };
+
+    unsigned filterLines_;
+    /** FIFO-replacement fully associative filter cache. */
+    std::deque<FilterLine> filter_;
+};
+
+} // namespace specint
+
+#endif // SPECINT_SPEC_MUONTRAP_HH

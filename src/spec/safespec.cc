@@ -1,0 +1,3 @@
+#include "spec/safespec.hh"
+
+// SafeSpecScheme is header-only; anchored here.

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * SafeSpec (Khasawneh et al., DAC'19) — paper §2.2.
+ *
+ * Mechanically similar to InvisiSpec in this model: speculative loads
+ * go to shadow structures (invisible requests) and commit their cache
+ * effects when safe. SafeSpec shadows the I-cache as well, so
+ * speculative instruction fetches are also invisible (it is therefore
+ * *not* vulnerable to the G^I_RS/VI-AD attack — Table 1).
+ *
+ * Modes: wait-for-branch (WFB; safe when older branches resolved) and
+ * wait-for-commit (WFC; safe at ROB head).
+ */
+
+#ifndef SPECINT_SPEC_SAFESPEC_HH
+#define SPECINT_SPEC_SAFESPEC_HH
+
+#include "spec/scheme.hh"
+
+namespace specint
+{
+
+class SafeSpecScheme : public Scheme
+{
+  public:
+    explicit SafeSpecScheme(bool wait_for_commit) : wfc_(wait_for_commit)
+    {}
+
+    std::string name() const override
+    {
+        return wfc_ ? "SafeSpec (WFC)" : "SafeSpec (WFB)";
+    }
+    SafePoint safePoint() const override
+    {
+        return wfc_ ? SafePoint::RobHead : SafePoint::BranchesResolved;
+    }
+    SpecLoadPolicy specLoadPolicy() const override
+    {
+        return SpecLoadPolicy::InvisibleRequest;
+    }
+    bool protectsIFetch() const override { return true; }
+
+  private:
+    bool wfc_;
+};
+
+} // namespace specint
+
+#endif // SPECINT_SPEC_SAFESPEC_HH

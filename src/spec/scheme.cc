@@ -1,0 +1,83 @@
+#include "spec/scheme.hh"
+
+#include "sim/log.hh"
+#include "spec/advanced.hh"
+#include "spec/conditional.hh"
+#include "spec/dom.hh"
+#include "spec/fence_defense.hh"
+#include "spec/invisispec.hh"
+#include "spec/muontrap.hh"
+#include "spec/safespec.hh"
+#include "spec/unsafe.hh"
+
+namespace specint
+{
+
+Scheme::~Scheme() = default;
+
+std::vector<SchemeKind>
+attackedSchemes()
+{
+    return {
+        SchemeKind::DomNonTso,
+        SchemeKind::DomTso,
+        SchemeKind::InvisiSpecSpectre,
+        SchemeKind::InvisiSpecFuturistic,
+        SchemeKind::SafeSpecWfb,
+        SchemeKind::SafeSpecWfc,
+        SchemeKind::MuonTrap,
+        SchemeKind::ConditionalSpec,
+    };
+}
+
+std::vector<SchemeKind>
+allSchemes()
+{
+    std::vector<SchemeKind> out = {SchemeKind::Unsafe};
+    for (SchemeKind k : attackedSchemes())
+        out.push_back(k);
+    out.push_back(SchemeKind::FenceSpectre);
+    out.push_back(SchemeKind::FenceFuturistic);
+    out.push_back(SchemeKind::AdvancedDefense);
+    return out;
+}
+
+SchemePtr
+makeScheme(SchemeKind kind)
+{
+    switch (kind) {
+      case SchemeKind::Unsafe:
+        return std::make_unique<UnsafeScheme>();
+      case SchemeKind::DomNonTso:
+        return std::make_unique<DomScheme>(false);
+      case SchemeKind::DomTso:
+        return std::make_unique<DomScheme>(true);
+      case SchemeKind::InvisiSpecSpectre:
+        return std::make_unique<InvisiSpecScheme>(false);
+      case SchemeKind::InvisiSpecFuturistic:
+        return std::make_unique<InvisiSpecScheme>(true);
+      case SchemeKind::SafeSpecWfb:
+        return std::make_unique<SafeSpecScheme>(false);
+      case SchemeKind::SafeSpecWfc:
+        return std::make_unique<SafeSpecScheme>(true);
+      case SchemeKind::MuonTrap:
+        return std::make_unique<MuonTrapScheme>();
+      case SchemeKind::ConditionalSpec:
+        return std::make_unique<ConditionalSpecScheme>();
+      case SchemeKind::FenceSpectre:
+        return std::make_unique<FenceDefenseScheme>(false);
+      case SchemeKind::FenceFuturistic:
+        return std::make_unique<FenceDefenseScheme>(true);
+      case SchemeKind::AdvancedDefense:
+        return std::make_unique<AdvancedDefenseScheme>();
+    }
+    panic("makeScheme: unknown SchemeKind");
+}
+
+std::string
+schemeName(SchemeKind kind)
+{
+    return makeScheme(kind)->name();
+}
+
+} // namespace specint

@@ -1,0 +1,4 @@
+#include "spec/unsafe.hh"
+
+// UnsafeScheme is header-only; this translation unit anchors it in the
+// library alongside the other schemes.

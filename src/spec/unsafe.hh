@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Baseline: no protection. Speculative loads execute visibly, exactly
+ * like a conventional OoO processor — the configuration classic
+ * Spectre v1 leaks on.
+ */
+
+#ifndef SPECINT_SPEC_UNSAFE_HH
+#define SPECINT_SPEC_UNSAFE_HH
+
+#include "spec/scheme.hh"
+
+namespace specint
+{
+
+class UnsafeScheme : public Scheme
+{
+  public:
+    std::string name() const override { return "Unsafe"; }
+    SafePoint safePoint() const override { return SafePoint::Always; }
+    SpecLoadPolicy specLoadPolicy() const override
+    {
+        return SpecLoadPolicy::Visible;
+    }
+};
+
+} // namespace specint
+
+#endif // SPECINT_SPEC_UNSAFE_HH

@@ -1,0 +1,59 @@
+#include "workload/suite.hh"
+
+#include <cmath>
+
+#include "cpu/core.hh"
+#include "memory/hierarchy.hh"
+#include "sim/log.hh"
+
+namespace specint
+{
+
+OverheadReport
+runDefenseOverhead(const std::vector<SchemeKind> &schemes,
+                   const std::vector<WorkloadSpec> &suite)
+{
+    OverheadReport report;
+    report.schemes = schemes;
+    report.geomean.assign(schemes.size(), 0.0);
+
+    std::vector<double> log_sum(schemes.size(), 0.0);
+
+    for (const WorkloadSpec &spec : suite) {
+        const GeneratedWorkload wl = generateWorkload(spec);
+
+        OverheadRow row;
+        row.workload = spec.name;
+        for (std::size_t si = 0; si < schemes.size(); ++si) {
+            Hierarchy hier(HierarchyConfig::small());
+            MainMemory mem;
+            for (const auto &[addr, value] : wl.memInit)
+                mem.write(addr, value);
+            Core core(CoreConfig{}, 0, hier, mem);
+            core.setScheme(makeScheme(schemes[si]));
+            const CoreStats stats = core.run(wl.prog);
+            if (!stats.finished)
+                warn("workload " + spec.name + " under " +
+                     schemeName(schemes[si]) + " hit maxCycles");
+            row.cycles.push_back(stats.cycles);
+        }
+        for (std::size_t si = 0; si < schemes.size(); ++si) {
+            const double sd = static_cast<double>(row.cycles[si]) /
+                              static_cast<double>(row.cycles[0]);
+            row.slowdown.push_back(sd);
+            log_sum[si] += std::log(sd);
+        }
+        report.rows.push_back(std::move(row));
+    }
+
+    for (std::size_t si = 0; si < schemes.size(); ++si) {
+        report.geomean[si] = report.rows.empty()
+                                 ? 1.0
+                                 : std::exp(log_sum[si] /
+                                            static_cast<double>(
+                                                report.rows.size()));
+    }
+    return report;
+}
+
+} // namespace specint

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Defense-overhead experiment driver (Fig. 12).
+ *
+ * Runs each workload of the synthetic SPEC2017-archetype suite under a
+ * set of schemes and reports execution time normalised to the unsafe
+ * baseline, plus the geometric mean — the same rows Fig. 12 plots.
+ */
+
+#ifndef SPECINT_WORKLOAD_SUITE_HH
+#define SPECINT_WORKLOAD_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "spec/scheme.hh"
+#include "workload/generator.hh"
+
+namespace specint
+{
+
+/** One workload's results across schemes. */
+struct OverheadRow
+{
+    std::string workload;
+    /** Cycles per scheme, aligned with the scheme list passed in. */
+    std::vector<std::uint64_t> cycles;
+    /** Slowdown vs the first scheme (the baseline). */
+    std::vector<double> slowdown;
+};
+
+struct OverheadReport
+{
+    std::vector<SchemeKind> schemes;
+    std::vector<OverheadRow> rows;
+    /** Geomean slowdown per scheme (baseline = 1.0). */
+    std::vector<double> geomean;
+};
+
+/**
+ * Run the overhead experiment. The first scheme is the normalisation
+ * baseline (use SchemeKind::Unsafe).
+ */
+OverheadReport
+runDefenseOverhead(const std::vector<SchemeKind> &schemes,
+                   const std::vector<WorkloadSpec> &suite);
+
+} // namespace specint
+
+#endif // SPECINT_WORKLOAD_SUITE_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Architectural-transparency fuzz test: every speculation-safety
+ * scheme is a microarchitectural policy and must never change
+ * architectural results. Random workloads (spanning loads, stores,
+ * chases, data-dependent branches and FP ops) run under every scheme;
+ * the final architectural register file and memory effects must match
+ * the unsafe baseline exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core.hh"
+#include "memory/hierarchy.hh"
+#include "workload/generator.hh"
+
+namespace specint
+{
+namespace
+{
+
+struct ArchResult
+{
+    std::array<std::uint64_t, kNumRegs> regs{};
+    bool finished = false;
+    std::uint64_t retired = 0;
+};
+
+ArchResult
+runUnder(SchemeKind scheme, const GeneratedWorkload &wl)
+{
+    Hierarchy hier(HierarchyConfig::small());
+    MainMemory mem;
+    for (const auto &[a, v] : wl.memInit)
+        mem.write(a, v);
+    Core core(CoreConfig{}, 0, hier, mem);
+    core.setScheme(makeScheme(scheme));
+    const CoreStats stats = core.run(wl.prog);
+
+    ArchResult res;
+    res.finished = stats.finished;
+    res.retired = stats.retired;
+    for (unsigned r = 0; r < kNumRegs; ++r)
+        res.regs[r] = core.archReg(static_cast<RegId>(r));
+    return res;
+}
+
+class ArchEquivalence : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(ArchEquivalence, AllSchemesComputeTheSameResults)
+{
+    WorkloadSpec spec;
+    spec.name = "fuzz";
+    spec.instructions = 1200;
+    spec.loadFrac = 0.30;
+    spec.storeFrac = 0.08;
+    spec.branchFrac = 0.15;
+    spec.mulFrac = 0.05;
+    spec.sqrtFrac = 0.03;
+    spec.chaseFrac = 0.25;
+    spec.footprintLines = 512;
+    spec.branchTakenProb = 0.35;
+    spec.seed = GetParam();
+    const GeneratedWorkload wl = generateWorkload(spec);
+
+    const ArchResult baseline = runUnder(SchemeKind::Unsafe, wl);
+    ASSERT_TRUE(baseline.finished);
+
+    for (SchemeKind s : allSchemes()) {
+        if (s == SchemeKind::Unsafe)
+            continue;
+        const ArchResult res = runUnder(s, wl);
+        EXPECT_TRUE(res.finished) << schemeName(s);
+        EXPECT_EQ(res.retired, baseline.retired) << schemeName(s);
+        for (unsigned r = 0; r < kNumRegs; ++r) {
+            ASSERT_EQ(res.regs[r], baseline.regs[r])
+                << schemeName(s) << " diverges in r" << r
+                << " (seed " << GetParam() << ")";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArchEquivalence,
+                         ::testing::Values(11u, 23u, 37u, 59u, 71u,
+                                           97u),
+                         [](const auto &info) {
+                             return "seed" +
+                                    std::to_string(info.param);
+                         });
+
+} // namespace
+} // namespace specint

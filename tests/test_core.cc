@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Out-of-order core tests: functional correctness (dataflow, memory,
+ * branches, squash recovery) and the microarchitectural timing
+ * properties the attacks build on (non-pipelined EU occupancy, CDB
+ * bandwidth, MSHR limits, age-ordered issue).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core.hh"
+#include "memory/hierarchy.hh"
+#include "spec/unsafe.hh"
+
+namespace specint
+{
+namespace
+{
+
+class CoreTest : public ::testing::Test
+{
+  protected:
+    CoreTest() : hier(HierarchyConfig::small()), core(cfg(), 0, hier, mem)
+    {}
+
+    static CoreConfig cfg()
+    {
+        CoreConfig c;
+        c.maxCycles = 200000;
+        return c;
+    }
+
+    Hierarchy hier;
+    MainMemory mem;
+    Core core;
+};
+
+TEST_F(CoreTest, AluChainComputesArchitecturalResult)
+{
+    Program p;
+    p.movi(1, 5);
+    p.alu(2, 1, 1, 2); // r2 = 5 + 5 + 2
+    p.alu(3, 2, 1, 0); // r3 = 12 + 5
+    p.halt();
+    const CoreStats s = core.run(p);
+    EXPECT_TRUE(s.finished);
+    EXPECT_EQ(core.archReg(2), 12u);
+    EXPECT_EQ(core.archReg(3), 17u);
+}
+
+TEST_F(CoreTest, MulAndPassThroughOps)
+{
+    Program p;
+    p.movi(1, 6);
+    p.mul(2, 1, 1, 1); // 6*6+1
+    p.sqrt(3, 2);      // pass-through
+    p.fdiv(4, 3);
+    p.halt();
+    core.run(p);
+    EXPECT_EQ(core.archReg(2), 37u);
+    EXPECT_EQ(core.archReg(3), 37u);
+    EXPECT_EQ(core.archReg(4), 37u);
+}
+
+TEST_F(CoreTest, LoadReadsMemory)
+{
+    mem.write(0x1000, 99);
+    Program p;
+    p.load(1, kNoReg, 0x1000);
+    p.halt();
+    core.run(p);
+    EXPECT_EQ(core.archReg(1), 99u);
+}
+
+TEST_F(CoreTest, ScaledAddressing)
+{
+    mem.write(0x2000 + 3 * 64, 7);
+    Program p;
+    p.movi(1, 3);
+    p.load(2, 1, 0x2000, 64); // mem[3*64 + 0x2000]
+    p.halt();
+    core.run(p);
+    EXPECT_EQ(core.archReg(2), 7u);
+}
+
+TEST_F(CoreTest, StoreVisibleAfterRetire)
+{
+    Program p;
+    p.movi(1, 0x3000);
+    p.movi(2, 55);
+    p.store(1, 2, 0);
+    p.halt();
+    core.run(p);
+    EXPECT_EQ(mem.read(0x3000), 55u);
+}
+
+TEST_F(CoreTest, StoreToLoadForwarding)
+{
+    Program p;
+    p.movi(1, 0x4000);
+    p.movi(2, 77);
+    p.store(1, 2, 0);
+    p.load(3, 1, 0, 1, "fwd");
+    p.halt();
+    core.run(p);
+    EXPECT_EQ(core.archReg(3), 77u);
+    // The forwarded load must beat any plausible cache miss.
+    const auto *e = core.traceEntry("fwd");
+    ASSERT_NE(e, nullptr);
+    EXPECT_LT(e->completeAt - e->issuedAt,
+              hier.config().l2Latency + hier.config().l1Latency);
+}
+
+TEST_F(CoreTest, BranchTakenSkipsInstructions)
+{
+    Program p;
+    p.movi(1, 1);
+    p.movi(2, 2);
+    const unsigned br = p.branch(BranchCond::LT, 1, 2, 0); // 1 < 2: taken
+    p.movi(3, 111); // skipped
+    const unsigned tgt = p.movi(4, 222);
+    p.halt();
+    p.setBranchTarget(br, tgt);
+    core.run(p);
+    EXPECT_EQ(core.archReg(3), 0u);
+    EXPECT_EQ(core.archReg(4), 222u);
+}
+
+TEST_F(CoreTest, MispredictSquashRestoresState)
+{
+    // Branch is actually taken; untrained predictor says not-taken, so
+    // the wrong path (r3 = 111) executes transiently and must leave no
+    // architectural trace.
+    Program p;
+    p.movi(1, 1);
+    p.movi(2, 2);
+    const unsigned br = p.branch(BranchCond::LT, 1, 2, 0);
+    p.movi(3, 111); // wrong path
+    const unsigned tgt = p.alu(4, 3, kNoReg, 1); // r4 = r3 + 1
+    p.halt();
+    p.setBranchTarget(br, tgt);
+    const CoreStats s = core.run(p);
+    EXPECT_TRUE(s.finished);
+    EXPECT_EQ(s.squashes, 1u);
+    EXPECT_EQ(core.archReg(3), 0u);
+    EXPECT_EQ(core.archReg(4), 1u); // r3's *architectural* value is 0
+}
+
+TEST_F(CoreTest, CounterLoopExecutes)
+{
+    // r1 counts 0..9 via a backward branch; the predictor warms up.
+    Program p;
+    p.movi(1, 0);
+    p.movi(2, 10);
+    const unsigned top = p.alu(1, 1, kNoReg, 1); // r1 += 1
+    p.branch(BranchCond::LT, 1, 2, top);
+    p.halt();
+    const CoreStats s = core.run(p);
+    EXPECT_TRUE(s.finished);
+    EXPECT_EQ(core.archReg(1), 10u);
+    EXPECT_GE(s.branches, 10u);
+}
+
+TEST_F(CoreTest, MaxCyclesGuardFires)
+{
+    Program p;
+    p.movi(1, 0);
+    const unsigned top = p.alu(1, 1, kNoReg, 0); // r1 unchanged
+    p.branch(BranchCond::GE, 1, 1, top);         // always taken
+    p.halt();
+    CoreConfig c = cfg();
+    c.maxCycles = 2000;
+    Core small(c, 0, hier, mem);
+    const CoreStats s = small.run(p);
+    EXPECT_FALSE(s.finished);
+    EXPECT_EQ(s.cycles, 2000u);
+}
+
+TEST_F(CoreTest, NonPipelinedUnitSerialisesIndependentOps)
+{
+    // Two independent sqrts contend for the single non-pipelined port-0
+    // unit: the second starts only after the first completes.
+    Program p;
+    p.movi(1, 4);
+    p.movi(2, 9);
+    p.sqrt(3, 1, "s1");
+    p.sqrt(4, 2, "s2");
+    p.halt();
+    core.run(p);
+    const auto *s1 = core.traceEntry("s1");
+    const auto *s2 = core.traceEntry("s2");
+    ASSERT_NE(s1, nullptr);
+    ASSERT_NE(s2, nullptr);
+    const Tick lat = opTraits(Op::FpSqrt).latency;
+    EXPECT_GE(std::max(s1->issuedAt, s2->issuedAt),
+              std::min(s1->issuedAt, s2->issuedAt) + lat);
+}
+
+TEST_F(CoreTest, PipelinedUnitsDoNotSerialise)
+{
+    Program p;
+    p.movi(1, 4);
+    p.movi(2, 9);
+    p.mul(3, 1, kNoReg, 0, "m1");
+    p.mul(4, 2, kNoReg, 0, "m2");
+    p.halt();
+    core.run(p);
+    const auto *m1 = core.traceEntry("m1");
+    const auto *m2 = core.traceEntry("m2");
+    ASSERT_NE(m1, nullptr);
+    ASSERT_NE(m2, nullptr);
+    // Port 1 accepts one mul per cycle: gap of 1, not the full latency.
+    EXPECT_LE(std::max(m1->issuedAt, m2->issuedAt),
+              std::min(m1->issuedAt, m2->issuedAt) + 1);
+}
+
+TEST_F(CoreTest, AgeOrderedIssuePrefersOlder)
+{
+    // Both sqrts become ready the same cycle; the older one must issue
+    // first on the shared non-pipelined unit.
+    Program p;
+    p.movi(1, 4);
+    p.sqrt(2, 1, "older");
+    p.sqrt(3, 1, "younger");
+    p.halt();
+    core.run(p);
+    EXPECT_LT(core.traceEntry("older")->issuedAt,
+              core.traceEntry("younger")->issuedAt);
+}
+
+TEST_F(CoreTest, CdbWidthLimitsWritebackThroughput)
+{
+    // 16 independent 1-cycle ALUs; with cdbWidth=1 their writebacks
+    // serialise and the program takes visibly longer.
+    Program p;
+    for (unsigned i = 0; i < 16; ++i)
+        p.alu(static_cast<RegId>(8 + i), kNoReg, kNoReg, i);
+    p.halt();
+
+    CoreConfig wide = cfg();
+    wide.cdbWidth = 8;
+    CoreConfig narrow = cfg();
+    narrow.cdbWidth = 1;
+
+    Hierarchy h1(HierarchyConfig::small()), h2(HierarchyConfig::small());
+    MainMemory m1, m2;
+    // Pre-warm the code lines so cold I-fetch misses do not mask the
+    // writeback bottleneck.
+    for (unsigned pc = 0; pc < p.size(); ++pc) {
+        h1.access(0, p.instLine(pc), AccessType::Instr, 0);
+        h2.access(0, p.instLine(pc), AccessType::Instr, 0);
+    }
+    Core cw(wide, 0, h1, m1), cn(narrow, 0, h2, m2);
+    const auto sw = cw.run(p);
+    const auto sn = cn.run(p);
+    EXPECT_GT(sn.cycles, sw.cycles);
+}
+
+TEST_F(CoreTest, MshrLimitDelaysExtraMisses)
+{
+    // More concurrent independent misses than MSHRs: with 2 MSHRs the
+    // later loads wait a full memory round-trip longer.
+    Program p;
+    for (unsigned i = 0; i < 6; ++i)
+        p.load(static_cast<RegId>(8 + i), kNoReg,
+               0x100000 + 0x10000 * i, 1, "ld" + std::to_string(i));
+    p.halt();
+
+    CoreConfig few = cfg();
+    few.mshrs = 2;
+    Hierarchy h1(HierarchyConfig::small());
+    MainMemory m1;
+    Core c1(few, 0, h1, m1);
+    c1.run(p);
+    const Tick t_first = c1.traceEntry("ld0")->issuedAt;
+    const Tick t_last = c1.traceEntry("ld5")->issuedAt;
+    EXPECT_GE(t_last, t_first + h1.config().memLatency);
+
+    CoreConfig many = cfg();
+    many.mshrs = 16;
+    Hierarchy h2(HierarchyConfig::small());
+    MainMemory m2;
+    Core c2(many, 0, h2, m2);
+    c2.run(p);
+    EXPECT_LT(c2.traceEntry("ld5")->issuedAt,
+              t_first + h2.config().memLatency);
+}
+
+TEST_F(CoreTest, FenceIssuesOnlyAtRobHead)
+{
+    Program p;
+    p.load(1, kNoReg, 0x9000, 1, "slow"); // cold miss
+    p.fence("fence");
+    p.alu(2, kNoReg, kNoReg, 1, "after");
+    p.halt();
+    core.run(p);
+    const auto *slow = core.traceEntry("slow");
+    const auto *fence = core.traceEntry("fence");
+    ASSERT_NE(slow, nullptr);
+    ASSERT_NE(fence, nullptr);
+    EXPECT_GE(fence->issuedAt, slow->completeAt);
+}
+
+TEST_F(CoreTest, WrongPathLoadsLeaveCacheState)
+{
+    // Baseline (unsafe) semantics: a transient load fills the cache —
+    // this is exactly what Spectre exploits and what the schemes under
+    // test must prevent.
+    mem.write(0x5000, 1); // secret = 1
+    mem.write(0x6000, 0x6100);
+    mem.write(0x6100, 2); // N = 2, reached via a cold pointer chase
+    Program p;
+    p.movi(1, 5);
+    p.load(2, kNoReg, 0x6000); // slow predicate: branch resolves late
+    p.load(2, 2, 0);
+    const unsigned br = p.branch(BranchCond::LT, 1, 2, 0); // 5<2: no
+    p.halt(); // correct path
+    const unsigned wrong = p.load(3, kNoReg, 0x5000, 1, "secret");
+    p.load(4, 3, 0x700000, 64); // transmit: fills 0x700000+secret*64
+    p.halt();
+    p.setBranchTarget(br, wrong);
+    // Warm the secret's line so the transient access is fast (Spectre
+    // assumes the secret itself is cached).
+    hier.access(0, 0x5000, AccessType::Data, 0);
+    core.predictor().train(br, true, 4); // mistrain: predict taken
+    const CoreStats s = core.run(p);
+    EXPECT_GE(s.squashes, 1u);
+    EXPECT_EQ(core.archReg(3), 0u); // squashed architecturally
+    EXPECT_TRUE(hier.llcContains(0x700000 + 64)); // ...but cache leaks
+    EXPECT_FALSE(hier.llcContains(0x700000));
+}
+
+TEST_F(CoreTest, TraceRecordsLabeledTimings)
+{
+    Program p;
+    p.movi(1, 3, "a");
+    p.alu(2, 1, kNoReg, 1, "b");
+    p.halt();
+    core.run(p);
+    const auto *a = core.traceEntry("a");
+    const auto *b = core.traceEntry("b");
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_LE(a->dispatchedAt, a->issuedAt);
+    EXPECT_LT(a->issuedAt, a->completeAt);
+    EXPECT_LE(a->completeAt, a->retiredAt);
+    EXPECT_GT(b->completeAt, a->completeAt); // dependency
+    EXPECT_TRUE(core.completedBefore("a", "b"));
+}
+
+TEST_F(CoreTest, RerunResetsPipelineState)
+{
+    Program p;
+    p.movi(1, 9);
+    p.halt();
+    core.run(p);
+    Program q;
+    q.alu(1, 1, kNoReg, 1); // reads initial r1 = 0
+    q.halt();
+    core.run(q);
+    EXPECT_EQ(core.archReg(1), 1u);
+}
+
+} // namespace
+} // namespace specint

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Eviction-set construction tests.
+ */
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "memory/eviction_set.hh"
+
+namespace specint
+{
+namespace
+{
+
+TEST(EvictionSet, AllLinesCongruentWithTarget)
+{
+    Hierarchy hier(HierarchyConfig::small());
+    const Addr target = 0x01000000;
+    const auto evs = buildEvictionSet(hier, target, 15);
+    EXPECT_EQ(evs.size(), 15u);
+    for (Addr a : evs) {
+        EXPECT_EQ(hier.llcSetIndex(a), hier.llcSetIndex(target));
+        EXPECT_EQ(hier.llcSliceIndex(a), hier.llcSliceIndex(target));
+        EXPECT_NE(a, lineAlign(target));
+    }
+}
+
+TEST(EvictionSet, LinesAreDistinct)
+{
+    Hierarchy hier(HierarchyConfig::small());
+    const auto evs = buildEvictionSet(hier, 0x01000000, 20);
+    std::set<Addr> uniq(evs.begin(), evs.end());
+    EXPECT_EQ(uniq.size(), evs.size());
+}
+
+TEST(EvictionSet, RespectsExclusions)
+{
+    Hierarchy hier(HierarchyConfig::small());
+    const Addr target = 0x01000000;
+    const auto first = buildEvictionSet(hier, target, 5);
+    const auto second =
+        buildEvictionSet(hier, target, 5, 0x10000000, first);
+    for (Addr a : second)
+        EXPECT_EQ(std::count(first.begin(), first.end(), a), 0);
+}
+
+TEST(EvictionSet, EvictionSetActuallyEvicts)
+{
+    Hierarchy hier(HierarchyConfig::small());
+    const Addr target = 0x01000000;
+    hier.accessDirect(1, target, 0);
+    ASSERT_TRUE(hier.llcContains(target));
+    const unsigned ways = hier.config().llcSlice.ways;
+    // 2x associativity accesses guarantee eviction under QLRU.
+    const auto evs = buildEvictionSet(hier, target, 2 * ways);
+    for (Addr a : evs)
+        hier.accessDirect(1, a, 0);
+    EXPECT_FALSE(hier.llcContains(target));
+}
+
+TEST(EvictionSet, FindCongruentAddrMatches)
+{
+    Hierarchy hier(HierarchyConfig::small());
+    const Addr target = 0x02000040;
+    const Addr b = findCongruentAddr(hier, target);
+    EXPECT_EQ(hier.llcSetIndex(b), hier.llcSetIndex(target));
+    EXPECT_EQ(hier.llcSliceIndex(b), hier.llcSliceIndex(target));
+    EXPECT_NE(b, lineAlign(target));
+}
+
+} // namespace
+} // namespace specint

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Frontend unit tests: fetch pacing, decode-queue back-pressure (the
+ * G^I_RS throttle point), branch redirection, I-line crossing and
+ * invisible-fetch exposure marking.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/frontend.hh"
+
+namespace specint
+{
+namespace
+{
+
+struct FetchLog
+{
+    std::vector<Addr> lines;
+    Tick readyAt = 0;
+    bool invisible = false;
+
+    Frontend::IFetchFn fn()
+    {
+        return [this](Addr line) -> IFetchResult {
+            lines.push_back(line);
+            return {readyAt, invisible};
+        };
+    }
+};
+
+Program
+straightLine(unsigned n)
+{
+    Program p;
+    for (unsigned i = 0; i + 1 < n; ++i)
+        p.nop();
+    p.halt();
+    return p;
+}
+
+TEST(Frontend, FetchesUpToWidthPerCycle)
+{
+    Frontend fe({4, 16});
+    fe.reset(0);
+    const Program p = straightLine(32);
+    BranchPredictor bp;
+    FetchLog log;
+    fe.tick(0, p, bp, log.fn());
+    EXPECT_EQ(fe.queueSize(), 4u);
+    fe.tick(1, p, bp, log.fn());
+    EXPECT_EQ(fe.queueSize(), 8u);
+}
+
+TEST(Frontend, StopsWhenQueueFull)
+{
+    Frontend fe({4, 6});
+    fe.reset(0);
+    const Program p = straightLine(64);
+    BranchPredictor bp;
+    FetchLog log;
+    for (Tick t = 0; t < 10; ++t)
+        fe.tick(t, p, bp, log.fn());
+    EXPECT_EQ(fe.queueSize(), 6u);
+    // Draining one slot lets fetch resume.
+    fe.popFront();
+    fe.tick(11, p, bp, log.fn());
+    EXPECT_EQ(fe.queueSize(), 6u);
+}
+
+TEST(Frontend, AccessesICachePerLine)
+{
+    Frontend fe({4, 64});
+    fe.reset(0);
+    const Program p = straightLine(40); // 3 lines (16 insts each)
+    BranchPredictor bp;
+    FetchLog log;
+    for (Tick t = 0; t < 20 && !fe.halted(); ++t)
+        fe.tick(t, p, bp, log.fn());
+    ASSERT_EQ(log.lines.size(), 3u);
+    EXPECT_EQ(log.lines[0], p.instLine(0));
+    EXPECT_EQ(log.lines[1], p.instLine(16));
+    EXPECT_EQ(log.lines[2], p.instLine(32));
+}
+
+TEST(Frontend, StallsOnICacheMiss)
+{
+    Frontend fe({4, 64});
+    fe.reset(0);
+    const Program p = straightLine(8);
+    BranchPredictor bp;
+    FetchLog log;
+    log.readyAt = 5; // line data arrives at cycle 5
+    fe.tick(0, p, bp, log.fn());
+    EXPECT_EQ(fe.queueSize(), 0u);
+    fe.tick(3, p, bp, log.fn());
+    EXPECT_EQ(fe.queueSize(), 0u);
+    log.readyAt = 0;
+    fe.tick(5, p, bp, log.fn());
+    EXPECT_EQ(fe.queueSize(), 4u);
+    EXPECT_EQ(log.lines.size(), 1u); // no second access for same line
+}
+
+TEST(Frontend, FollowsPredictedTakenBranch)
+{
+    Program p;
+    const unsigned br = p.branch(BranchCond::LT, 1, 2, 0);
+    p.nop(); // fall-through
+    const unsigned tgt = p.nop();
+    p.halt();
+    p.setBranchTarget(br, tgt);
+
+    BranchPredictor bp;
+    bp.train(br, true, 4);
+    Frontend fe({4, 16});
+    fe.reset(0);
+    FetchLog log;
+    fe.tick(0, p, bp, log.fn());
+    ASSERT_GE(fe.queueSize(), 2u);
+    const FetchedInst first = fe.popFront();
+    EXPECT_EQ(first.pc, br);
+    EXPECT_TRUE(first.predictedTaken);
+    EXPECT_EQ(fe.popFront().pc, tgt); // skipped the fall-through
+}
+
+TEST(Frontend, RedirectFlushesAndRefetches)
+{
+    Frontend fe({4, 16});
+    fe.reset(0);
+    const Program p = straightLine(32);
+    BranchPredictor bp;
+    FetchLog log;
+    fe.tick(0, p, bp, log.fn());
+    ASSERT_GT(fe.queueSize(), 0u);
+    fe.redirect(20, 10);
+    EXPECT_TRUE(fe.queueEmpty());
+    fe.tick(5, p, bp, log.fn()); // before readyAt: nothing
+    EXPECT_TRUE(fe.queueEmpty());
+    fe.tick(10, p, bp, log.fn());
+    ASSERT_FALSE(fe.queueEmpty());
+    EXPECT_EQ(fe.front().pc, 20u);
+}
+
+TEST(Frontend, HaltStopsFetch)
+{
+    Frontend fe({4, 16});
+    fe.reset(0);
+    Program p;
+    p.nop();
+    p.halt();
+    BranchPredictor bp;
+    FetchLog log;
+    fe.tick(0, p, bp, log.fn());
+    EXPECT_TRUE(fe.halted());
+    EXPECT_EQ(fe.queueSize(), 2u); // nop + halt fetched, then stop
+    fe.tick(1, p, bp, log.fn());
+    EXPECT_EQ(fe.queueSize(), 2u);
+}
+
+TEST(Frontend, MarksExposureOnInvisibleFetch)
+{
+    Frontend fe({4, 16});
+    fe.reset(0);
+    const Program p = straightLine(8);
+    BranchPredictor bp;
+    FetchLog log;
+    log.invisible = true;
+    fe.tick(0, p, bp, log.fn());
+    ASSERT_GE(fe.queueSize(), 2u);
+    const FetchedInst a = fe.popFront();
+    const FetchedInst b = fe.popFront();
+    // Only the first instruction of the line carries the exposure.
+    EXPECT_EQ(a.exposureLine, p.instLine(0));
+    EXPECT_EQ(b.exposureLine, kAddrInvalid);
+}
+
+TEST(Frontend, RunsPastProgramEndHalts)
+{
+    Frontend fe({4, 16});
+    fe.reset(7); // beyond a 4-instruction program
+    const Program p = straightLine(4);
+    BranchPredictor bp;
+    FetchLog log;
+    fe.tick(0, p, bp, log.fn());
+    EXPECT_TRUE(fe.halted());
+    EXPECT_TRUE(fe.queueEmpty());
+}
+
+} // namespace
+} // namespace specint

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Load/store queue unit tests: occupancy accounting and memory
+ * disambiguation (conservative blocking + store-to-load forwarding).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/lsq.hh"
+
+namespace specint
+{
+namespace
+{
+
+DynInst
+makeInst(SeqNum seq, Op op, Addr addr = kAddrInvalid,
+         bool executed = false, std::uint64_t value = 0)
+{
+    DynInst d;
+    d.seq = seq;
+    d.si.op = op;
+    d.effAddr = addr;
+    d.result = value;
+    d.state = executed ? InstState::Completed : InstState::Dispatched;
+    return d;
+}
+
+TEST(Lsq, OccupancyAndCapacity)
+{
+    Lsq lsq(2, 1);
+    DynInst l1 = makeInst(0, Op::Load);
+    DynInst l2 = makeInst(1, Op::Load);
+    DynInst l3 = makeInst(2, Op::Load);
+    DynInst s1 = makeInst(3, Op::Store);
+    DynInst s2 = makeInst(4, Op::Store);
+
+    EXPECT_TRUE(lsq.allocate(l1));
+    EXPECT_TRUE(lsq.allocate(l2));
+    EXPECT_FALSE(lsq.allocate(l3)); // LQ full
+    EXPECT_TRUE(lsq.allocate(s1));
+    EXPECT_FALSE(lsq.allocate(s2)); // SQ full
+    lsq.release(l1);
+    EXPECT_TRUE(lsq.allocate(l3));
+    EXPECT_EQ(lsq.loads(), 2u);
+    EXPECT_EQ(lsq.stores(), 1u);
+}
+
+TEST(Lsq, NonMemOpsDoNotConsumeEntries)
+{
+    Lsq lsq(1, 1);
+    DynInst alu = makeInst(0, Op::IntAlu);
+    EXPECT_TRUE(lsq.allocate(alu));
+    EXPECT_EQ(lsq.loads(), 0u);
+    EXPECT_EQ(lsq.stores(), 0u);
+}
+
+TEST(Lsq, LoadBlockedByUnresolvedOlderStore)
+{
+    Lsq lsq;
+    Rob rob;
+    rob.push(makeInst(0, Op::Store)); // address unknown
+    DynInst &load = rob.push(makeInst(1, Op::Load, 0x1000));
+
+    const DisambigResult r = lsq.check(load, rob);
+    EXPECT_TRUE(r.blocked);
+    EXPECT_FALSE(r.forward);
+}
+
+TEST(Lsq, LoadForwardsFromMatchingOlderStore)
+{
+    Lsq lsq;
+    Rob rob;
+    rob.push(makeInst(0, Op::Store, 0x1000, true, 42));
+    DynInst &load = rob.push(makeInst(1, Op::Load, 0x1000));
+
+    const DisambigResult r = lsq.check(load, rob);
+    EXPECT_FALSE(r.blocked);
+    EXPECT_TRUE(r.forward);
+    EXPECT_EQ(r.forwardValue, 42u);
+}
+
+TEST(Lsq, ForwardingMatchesWordGranularity)
+{
+    Lsq lsq;
+    Rob rob;
+    rob.push(makeInst(0, Op::Store, 0x1000, true, 42));
+    DynInst &same_word = rob.push(makeInst(1, Op::Load, 0x1004));
+    DynInst &next_word = rob.push(makeInst(2, Op::Load, 0x1008));
+
+    EXPECT_TRUE(lsq.check(same_word, rob).forward);
+    EXPECT_FALSE(lsq.check(next_word, rob).forward);
+}
+
+TEST(Lsq, NearestOlderStoreWins)
+{
+    Lsq lsq;
+    Rob rob;
+    rob.push(makeInst(0, Op::Store, 0x1000, true, 1));
+    rob.push(makeInst(1, Op::Store, 0x1000, true, 2));
+    DynInst &load = rob.push(makeInst(2, Op::Load, 0x1000));
+
+    const DisambigResult r = lsq.check(load, rob);
+    EXPECT_TRUE(r.forward);
+    EXPECT_EQ(r.forwardValue, 2u);
+}
+
+TEST(Lsq, YoungerStoresAreIgnored)
+{
+    Lsq lsq;
+    Rob rob;
+    DynInst &load = rob.push(makeInst(0, Op::Load, 0x1000));
+    rob.push(makeInst(1, Op::Store, 0x1000, false));
+
+    const DisambigResult r = lsq.check(load, rob);
+    EXPECT_FALSE(r.blocked);
+    EXPECT_FALSE(r.forward);
+}
+
+} // namespace
+} // namespace specint

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Noise model tests: probabilities, jitter bounds, determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/noise.hh"
+
+namespace specint
+{
+namespace
+{
+
+TEST(Noise, NoneIsSilent)
+{
+    NoiseModel n(NoiseConfig::none(), 1);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(n.mistrainFails());
+        EXPECT_EQ(n.loadJitter(), 0u);
+        EXPECT_FALSE(n.strayEviction());
+    }
+}
+
+TEST(Noise, CalibratedRatesApproximatelyMatchConfig)
+{
+    const NoiseConfig cfg = NoiseConfig::calibrated();
+    NoiseModel n(cfg, 7);
+    const int trials = 20000;
+    int fails = 0, strays = 0, jitters = 0;
+    for (int i = 0; i < trials; ++i) {
+        fails += n.mistrainFails();
+        strays += n.strayEviction();
+        jitters += n.loadJitter() > 0;
+    }
+    EXPECT_NEAR(fails / double(trials), cfg.mistrainFailProb, 0.02);
+    EXPECT_NEAR(strays / double(trials), cfg.strayEvictionProb, 0.02);
+    EXPECT_NEAR(jitters / double(trials), cfg.loadJitterProb, 0.02);
+}
+
+TEST(Noise, JitterBounded)
+{
+    NoiseConfig cfg;
+    cfg.loadJitterProb = 1.0;
+    cfg.loadJitterMax = 17;
+    NoiseModel n(cfg, 3);
+    for (int i = 0; i < 1000; ++i) {
+        const Tick j = n.loadJitter();
+        EXPECT_GE(j, 1u);
+        EXPECT_LE(j, 17u);
+    }
+}
+
+TEST(Noise, DeterministicForSeed)
+{
+    NoiseModel a(NoiseConfig::calibrated(), 42);
+    NoiseModel b(NoiseConfig::calibrated(), 42);
+    for (int i = 0; i < 200; ++i) {
+        EXPECT_EQ(a.mistrainFails(), b.mistrainFails());
+        EXPECT_EQ(a.loadJitter(), b.loadJitter());
+    }
+}
+
+} // namespace
+} // namespace specint

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Branch predictor tests, including the attacker's mis-training
+ * primitive.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/branch_predictor.hh"
+
+namespace specint
+{
+namespace
+{
+
+TEST(Predictor, DefaultsToNotTaken)
+{
+    BranchPredictor p;
+    EXPECT_FALSE(p.predict(0x10));
+}
+
+TEST(Predictor, SaturatesTowardsTaken)
+{
+    BranchPredictor p;
+    p.update(0x10, true);
+    EXPECT_FALSE(p.predict(0x10)); // weakly not-taken -> weakly taken
+    p.update(0x10, true);
+    EXPECT_TRUE(p.predict(0x10));
+}
+
+TEST(Predictor, TrainIsRepeatedUpdate)
+{
+    BranchPredictor p;
+    p.train(0x20, true, 4);
+    EXPECT_TRUE(p.predict(0x20));
+    p.train(0x20, false, 4);
+    EXPECT_FALSE(p.predict(0x20));
+}
+
+TEST(Predictor, MistrainingSurvivesOneCorrection)
+{
+    // 2-bit hysteresis: one not-taken outcome must not flip a strongly
+    // taken-trained branch — exactly why Spectre mis-training works
+    // across a victim invocation.
+    BranchPredictor p;
+    p.train(0x30, true, 4);
+    p.update(0x30, false);
+    EXPECT_TRUE(p.predict(0x30));
+}
+
+TEST(Predictor, PerPcIndependence)
+{
+    BranchPredictor p;
+    p.train(0x40, true, 4);
+    EXPECT_TRUE(p.predict(0x40));
+    EXPECT_FALSE(p.predict(0x44));
+}
+
+TEST(Predictor, ResetForgets)
+{
+    BranchPredictor p;
+    p.train(0x50, true, 4);
+    p.reset();
+    EXPECT_FALSE(p.predict(0x50));
+}
+
+} // namespace
+} // namespace specint

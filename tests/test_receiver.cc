@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Receiver tests: the QLRU replacement-state receiver (§4.2.2) must
+ * decode synthetic access orders injected straight into the LLC, and
+ * the Flush+Reload receiver must detect line presence.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attack/receiver.hh"
+#include "cpu/core.hh"
+
+namespace specint
+{
+namespace
+{
+
+class QlruReceiverTest : public ::testing::Test
+{
+  protected:
+    QlruReceiverTest()
+        : hier(HierarchyConfig::small()), attacker(hier, 1),
+          a(0x01000000),
+          b(findCongruentAddr(hier, a, 0x40000000))
+    {}
+
+    /** Victim-side access through the victim core's private caches. */
+    void victimAccess(Addr addr)
+    {
+        hier.access(0, addr, AccessType::Data, 0);
+    }
+
+    Hierarchy hier;
+    AttackerAgent attacker;
+    Addr a;
+    Addr b;
+};
+
+TEST_F(QlruReceiverTest, DecodesABOrder)
+{
+    QlruReceiver recv(hier, attacker, a, b);
+    recv.prime();
+    victimAccess(a);
+    victimAccess(b);
+    EXPECT_EQ(recv.decode(), OrderDecode::AB);
+}
+
+TEST_F(QlruReceiverTest, DecodesBAOrder)
+{
+    QlruReceiver recv(hier, attacker, a, b);
+    recv.prime();
+    victimAccess(b);
+    victimAccess(a);
+    EXPECT_EQ(recv.decode(), OrderDecode::BA);
+}
+
+TEST_F(QlruReceiverTest, RepeatedTrialsStayCorrect)
+{
+    QlruReceiver recv(hier, attacker, a, b);
+    for (unsigned t = 0; t < 20; ++t) {
+        const bool ab = (t % 3) != 0;
+        recv.prime();
+        victimAccess(ab ? a : b);
+        victimAccess(ab ? b : a);
+        EXPECT_EQ(recv.decode(),
+                  ab ? OrderDecode::AB : OrderDecode::BA)
+            << "trial " << t;
+    }
+}
+
+TEST_F(QlruReceiverTest, NoVictimAccessIsUnclear)
+{
+    QlruReceiver recv(hier, attacker, a, b);
+    recv.prime();
+    // Victim never ran: A survives in the set (B was never inserted),
+    // or both miss; either way the decode must not report an order
+    // confidently wrong. BA (A resident, B absent) is the expected
+    // no-signal artefact; Unclear is also acceptable.
+    const OrderDecode d = recv.decode();
+    EXPECT_NE(d, OrderDecode::AB);
+}
+
+TEST_F(QlruReceiverTest, EvictionSetsAreDisjointAndCongruent)
+{
+    QlruReceiver recv(hier, attacker, a, b);
+    const unsigned assoc = hier.config().llcSlice.ways;
+    EXPECT_EQ(recv.evs1().size(), assoc - 1);
+    EXPECT_EQ(recv.evs2().size(), assoc - 1);
+    for (Addr x : recv.evs1()) {
+        EXPECT_EQ(hier.llcSetIndex(x), recv.setIndex());
+        for (Addr y : recv.evs2())
+            EXPECT_NE(x, y);
+    }
+}
+
+TEST_F(QlruReceiverTest, PrimeEvictsStaleVictimCopies)
+{
+    // After a victim run pulled A into its private L1, the next prime
+    // must force the victim back to the LLC (Flush+Reload property).
+    victimAccess(a);
+    ASSERT_TRUE(hier.l1d(0).contains(a));
+    QlruReceiver recv(hier, attacker, a, b);
+    recv.prime();
+    EXPECT_FALSE(hier.l1d(0).contains(a));
+    EXPECT_FALSE(hier.l1d(0).contains(b));
+    EXPECT_TRUE(hier.llcContains(a)); // A is staged in the LLC
+    EXPECT_FALSE(hier.llcContains(b));
+}
+
+TEST(FlushReload, DetectsPresence)
+{
+    Hierarchy hier(HierarchyConfig::small());
+    AttackerAgent attacker(hier, 1);
+    const Addr target = 0x03000000;
+    FlushReloadReceiver recv(hier, attacker, target);
+
+    recv.flushTarget();
+    EXPECT_FALSE(recv.probePresent());
+    // probePresent itself filled the line; re-flush and verify again.
+    recv.flushTarget();
+    hier.access(0, target, AccessType::Instr, 0); // victim fetch
+    EXPECT_TRUE(recv.probePresent());
+}
+
+} // namespace
+} // namespace specint
