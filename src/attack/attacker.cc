@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Cross-core attacker agent implementation: clflush of shared
+ * lines and latency-threshold-classified timed loads, issued directly
+ * against the shared LLC (see attacker.hh for the model).
+ */
+
 #include "attack/attacker.hh"
 
 namespace specint

@@ -1,3 +1,11 @@
+/**
+ * @file
+ * End-to-end covert channel implementation: D-Cache (QLRU
+ * ordering receiver) and I-Cache (Flush+Reload presence) channels with
+ * trials-per-bit, majority voting, and noise-model hooks. Computes the
+ * bit-error-rate / throughput numbers Fig. 11 plots.
+ */
+
 #include "attack/channel.hh"
 
 #include "attack/receiver.hh"

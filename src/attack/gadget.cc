@@ -1,5 +1,15 @@
+/**
+ * @file
+ * Sender program builders: lays out the z/n pointer chases,
+ * transmitter and gadget code for G^D_NPEU / G^D_MSHR / G^I_RS against
+ * each reference-access ordering, keeping all auxiliary data out of the
+ * monitored LLC set. A two-pass build aligns the fall-through I-line
+ * with the monitored set where the ordering requires it.
+ */
+
 #include "attack/gadget.hh"
 
+#include <algorithm>
 #include <cassert>
 
 #include "memory/eviction_set.hh"
@@ -422,7 +432,10 @@ buildSender(const SenderParams &params, const Hierarchy &hier)
         sp.icacheTarget = sp.prog.instLine(marker_pc);
         sp.flushLines.push_back(sp.icacheTarget);
         // Monitored I-lines must not be pre-warmed.
-        std::erase(sp.warmCodeLines, sp.icacheTarget);
+        sp.warmCodeLines.erase(std::remove(sp.warmCodeLines.begin(),
+                                           sp.warmCodeLines.end(),
+                                           sp.icacheTarget),
+                               sp.warmCodeLines.end());
     }
     if (params.ordering == OrderingKind::VdVd ||
         params.ordering == OrderingKind::VdVi) {

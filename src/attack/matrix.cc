@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Table 1 matrix evaluator: runs every (gadget, ordering)
+ * sender against every scheme on a fresh system per secret value and
+ * compares the visible-signal verdict against the paper's table.
+ */
+
 #include "attack/matrix.hh"
 
 #include <algorithm>

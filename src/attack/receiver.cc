@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Receiver implementations: the QLRU replacement-state
+ * receiver's prime/probe protocol over two congruent eviction sets, and
+ * classic Flush+Reload (see receiver.hh for the protocol description).
+ */
+
 #include "attack/receiver.hh"
 
 #include <cassert>

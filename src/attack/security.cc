@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Executable security definitions (§5.1): ideal invisible
+ * speculation (visible trace equals the no-misspeculation trace) and
+ * secret independence, both checked by differential simulation.
+ */
+
 #include "attack/security.hh"
 
 #include "attack/sender.hh"

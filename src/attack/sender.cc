@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Trial harness implementation: memory/cache/predictor state
+ * preparation, victim execution with optional attacker reference-access
+ * injection, and ordering/presence verdict extraction.
+ */
+
 #include "attack/sender.hh"
 
 #include <cassert>

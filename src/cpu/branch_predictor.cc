@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Bimodal branch predictor implementation: 2-bit saturating
+ * counters indexed by PC, with the train() mis-training helper and the
+ * noise hook used by the channel experiments.
+ */
+
 #include "cpu/branch_predictor.hh"
 
 namespace specint

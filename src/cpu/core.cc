@@ -1,3 +1,13 @@
+/**
+ * @file
+ * Out-of-order core implementation. Stages run in reverse
+ * pipeline order inside tick() — retire, writeback, safety (scheme
+ * exposures / deferred updates), issue, dispatch, fetch — so producers
+ * wake consumers with a one-cycle boundary. Speculation-safety schemes
+ * are consulted at load issue, instruction issue, the safety stage, and
+ * through the scheduler flags (see core.hh and spec/scheme.hh).
+ */
+
 #include "cpu/core.hh"
 
 #include <algorithm>

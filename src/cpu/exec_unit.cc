@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Issue-port / functional-unit occupancy implementation:
+ * pipelined vs non-pipelined busy accounting and the preempt() hook for
+ * the advanced defense's squashable EUs.
+ */
+
 #include "cpu/exec_unit.hh"
 
 namespace specint

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Fetch/decode frontend implementation: predicted-path fetch
+ * through the L1-I callback into the bounded decode queue, stalling when
+ * the queue backs up (the G^I_RS throttling mechanism).
+ */
+
 #include "cpu/frontend.hh"
 
 #include <cassert>

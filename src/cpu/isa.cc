@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Static instruction definitions: op metadata (latency, issue
+ * port, pipelined-ness) and disassembly used by Program::dump().
+ */
+
 #include "cpu/isa.hh"
 
 #include <sstream>

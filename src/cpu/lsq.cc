@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Load/store queue implementation: conservative memory
+ * disambiguation (loads wait for older store addresses) and
+ * store-to-load forwarding from completed covering stores.
+ */
+
 #include "cpu/lsq.hh"
 
 #include <cassert>

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Program builder implementation: the fluent
+ * movi/alu/load/store/br assembler, instruction labels, and listing
+ * dump.
+ */
+
 #include "cpu/program.hh"
 
 #include <cassert>

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Unified reservation-station occupancy accounting, including
+ * the free-at-issue vs hold-until-retire policies (advanced defense
+ * Rule 1).
+ */
+
 #include "cpu/reservation_station.hh"
 
 #include <cassert>

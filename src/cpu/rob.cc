@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Reorder buffer implementation: bounded deque with contiguous
+ * sequence numbers and O(1) SeqNum lookup.
+ */
+
 #include "cpu/rob.hh"
 
 #include <cassert>

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Set-associative cache array implementation: touch/fill/
+ * invalidate with pluggable replacement and the deferred-touch buffer
+ * used by Delay-on-Miss.
+ */
+
 #include "memory/cache.hh"
 
 #include <cassert>

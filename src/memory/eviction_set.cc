@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Eviction set construction: direct search of the address space
+ * for lines congruent with a target's LLC (set, slice), modelling an
+ * attacker that has already recovered the mapping.
+ */
+
 #include "memory/eviction_set.hh"
 
 #include <algorithm>

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Cache hierarchy implementation: per-core L1-I/L1-D/L2 and the
+ * sliced inclusive LLC, visible access tracing, invisible accesses, and
+ * the flush/warm helpers the attack harness uses.
+ */
+
 #include "memory/hierarchy.hh"
 
 #include <cassert>

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * MSHR file implementation: fixed-capacity allocation in issue
+ * order with same-line merging, expiry at miss completion, and the
+ * squash / speculative-preemption hooks.
+ */
+
 #include "memory/mshr.hh"
 
 #include <algorithm>
@@ -8,9 +15,11 @@ namespace specint
 void
 MshrFile::expire(Tick now)
 {
-    std::erase_if(live_, [now](const MshrEntry &e) {
-        return e.readyAt <= now;
-    });
+    live_.erase(std::remove_if(live_.begin(), live_.end(),
+                               [now](const MshrEntry &e) {
+                                   return e.readyAt <= now;
+                               }),
+                live_.end());
 }
 
 unsigned
@@ -96,10 +105,13 @@ MshrFile::preemptYoungestSpeculative(Tick now)
 void
 MshrFile::squashYoungerThan(SeqNum bound)
 {
-    std::erase_if(live_, [bound](const MshrEntry &e) {
-        return e.speculative && e.allocSeq != kSeqNumInvalid &&
-               e.allocSeq > bound;
-    });
+    live_.erase(std::remove_if(live_.begin(), live_.end(),
+                               [bound](const MshrEntry &e) {
+                                   return e.speculative &&
+                                          e.allocSeq != kSeqNumInvalid &&
+                                          e.allocSeq > bound;
+                               }),
+                live_.end());
 }
 
 } // namespace specint

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Replacement policy implementations: true LRU and the
+ * parameterised QLRU family, including the Kaby Lake LLC policy
+ * QLRU_H11_M1_R0_U0 the replacement-state receiver depends on.
+ */
+
 #include "memory/replacement.hh"
 
 #include <cassert>

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Logging implementation: leveled message sinks for
+ * inform/warn/panic and the runtime-gated debug trace.
+ */
+
 #include "sim/log.hh"
 
 namespace specint

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Noise model implementation: seeded draws for mis-training
+ * failure, load-latency jitter, and monitored-line eviction used to
+ * reproduce the Fig. 11 error/rate trade-off.
+ */
+
 #include "sim/noise.hh"
 
 namespace specint

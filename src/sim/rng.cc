@@ -1,3 +1,8 @@
+/**
+ * @file
+ * xoshiro256** RNG implementation, seeded via SplitMix64.
+ */
+
 #include "sim/rng.hh"
 
 #include <cassert>

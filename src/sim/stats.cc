@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Statistics implementation: counters, sample distributions,
+ * fixed-bucket histograms, and the plain-text table/histogram renderers
+ * the benches print.
+ */
+
 #include "sim/stats.hh"
 
 #include <algorithm>

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Advanced defense (§5.4) implementation: DoM load policy plus
+ * the scheduler flags for no-early-release and never-delay-older rules;
+ * rules are individually switchable for the ablation bench.
+ */
+
 #include "spec/advanced.hh"
 
 // AdvancedDefenseScheme is header-only; anchored here.

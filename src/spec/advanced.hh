@@ -14,6 +14,13 @@
  *
  * Together these close the interference channels (gadget can no longer
  * delay the target) while DoM still blocks direct cache-state changes.
+ *
+ * Invariant: the issue/completion timing of a bound-to-retire
+ * instruction is independent of any younger speculative instruction —
+ * speculative resource occupancy is operand-independent (Rule 1) and
+ * always preemptible by older work (Rule 2) — while the DoM layer
+ * keeps speculative loads from changing cache state before their safe
+ * point.
  */
 
 #ifndef SPECINT_SPEC_ADVANCED_HH

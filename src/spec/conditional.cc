@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Conditional Speculation implementation: DoM mechanics with a
+ * ROB-head safe point.
+ */
+
 #include "spec/conditional.hh"
 
 // ConditionalSpecScheme is header-only; anchored here.

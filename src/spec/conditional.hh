@@ -10,6 +10,11 @@
  * oldest instruction in the ROB", making it immune to victim-victim
  * reordering but still exposed to the attacker-reference (VD-AD)
  * ordering attack.
+ *
+ * Invariant: at most one unprotected speculative load is in flight —
+ * a load executes visibly only when it is the oldest instruction in
+ * the ROB; younger hits proceed with deferred replacement updates and
+ * younger misses wait.
  */
 
 #ifndef SPECINT_SPEC_CONDITIONAL_HH

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Delay-on-Miss implementation: hit-with-deferred-touch /
+ * delayed-miss load policy under the non-TSO and TSO safe points.
+ */
+
 #include "spec/dom.hh"
 
 // DomScheme is header-only; anchored here.

@@ -16,6 +16,12 @@
  *
  * DoM does not protect the I-cache (§3.3.1, Table 1: vulnerable to
  * G^I_RS via VI-AD).
+ *
+ * Invariant: no speculative load ever changes cache state — hits defer
+ * their replacement update and misses do not execute — until the load
+ * reaches the scheme's safe point (non-TSO: older branches resolved
+ * and older memory addresses known; TSO: additionally older loads
+ * complete).
  */
 
 #ifndef SPECINT_SPEC_DOM_HH

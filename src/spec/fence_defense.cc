@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Fence defense implementation: mayIssue() blocks issue behind
+ * unresolved older branches (Spectre) or branches and incomplete loads
+ * (Futuristic).
+ */
+
 #include "spec/fence_defense.hh"
 
 // FenceDefenseScheme is header-only; anchored here.

@@ -15,6 +15,11 @@
  * with a mis-speculated older instruction ever executes, so the
  * visible LLC access pattern is squash-invariant. The cost is the
  * dramatic slowdown Fig. 12 reports.
+ *
+ * Invariant: no instruction issues while an older squash-capable
+ * instruction is unresolved (Spectre: branches; Futuristic: branches
+ * and loads) — mis-speculated instructions therefore never execute
+ * and can neither touch caches nor interfere with older ones.
  */
 
 #ifndef SPECINT_SPEC_FENCE_DEFENSE_HH

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * InvisiSpec implementation: invisible-request load policy with
+ * exposure at the Spectre or Futuristic safe point.
+ */
+
 #include "spec/invisispec.hh"
 
 // InvisiSpecScheme is header-only; anchored here.

@@ -14,6 +14,12 @@
  *    could squash).
  *
  * InvisiSpec does not protect instruction fetches (Table 1).
+ *
+ * Invariant: a speculative load changes no cache state at any level —
+ * its data arrives via an invisible request — and its one visible
+ * (exposure) access happens only once the load is safe (Spectre:
+ * older branches resolved; Futuristic: load at ROB head). MSHR
+ * occupancy is NOT part of the invariant, which is the leak.
  */
 
 #ifndef SPECINT_SPEC_INVISISPEC_HH

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * MuonTrap implementation: the core-private filter cache with
+ * commit-time visibility, squash invalidation, and instruction-side
+ * filtering.
+ */
+
 #include "spec/muontrap.hh"
 
 #include <algorithm>
@@ -27,9 +34,11 @@ MuonTrapScheme::filterFill(Addr line, SeqNum seq)
 void
 MuonTrapScheme::filterSquashYoungerThan(SeqNum bound)
 {
-    std::erase_if(filter_, [bound](const FilterLine &f) {
-        return f.seq > bound;
-    });
+    filter_.erase(std::remove_if(filter_.begin(), filter_.end(),
+                                 [bound](const FilterLine &f) {
+                                     return f.seq > bound;
+                                 }),
+                  filter_.end());
 }
 
 } // namespace specint

@@ -9,6 +9,12 @@
  * so MuonTrap is vulnerable to G^D_MSHR (Table 1). It captures
  * speculative instruction-side state too, so the I-cache channel of
  * G^I_RS is closed.
+ *
+ * Invariant: speculatively fetched lines (data and instruction) live
+ * only in the core-private filter cache until commit; a squash
+ * invalidates them, so the shared hierarchy never observes wrong-path
+ * fills. Memory-request issue (and hence MSHR occupancy) is NOT
+ * covered by the invariant, which is the leak.
  */
 
 #ifndef SPECINT_SPEC_MUONTRAP_HH

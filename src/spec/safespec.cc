@@ -1,3 +1,9 @@
+/**
+ * @file
+ * SafeSpec implementation: invisible requests for data and
+ * instruction fetches with exposure at the WFB or WFC safe point.
+ */
+
 #include "spec/safespec.hh"
 
 // SafeSpecScheme is header-only; anchored here.

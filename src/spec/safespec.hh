@@ -10,6 +10,11 @@
  *
  * Modes: wait-for-branch (WFB; safe when older branches resolved) and
  * wait-for-commit (WFC; safe at ROB head).
+ *
+ * Invariant: speculative loads AND speculative instruction fetches
+ * change no cache state at any level until the safe point (WFB:
+ * older branches resolved; WFC: ROB head), when the shadow state is
+ * committed by a visible exposure access.
  */
 
 #ifndef SPECINT_SPEC_SAFESPEC_HH

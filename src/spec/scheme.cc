@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Scheme base class plus the SchemeKind enumerations
+ * (allSchemes/attackedSchemes) and the makeScheme factory the benches
+ * and matrix evaluator instantiate defenses through.
+ */
+
 #include "spec/scheme.hh"
 
 #include "sim/log.hh"

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Unsafe baseline implementation (trivial: visible loads,
+ * always safe).
+ */
+
 #include "spec/unsafe.hh"
 
 // UnsafeScheme is header-only; this translation unit anchors it in the

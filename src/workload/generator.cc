@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Synthetic workload generator implementation: seeded program
+ * synthesis across the SPEC CPU2017-archetype behavioural axes (MLP,
+ * branch behaviour, ALU/FP mix, footprint).
+ */
+
 #include "workload/generator.hh"
 
 #include <algorithm>

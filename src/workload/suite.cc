@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Fig. 12 suite driver implementation: runs each workload under
+ * each scheme and reports normalised execution time and geomean.
+ */
+
 #include "workload/suite.hh"
 
 #include <cmath>
