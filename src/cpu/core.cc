@@ -19,12 +19,40 @@
 namespace specint
 {
 
+std::string
+CoreConfig::validate() const
+{
+    const struct { unsigned value; const char *name; } positives[] = {
+        {fetchWidth, "fetchWidth"},   {decodeQueue, "decodeQueue"},
+        {dispatchWidth, "dispatchWidth"}, {issueWidth, "issueWidth"},
+        {retireWidth, "retireWidth"}, {robSize, "robSize"},
+        {rsSize, "rsSize"},           {lqSize, "lqSize"},
+        {sqSize, "sqSize"},           {mshrs, "mshrs"},
+        {cdbWidth, "cdbWidth"},
+    };
+    for (const auto &p : positives) {
+        if (p.value == 0)
+            return std::string(p.name) + " must be nonzero";
+    }
+    if (issueWidth > kNumPorts) {
+        return "issueWidth (" + std::to_string(issueWidth) +
+               ") exceeds the port count (" + std::to_string(kNumPorts) +
+               ")";
+    }
+    if (maxCycles == 0)
+        return "maxCycles must be nonzero";
+    return "";
+}
+
 Core::Core(CoreConfig cfg, CoreId id, Hierarchy &hier, MainMemory &mem)
     : cfg_(cfg), id_(id), hier_(&hier), mem_(&mem),
-      frontend_({cfg.fetchWidth, cfg.decodeQueue}),
+      frontend_({cfg.fetchWidth, cfg.decodeQueue, 0}),
       rob_(cfg.robSize), rs_(cfg.rsSize), lsq_(cfg.lqSize, cfg.sqSize),
       mshr_(cfg.mshrs)
 {
+    const std::string err = cfg_.validate();
+    if (!err.empty())
+        fatal("CoreConfig: " + err);
     scheme_ = std::make_unique<UnsafeScheme>();
 }
 

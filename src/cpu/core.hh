@@ -72,6 +72,15 @@ struct CoreConfig
 
     /** Record timing of labeled instructions. */
     bool recordTrace = true;
+
+    /**
+     * Structural sanity check. @return "" if the configuration is
+     * usable, otherwise a description of the first problem (zero-size
+     * structure, issueWidth exceeding the port count, ...). Core and
+     * SmtCore call this from their constructors and fatal() on a
+     * non-empty result instead of silently misbehaving.
+     */
+    std::string validate() const;
 };
 
 /** Aggregate statistics of one run. */

@@ -1,8 +1,10 @@
 /**
  * @file
  * Issue-port / functional-unit occupancy implementation:
- * pipelined vs non-pipelined busy accounting and the preempt() hook for
- * the advanced defense's squashable EUs.
+ * pipelined vs non-pipelined busy accounting, the preempt() hook for
+ * the advanced defense's squashable EUs, and the per-thread holder
+ * tagging the SMT layer uses for sibling-contention accounting and
+ * thread-local squash.
  */
 
 #include "cpu/exec_unit.hh"
@@ -17,6 +19,8 @@ PortSet::reset()
     lastIssueCycle_.fill(kTickMax);
     holder_.fill(kSeqNumInvalid);
     holderSpec_.fill(false);
+    holderTid_.fill(0);
+    lastIssueTid_.fill(0);
 }
 
 void
@@ -47,50 +51,92 @@ PortSet::selectPort(Op op, Tick now) const
 
 void
 PortSet::issue(std::uint8_t port, Op op, Tick now, Tick busy_until,
-               SeqNum holder, bool holder_speculative)
+               SeqNum holder, bool holder_speculative, ThreadId tid)
 {
     lastIssueCycle_[port] = now;
+    lastIssueTid_[port] = tid;
     if (!opTraits(op).pipelined) {
         busyUntil_[port] = busy_until;
         holder_[port] = holder;
         holderSpec_[port] = holder_speculative;
+        holderTid_[port] = tid;
     }
 }
 
 void
-PortSet::releaseIfHeldBy(SeqNum holder)
+PortSet::releaseIfHeldBy(SeqNum holder, ThreadId tid)
 {
     for (unsigned p = 0; p < kNumPorts; ++p) {
-        if (holder_[p] == holder) {
+        if (holder_[p] == holder && holderTid_[p] == tid) {
             busyUntil_[p] = 0;
             holder_[p] = kSeqNumInvalid;
             holderSpec_[p] = false;
+            holderTid_[p] = 0;
         }
     }
 }
 
 void
-PortSet::squashYoungerThan(SeqNum bound)
+PortSet::squashThread(ThreadId tid, SeqNum bound)
 {
     for (unsigned p = 0; p < kNumPorts; ++p) {
-        if (holder_[p] != kSeqNumInvalid && holder_[p] > bound) {
+        if (holder_[p] != kSeqNumInvalid && holderTid_[p] == tid &&
+            holder_[p] > bound) {
             busyUntil_[p] = 0;
             holder_[p] = kSeqNumInvalid;
             holderSpec_[p] = false;
+            holderTid_[p] = 0;
         }
     }
 }
 
 SeqNum
-PortSet::preempt(std::uint8_t port, SeqNum requester)
+PortSet::preempt(std::uint8_t port, SeqNum requester, ThreadId tid)
 {
     const SeqNum h = holder_[port];
-    if (h == kSeqNumInvalid || !holderSpec_[port] || h <= requester)
+    if (h == kSeqNumInvalid || !holderSpec_[port] ||
+        holderTid_[port] != tid || h <= requester) {
         return kSeqNumInvalid;
+    }
     busyUntil_[port] = 0;
     holder_[port] = kSeqNumInvalid;
     holderSpec_[port] = false;
+    holderTid_[port] = 0;
     return h;
+}
+
+bool
+PortSet::contendedByOther(std::uint8_t port, ThreadId tid, Tick now) const
+{
+    if (busyUntil_[port] > now && holder_[port] != kSeqNumInvalid &&
+        holderTid_[port] != tid) {
+        return true;
+    }
+    if (lastIssueCycle_[port] == now && lastIssueTid_[port] != tid)
+        return true;
+    return false;
+}
+
+bool
+PortSet::opContendedByOther(Op op, ThreadId tid, Tick now) const
+{
+    for (std::uint8_t p : opTraits(op).ports)
+        if (contendedByOther(p, tid, now))
+            return true;
+    return false;
+}
+
+unsigned
+PortSet::countHeldByOther(ThreadId tid, Tick now) const
+{
+    unsigned n = 0;
+    for (unsigned p = 0; p < kNumPorts; ++p) {
+        if (busyUntil_[p] > now && holder_[p] != kSeqNumInvalid &&
+            holderTid_[p] != tid) {
+            ++n;
+        }
+    }
+    return n;
 }
 
 } // namespace specint

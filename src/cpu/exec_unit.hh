@@ -46,26 +46,51 @@ class PortSet
     int selectPort(Op op, Tick now) const;
 
     /** Record an issue. Non-pipelined ops occupy the unit until
-     *  @p busy_until; pipelined ops only consume this cycle's slot. */
+     *  @p busy_until; pipelined ops only consume this cycle's slot.
+     *  @p tid tags the holder's SMT thread (0 on a 1-thread core). */
     void issue(std::uint8_t port, Op op, Tick now, Tick busy_until,
-               SeqNum holder, bool holder_speculative);
+               SeqNum holder, bool holder_speculative, ThreadId tid = 0);
 
-    /** Free the unit when its op completes or is squashed. */
-    void releaseIfHeldBy(SeqNum holder);
+    /** Free the unit when its op completes or is squashed. Holder
+     *  SeqNums are per-thread, so the owner thread must match. */
+    void releaseIfHeldBy(SeqNum holder, ThreadId tid = 0);
 
-    /** Free units held by squashed (younger) instructions. */
-    void squashYoungerThan(SeqNum bound);
+    /** Free units held by squashed (younger) instructions of thread 0
+     *  (single-thread core path). */
+    void squashYoungerThan(SeqNum bound) { squashThread(0, bound); }
+
+    /** Per-thread squash: free only units held by squashed (younger)
+     *  instructions of @p tid — a sibling thread's mispredict must
+     *  never release this thread's units. */
+    void squashThread(ThreadId tid, SeqNum bound);
 
     /**
      * Advanced defense: preempt the non-pipelined unit on @p port if
-     * it is held by a *speculative* instruction younger than
-     * @p requester.
+     * it is held by a *speculative* instruction of the same thread
+     * younger than @p requester. SeqNums are per-thread, so cross-
+     * thread preemption is meaningless and never happens.
      * @return the preempted holder's seq, or kSeqNumInvalid.
      */
-    SeqNum preempt(std::uint8_t port, SeqNum requester);
+    SeqNum preempt(std::uint8_t port, SeqNum requester, ThreadId tid = 0);
 
     /** Who currently occupies the (non-pipelined) unit on @p port. */
     SeqNum holder(std::uint8_t port) const { return holder_[port]; }
+
+    /** SMT thread of the current holder of @p port. */
+    ThreadId holderTid(std::uint8_t port) const { return holderTid_[port]; }
+
+    /** Is @p port unusable for thread @p tid this cycle *because of
+     *  another thread* (busy non-pipelined unit held by a sibling, or
+     *  this cycle's issue slot consumed by a sibling)? The per-cycle
+     *  observable the SMT port-contention channel integrates. */
+    bool contendedByOther(std::uint8_t port, ThreadId tid, Tick now) const;
+
+    /** Any of @p op's candidate ports contended by another thread? */
+    bool opContendedByOther(Op op, ThreadId tid, Tick now) const;
+
+    /** Number of ports whose non-pipelined unit a sibling of @p tid
+     *  holds at @p now (per-cycle contention sample). */
+    unsigned countHeldByOther(ThreadId tid, Tick now) const;
 
     /** Is the non-pipelined unit on @p port busy at @p now? */
     bool busy(std::uint8_t port, Tick now) const
@@ -80,6 +105,8 @@ class PortSet
     std::array<Tick, kNumPorts> lastIssueCycle_;
     std::array<SeqNum, kNumPorts> holder_;
     std::array<bool, kNumPorts> holderSpec_;
+    std::array<ThreadId, kNumPorts> holderTid_;
+    std::array<ThreadId, kNumPorts> lastIssueTid_;
 };
 
 } // namespace specint

@@ -55,14 +55,26 @@ class Frontend
     {
         unsigned fetchWidth = 4;
         unsigned queueCapacity = 24;
+        /** SMT thread this frontend fetches for (tag only: the SMT
+         *  fetch arbiter decides which frontend ticks each cycle). */
+        ThreadId tid = 0;
     };
 
     using IFetchFn = std::function<IFetchResult(Addr line)>;
 
-    Frontend() : Frontend(Config{4, 24}) {}
+    Frontend() : Frontend(Config{}) {}
     explicit Frontend(Config cfg) : cfg_(cfg) {}
 
     const Config &config() const { return cfg_; }
+    ThreadId tid() const { return cfg_.tid; }
+
+    /** Could a tick() at @p now make progress? Used by the SMT fetch
+     *  arbiter so a stalled thread never wastes the fetch slot.
+     *  (When false, tick() would be a no-op anyway.) */
+    bool canFetch(Tick now) const
+    {
+        return !halted_ && now >= busyUntil_ && !queueFull();
+    }
 
     /** Start fetching a fresh program at @p pc. */
     void reset(std::uint32_t pc = 0);

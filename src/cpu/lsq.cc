@@ -1,28 +1,71 @@
 /**
  * @file
  * Load/store queue implementation: conservative memory
- * disambiguation (loads wait for older store addresses) and
- * store-to-load forwarding from completed covering stores.
+ * disambiguation (loads wait for older store addresses), store-to-load
+ * forwarding from completed covering stores, and per-thread SMT
+ * capacity accounting.
  */
 
 #include "cpu/lsq.hh"
 
 #include <cassert>
+#include <numeric>
 
 namespace specint
 {
+
+namespace
+{
+
+bool
+shareFull(const std::vector<unsigned> &used, ThreadId tid,
+          unsigned capacity, SharingPolicy policy)
+{
+    if (policy == SharingPolicy::Partitioned && used.size() > 1) {
+        return used[tid] >=
+               partitionedShare(capacity,
+                                static_cast<unsigned>(used.size()));
+    }
+    return std::accumulate(used.begin(), used.end(), 0u) >= capacity;
+}
+
+} // namespace
+
+bool
+Lsq::lqFull(ThreadId tid) const
+{
+    return shareFull(loads_, tid, lqSize_, lqPolicy_);
+}
+
+bool
+Lsq::sqFull(ThreadId tid) const
+{
+    return shareFull(stores_, tid, sqSize_, sqPolicy_);
+}
+
+unsigned
+Lsq::loads() const
+{
+    return std::accumulate(loads_.begin(), loads_.end(), 0u);
+}
+
+unsigned
+Lsq::stores() const
+{
+    return std::accumulate(stores_.begin(), stores_.end(), 0u);
+}
 
 bool
 Lsq::allocate(const DynInst &inst)
 {
     if (inst.isLoad()) {
-        if (lqFull())
+        if (lqFull(inst.tid))
             return false;
-        ++loads_;
+        ++loads_[inst.tid];
     } else if (inst.isStore()) {
-        if (sqFull())
+        if (sqFull(inst.tid))
             return false;
-        ++stores_;
+        ++stores_[inst.tid];
     }
     return true;
 }
@@ -31,12 +74,19 @@ void
 Lsq::release(const DynInst &inst)
 {
     if (inst.isLoad()) {
-        assert(loads_ > 0);
-        --loads_;
+        assert(loads_[inst.tid] > 0);
+        --loads_[inst.tid];
     } else if (inst.isStore()) {
-        assert(stores_ > 0);
-        --stores_;
+        assert(stores_[inst.tid] > 0);
+        --stores_[inst.tid];
     }
+}
+
+void
+Lsq::clear()
+{
+    std::fill(loads_.begin(), loads_.end(), 0u);
+    std::fill(stores_.begin(), stores_.end(), 0u);
 }
 
 DisambigResult

@@ -8,12 +8,21 @@
  * store queue without touching the cache. This keeps the memory model
  * simple while preserving the properties the attacks use (loads hitting
  * the cache hierarchy at issue time).
+ *
+ * Under SMT the LQ/SQ capacities are split between hardware threads by
+ * a SharingPolicy (partitioned or competitively shared), mirroring the
+ * RS. Disambiguation stays thread-local: the SMT core passes each
+ * load's own-thread ROB, and no cross-thread memory ordering is
+ * modelled (the attack programs use disjoint address ranges).
  */
 
 #ifndef SPECINT_CPU_LSQ_HH
 #define SPECINT_CPU_LSQ_HH
 
+#include <vector>
+
 #include "cpu/rob.hh"
+#include "smt/policy.hh"
 
 namespace specint
 {
@@ -31,33 +40,47 @@ struct DisambigResult
 class Lsq
 {
   public:
-    Lsq(unsigned lq_size = 72, unsigned sq_size = 56)
-        : lqSize_(lq_size), sqSize_(sq_size)
+    Lsq(unsigned lq_size = 72, unsigned sq_size = 56,
+        unsigned num_threads = 1,
+        SharingPolicy lq_policy = SharingPolicy::Shared,
+        SharingPolicy sq_policy = SharingPolicy::Shared)
+        : lqSize_(lq_size), sqSize_(sq_size), lqPolicy_(lq_policy),
+          sqPolicy_(sq_policy),
+          loads_(num_threads == 0 ? 1 : num_threads, 0),
+          stores_(num_threads == 0 ? 1 : num_threads, 0)
     {}
 
-    bool lqFull() const { return loads_ >= lqSize_; }
-    bool sqFull() const { return stores_ >= sqSize_; }
-    unsigned loads() const { return loads_; }
-    unsigned stores() const { return stores_; }
+    bool lqFull() const { return lqFull(0); }
+    bool sqFull() const { return sqFull(0); }
+    bool lqFull(ThreadId tid) const;
+    bool sqFull(ThreadId tid) const;
+    unsigned loads() const;
+    unsigned stores() const;
+    unsigned loads(ThreadId tid) const { return loads_[tid]; }
+    unsigned stores(ThreadId tid) const { return stores_[tid]; }
 
-    /** Dispatch-time allocation. @return false if no space. */
+    /** Dispatch-time allocation (accounted to inst.tid).
+     *  @return false if no space. */
     bool allocate(const DynInst &inst);
     /** Retire/squash-time release. */
     void release(const DynInst &inst);
 
     /**
      * Check whether @p load (already address-resolved) may issue given
-     * the older stores in @p rob, and whether it can forward.
+     * the older stores in @p rob, and whether it can forward. @p rob
+     * must be the load's own thread's ROB.
      */
     DisambigResult check(const DynInst &load, const Rob &rob) const;
 
-    void clear() { loads_ = stores_ = 0; }
+    void clear();
 
   private:
     unsigned lqSize_;
     unsigned sqSize_;
-    unsigned loads_ = 0;
-    unsigned stores_ = 0;
+    SharingPolicy lqPolicy_;
+    SharingPolicy sqPolicy_;
+    std::vector<unsigned> loads_;
+    std::vector<unsigned> stores_;
 };
 
 } // namespace specint

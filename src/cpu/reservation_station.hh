@@ -10,13 +10,20 @@
  *
  * Membership itself is tracked on the DynInst (inRs flag); this class
  * owns the capacity accounting so the two free-policies stay in one
- * place.
+ * place. Under SMT the capacity is divided between hardware threads by
+ * a SharingPolicy: statically partitioned (each thread owns
+ * capacity/numThreads entries) or competitively shared (first come,
+ * first served) — the latter is what lets one thread's occupancy
+ * back-pressure its sibling.
  */
 
 #ifndef SPECINT_CPU_RESERVATION_STATION_HH
 #define SPECINT_CPU_RESERVATION_STATION_HH
 
+#include <vector>
+
 #include "cpu/rob.hh"
+#include "smt/policy.hh"
 
 namespace specint
 {
@@ -24,25 +31,40 @@ namespace specint
 class ReservationStation
 {
   public:
-    explicit ReservationStation(unsigned capacity = 97)
-        : capacity_(capacity)
+    explicit ReservationStation(unsigned capacity = 97,
+                                unsigned num_threads = 1,
+                                SharingPolicy policy =
+                                    SharingPolicy::Shared)
+        : capacity_(capacity), policy_(policy),
+          used_(num_threads == 0 ? 1 : num_threads, 0)
     {}
 
     unsigned capacity() const { return capacity_; }
-    unsigned occupancy() const { return used_; }
-    bool full() const { return used_ >= capacity_; }
+    unsigned occupancy() const;
+    unsigned occupancy(ThreadId tid) const { return used_[tid]; }
+    /** Entries held by threads other than @p tid (contention sample). */
+    unsigned occupancyOther(ThreadId tid) const
+    {
+        return occupancy() - used_[tid];
+    }
 
-    /** Dispatch an instruction into the RS. */
+    /** May thread 0 allocate? (single-thread core path) */
+    bool full() const { return full(0); }
+    /** May thread @p tid not allocate another entry right now? */
+    bool full(ThreadId tid) const;
+
+    /** Dispatch an instruction (accounted to inst.tid's share). */
     void allocate(DynInst &inst);
 
     /** Free @p inst's entry (no-op if it holds none). */
     void release(DynInst &inst);
 
-    void clear() { used_ = 0; }
+    void clear();
 
   private:
     unsigned capacity_;
-    unsigned used_ = 0;
+    SharingPolicy policy_;
+    std::vector<unsigned> used_;
 };
 
 } // namespace specint

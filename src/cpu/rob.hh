@@ -48,6 +48,12 @@ enum class LoadPhase : std::uint8_t
 struct DynInst
 {
     SeqNum seq = kSeqNumInvalid;
+    /** Hardware (SMT) thread this instruction belongs to. SeqNums are
+     *  per-thread; cross-thread age comparisons must use @ref stamp. */
+    ThreadId tid = 0;
+    /** Core-global dispatch order, shared by all SMT threads: the age
+     *  key for cross-thread arbitration (CDB slots, issue ports). */
+    std::uint64_t stamp = 0;
     std::uint32_t pc = 0;
     StaticInst si;
 

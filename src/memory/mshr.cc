@@ -40,9 +40,20 @@ MshrFile::hasEntry(Addr addr, Tick now)
     return false;
 }
 
+unsigned
+MshrFile::inUseBy(ThreadId tid, Tick now)
+{
+    expire(now);
+    unsigned n = 0;
+    for (const auto &e : live_)
+        if (e.tid == tid)
+            ++n;
+    return n;
+}
+
 bool
 MshrFile::allocate(Addr addr, Tick now, Tick ready_at, SeqNum seq,
-                   bool speculative)
+                   bool speculative, ThreadId tid)
 {
     expire(now);
     const Addr line = lineAlign(addr);
@@ -60,6 +71,7 @@ MshrFile::allocate(Addr addr, Tick now, Tick ready_at, SeqNum seq,
     e.targets = 1;
     e.allocSeq = seq;
     e.speculative = speculative;
+    e.tid = tid;
     live_.push_back(e);
     return true;
 }
@@ -86,12 +98,12 @@ MshrFile::earliestReady(Tick now)
 }
 
 bool
-MshrFile::preemptYoungestSpeculative(Tick now)
+MshrFile::preemptYoungestSpeculative(Tick now, ThreadId tid)
 {
     expire(now);
     auto victim = live_.end();
     for (auto it = live_.begin(); it != live_.end(); ++it) {
-        if (!it->speculative)
+        if (!it->speculative || it->tid != tid)
             continue;
         if (victim == live_.end() || it->allocSeq > victim->allocSeq)
             victim = it;
@@ -103,11 +115,11 @@ MshrFile::preemptYoungestSpeculative(Tick now)
 }
 
 void
-MshrFile::squashYoungerThan(SeqNum bound)
+MshrFile::squashThread(ThreadId tid, SeqNum bound)
 {
     live_.erase(std::remove_if(live_.begin(), live_.end(),
-                               [bound](const MshrEntry &e) {
-                                   return e.speculative &&
+                               [tid, bound](const MshrEntry &e) {
+                                   return e.speculative && e.tid == tid &&
                                           e.allocSeq != kSeqNumInvalid &&
                                           e.allocSeq > bound;
                                }),

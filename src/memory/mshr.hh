@@ -32,6 +32,9 @@ struct MshrEntry
      *  by AdvancedDefense to preempt speculative holders. */
     SeqNum allocSeq = kSeqNumInvalid;
     bool speculative = false;
+    /** SMT thread of the first allocator. SeqNums are per-thread, so
+     *  squash and preemption must be scoped to this thread. */
+    ThreadId tid = 0;
 };
 
 /**
@@ -47,6 +50,16 @@ class MshrFile
     /** Entries currently allocated at time @p now (after expiry). */
     unsigned inUse(Tick now);
 
+    /** Entries currently held by thread @p tid (SMT accounting). */
+    unsigned inUseBy(ThreadId tid, Tick now);
+
+    /** Entries held by threads other than @p tid — the per-cycle
+     *  occupancy observable of the SMT MSHR-contention channel. */
+    unsigned inUseByOther(ThreadId tid, Tick now)
+    {
+        return inUse(now) - inUseBy(tid, now);
+    }
+
     bool full(Tick now) { return inUse(now) >= entries_; }
 
     /** Is there already an entry for this line? */
@@ -54,12 +67,15 @@ class MshrFile
 
     /**
      * Allocate an entry (or merge into an existing one) for a miss on
-     * @p addr completing at @p ready_at.
+     * @p addr completing at @p ready_at. The MSHR file is fully shared
+     * between SMT threads; @p tid only tags the entry for accounting
+     * and thread-local squash.
      * @return true on success; false if the file is full and no merge
      *         is possible (the load must retry later).
      */
     bool allocate(Addr addr, Tick now, Tick ready_at,
-                  SeqNum seq = kSeqNumInvalid, bool speculative = false);
+                  SeqNum seq = kSeqNumInvalid, bool speculative = false,
+                  ThreadId tid = 0);
 
     /**
      * Completion time of the entry covering @p addr (kTickMax if none).
@@ -73,13 +89,20 @@ class MshrFile
     Tick earliestReady(Tick now);
 
     /**
-     * Free the youngest speculative entry (AdvancedDefense "squashable
-     * resource" rule). @return true if one was freed.
+     * Free the youngest speculative entry of thread @p tid
+     * (AdvancedDefense "squashable resource" rule; age comparisons use
+     * per-thread SeqNums, so the rule is thread-local).
+     * @return true if one was freed.
      */
-    bool preemptYoungestSpeculative(Tick now);
+    bool preemptYoungestSpeculative(Tick now, ThreadId tid = 0);
 
-    /** Drop entries allocated by squashed instructions (seq > bound). */
-    void squashYoungerThan(SeqNum bound);
+    /** Drop thread-0 entries allocated by squashed instructions
+     *  (single-thread core path). */
+    void squashYoungerThan(SeqNum bound) { squashThread(0, bound); }
+
+    /** Per-thread squash: drop speculative entries of @p tid with
+     *  seq > bound. A sibling thread's entries are untouched. */
+    void squashThread(ThreadId tid, SeqNum bound);
 
     /** Drop everything. */
     void reset() { live_.clear(); }

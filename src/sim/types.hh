@@ -52,6 +52,12 @@ lineNumber(Addr a)
 /** Identifier for a hardware client of the shared cache (core id). */
 using CoreId = std::uint8_t;
 
+/** Hardware (SMT) thread index within one physical core. */
+using ThreadId = std::uint8_t;
+
+/** Upper bound on SMT threads per core (config validation). */
+constexpr unsigned kMaxSmtThreads = 8;
+
 /** Dynamic instruction sequence number; strictly increasing per core. */
 using SeqNum = std::uint64_t;
 

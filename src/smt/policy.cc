@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Display names for the SMT sharing/arbitration policies.
+ */
+
+#include "smt/policy.hh"
+
+namespace specint
+{
+
+std::string
+sharingPolicyName(SharingPolicy p)
+{
+    switch (p) {
+      case SharingPolicy::Partitioned: return "partitioned";
+      case SharingPolicy::Shared: return "shared";
+    }
+    return "?";
+}
+
+std::string
+fetchPolicyName(FetchPolicy p)
+{
+    switch (p) {
+      case FetchPolicy::RoundRobin: return "round-robin";
+      case FetchPolicy::ICount: return "icount";
+    }
+    return "?";
+}
+
+} // namespace specint

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * SmtConfig validation and display-name helpers.
+ */
+
+#include "smt/smt_config.hh"
+
+#include "cpu/core.hh"
+
+namespace specint
+{
+
+std::string
+validateSmtConfig(const SmtConfig &smt, const CoreConfig &core)
+{
+    if (smt.numThreads == 0)
+        return "numThreads must be nonzero";
+    if (smt.numThreads > kMaxSmtThreads) {
+        return "numThreads (" + std::to_string(smt.numThreads) +
+               ") exceeds kMaxSmtThreads (" +
+               std::to_string(kMaxSmtThreads) + ")";
+    }
+
+    // A partitioned structure must leave every thread at least one
+    // entry, or that thread can never dispatch its instruction class.
+    const struct
+    {
+        SharingPolicy policy;
+        unsigned capacity;
+        const char *name;
+    } parts[] = {
+        {smt.robPolicy, core.robSize, "robSize"},
+        {smt.rsPolicy, core.rsSize, "rsSize"},
+        {smt.lqPolicy, core.lqSize, "lqSize"},
+        {smt.sqPolicy, core.sqSize, "sqSize"},
+    };
+    for (const auto &p : parts) {
+        if (p.policy == SharingPolicy::Partitioned &&
+            partitionedShare(p.capacity, smt.numThreads) == 0) {
+            return std::string(p.name) + " (" +
+                   std::to_string(p.capacity) +
+                   ") partitioned over " +
+                   std::to_string(smt.numThreads) +
+                   " threads leaves zero entries per thread";
+        }
+    }
+    return "";
+}
+
+std::string
+smtConfigName(const SmtConfig &smt)
+{
+    auto tag = [](SharingPolicy p) {
+        return p == SharingPolicy::Partitioned ? "part" : "shared";
+    };
+    return std::to_string(smt.numThreads) + "T rob:" +
+           tag(smt.robPolicy) + " rs:" + tag(smt.rsPolicy) + " lq:" +
+           tag(smt.lqPolicy) + " sq:" + tag(smt.sqPolicy) + " fetch:" +
+           fetchPolicyName(smt.fetchPolicy);
+}
+
+} // namespace specint

@@ -1,0 +1,989 @@
+/**
+ * @file
+ * SMT core implementation. Each stage is a mechanical
+ * generalisation of the corresponding Core stage (cpu/core.cc) from
+ * one implicit thread to N explicit thread contexts: per-thread state
+ * lives in Thread, shared structures (RS, LSQ, ports, MSHRs) are
+ * indexed by ThreadId, and cross-thread arbitration (CDB slots, issue
+ * order) runs in global dispatch-stamp order. With one thread the
+ * merged orderings collapse to ROB order and every stage reduces to
+ * Core's — tests/test_smt.cc pins that equivalence cycle-for-cycle, so
+ * any behavioural change here must be mirrored in core.cc (and vice
+ * versa) or that regression will fail.
+ */
+
+#include "smt/smt_core.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/log.hh"
+#include "spec/unsafe.hh"
+
+namespace specint
+{
+
+/** Per-thread pipeline context. */
+struct SmtCore::Thread
+{
+    using RenameMap = std::array<SeqNum, kNumRegs>;
+
+    Thread(const CoreConfig &cfg, ThreadId t)
+        : tid(t), frontend({cfg.fetchWidth, cfg.decodeQueue, t}),
+          rob(cfg.robSize)
+    {
+        scheme = std::make_unique<UnsafeScheme>();
+        renameMap.fill(kSeqNumInvalid);
+    }
+
+    ThreadId tid;
+    Frontend frontend;
+    BranchPredictor predictor;
+    Rob rob;
+    SchemePtr scheme;
+
+    const Program *prog = nullptr;
+    bool haltRetired = false;
+    SeqNum nextSeq = 0;
+
+    std::array<std::uint64_t, kNumRegs> archRegs{};
+    RenameMap renameMap{};
+    std::map<SeqNum, RenameMap> checkpoints;
+
+    SmtThreadStats stats;
+    std::vector<InstTraceEntry> trace;
+    std::vector<SmtContentionSample> samples;
+
+    /** @name Per-cycle flags */
+    /// @{
+    bool dispatchBlocked = false;
+    bool portContended = false;
+    bool mshrContended = false;
+    /// @}
+};
+
+SmtCore::SmtCore(CoreConfig cfg, SmtConfig smt, CoreId id,
+                 Hierarchy &hier, MainMemory &mem)
+    : cfg_(cfg), smt_(smt), id_(id), hier_(&hier), mem_(&mem),
+      rs_(cfg.rsSize, smt.numThreads, smt.rsPolicy),
+      lsq_(cfg.lqSize, cfg.sqSize, smt.numThreads, smt.lqPolicy,
+           smt.sqPolicy),
+      mshr_(cfg.mshrs), arbiter_(smt.fetchPolicy, smt.numThreads)
+{
+    std::string err = cfg_.validate();
+    if (err.empty())
+        err = validateSmtConfig(smt_, cfg_);
+    if (!err.empty())
+        fatal("SmtCore: " + err);
+    for (unsigned t = 0; t < smt_.numThreads; ++t) {
+        threads_.push_back(
+            std::make_unique<Thread>(cfg_, static_cast<ThreadId>(t)));
+    }
+}
+
+SmtCore::~SmtCore() = default;
+
+void
+SmtCore::setScheme(ThreadId tid, SchemePtr scheme)
+{
+    assert(scheme && tid < threads_.size());
+    threads_[tid]->scheme = std::move(scheme);
+}
+
+Scheme &
+SmtCore::scheme(ThreadId tid)
+{
+    return *threads_[tid]->scheme;
+}
+
+BranchPredictor &
+SmtCore::predictor(ThreadId tid)
+{
+    return threads_[tid]->predictor;
+}
+
+const std::vector<InstTraceEntry> &
+SmtCore::trace(ThreadId tid) const
+{
+    return threads_[tid]->trace;
+}
+
+const InstTraceEntry *
+SmtCore::traceEntry(ThreadId tid, const std::string &label) const
+{
+    for (const auto &e : threads_[tid]->trace)
+        if (e.label == label)
+            return &e;
+    return nullptr;
+}
+
+Tick
+SmtCore::completeTime(ThreadId tid, const std::string &label) const
+{
+    const InstTraceEntry *e = traceEntry(tid, label);
+    return e ? e->completeAt : kTickMax;
+}
+
+std::uint64_t
+SmtCore::archReg(ThreadId tid, RegId reg) const
+{
+    return threads_[tid]->archRegs[reg];
+}
+
+const std::vector<SmtContentionSample> &
+SmtCore::contention(ThreadId tid) const
+{
+    return threads_[tid]->samples;
+}
+
+// ---------------------------------------------------------------------
+// Capacity policies
+// ---------------------------------------------------------------------
+
+unsigned
+SmtCore::robShare() const
+{
+    return partitionedShare(cfg_.robSize, smt_.numThreads);
+}
+
+unsigned
+SmtCore::robOccupancyTotal() const
+{
+    unsigned n = 0;
+    for (const auto &th : threads_)
+        n += static_cast<unsigned>(th->rob.size());
+    return n;
+}
+
+bool
+SmtCore::robFull(const Thread &th) const
+{
+    if (smt_.robPolicy == SharingPolicy::Partitioned &&
+        smt_.numThreads > 1) {
+        return th.rob.size() >= robShare();
+    }
+    return robOccupancyTotal() >= cfg_.robSize;
+}
+
+// ---------------------------------------------------------------------
+// Run loop
+// ---------------------------------------------------------------------
+
+void
+SmtCore::resetPipeline(const std::vector<const Program *> &progs)
+{
+    now_ = 0;
+    nextStamp_ = 0;
+    dispatchRR_ = 0;
+    rs_.clear();
+    lsq_.clear();
+    ports_.reset();
+    mshr_.reset();
+    arbiter_.reset();
+    for (unsigned t = 0; t < threads_.size(); ++t) {
+        Thread &th = *threads_[t];
+        th.prog = progs[t];
+        th.frontend.reset(0);
+        th.rob.clear();
+        th.haltRetired = false;
+        th.nextSeq = 0;
+        th.renameMap.fill(kSeqNumInvalid);
+        th.checkpoints.clear();
+        const auto &init = th.prog->initRegs();
+        for (unsigned r = 0; r < kNumRegs; ++r)
+            th.archRegs[r] = init[r];
+        th.stats = SmtThreadStats{};
+        th.trace.clear();
+        th.samples.clear();
+        th.scheme->reset();
+    }
+}
+
+bool
+SmtCore::allHalted() const
+{
+    for (const auto &th : threads_)
+        if (!th->haltRetired)
+            return false;
+    return true;
+}
+
+SmtRunResult
+SmtCore::run(const std::vector<const Program *> &progs)
+{
+    assert(progs.size() == threads_.size());
+    for ([[maybe_unused]] const Program *p : progs)
+        assert(p && !p->empty());
+    resetPipeline(progs);
+    while (!allHalted() && now_ < cfg_.maxCycles)
+        tick();
+
+    SmtRunResult res;
+    res.cycles = now_;
+    res.finished = allHalted();
+    if (!res.finished) {
+        warn("SmtCore::run hit maxCycles (" + std::to_string(now_) +
+             ") before every thread's Halt retired");
+    }
+    for (auto &tp : threads_) {
+        tp->stats.finished = tp->haltRetired;
+        if (!tp->haltRetired)
+            tp->stats.cycles = now_;
+        res.threads.push_back(tp->stats);
+    }
+    return res;
+}
+
+void
+SmtCore::tick()
+{
+    if (cycleHook_)
+        cycleHook_(now_);
+    ports_.beginCycle(now_);
+    for (auto &tp : threads_)
+        tp->portContended = tp->mshrContended = false;
+    retireStage();
+    writebackStage();
+    safetyStage();
+    issueStage();
+    dispatchStage();
+    fetchStage();
+    sampleContention();
+    ++now_;
+}
+
+void
+SmtCore::sampleContention()
+{
+    for (auto &tp : threads_) {
+        Thread &th = *tp;
+        if (th.portContended)
+            ++th.stats.portContendedCycles;
+        if (th.mshrContended)
+            ++th.stats.mshrContendedCycles;
+        if (!smt_.recordContention)
+            continue;
+        SmtContentionSample s;
+        s.cycle = now_;
+        s.portsHeldByOther = static_cast<std::uint8_t>(
+            ports_.countHeldByOther(th.tid, now_));
+        s.port0HeldByOther = ports_.holder(0) != kSeqNumInvalid &&
+                             ports_.holderTid(0) != th.tid &&
+                             ports_.busy(0, now_);
+        s.mshrHeldByOther = static_cast<std::uint8_t>(
+            mshr_.inUseByOther(th.tid, now_));
+        s.portContended = th.portContended;
+        s.mshrContended = th.mshrContended;
+        th.samples.push_back(s);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shadow / safety computation (per thread, as in Core)
+// ---------------------------------------------------------------------
+
+std::vector<SmtCore::ShadowInfo>
+SmtCore::computeShadows(const Thread &th) const
+{
+    std::vector<ShadowInfo> out;
+    out.reserve(th.rob.size());
+    ShadowInfo running;
+    for (const auto &inst : th.rob) {
+        out.push_back(running);
+        if (inst.isBranch() && !inst.resolved)
+            running.olderUnresolvedBranch = true;
+        if (inst.isLoad() && !inst.executed()) {
+            running.olderIncompleteLoad = true;
+            running.olderIncompleteMem = true;
+        }
+        if (inst.isStore() && !inst.executed())
+            running.olderIncompleteMem = true;
+    }
+    return out;
+}
+
+bool
+SmtCore::isSafe(const Thread &th, const DynInst &inst,
+                const ShadowInfo &sh, SafePoint sp) const
+{
+    switch (sp) {
+      case SafePoint::Always:
+        return true;
+      case SafePoint::BranchesResolved:
+        return !sh.olderUnresolvedBranch;
+      case SafePoint::TSO:
+        return !sh.olderUnresolvedBranch && !sh.olderIncompleteMem;
+      case SafePoint::RobHead:
+        return !th.rob.empty() && th.rob.head().seq == inst.seq;
+    }
+    panic("SmtCore::isSafe: unknown SafePoint");
+}
+
+// ---------------------------------------------------------------------
+// Retire
+// ---------------------------------------------------------------------
+
+void
+SmtCore::retireStage()
+{
+    for (auto &tp : threads_) {
+        Thread &th = *tp;
+        for (unsigned n = 0; n < cfg_.retireWidth && !th.rob.empty();
+             ++n) {
+            DynInst &h = th.rob.head();
+            if (h.state != InstState::WrittenBack)
+                break;
+
+            if (h.isStore()) {
+                mem_->write(h.effAddr, h.result);
+                hier_->access(id_, h.effAddr, AccessType::Data, now_);
+            }
+            if (h.isLoad()) {
+                if (h.exposurePending) {
+                    hier_->access(id_, h.effAddr, AccessType::Data,
+                                  now_);
+                    h.exposurePending = false;
+                }
+                if (h.deferredTouchPending) {
+                    hier_->l1DeferredTouch(id_, h.effAddr,
+                                           AccessType::Data);
+                    h.deferredTouchPending = false;
+                }
+            }
+            if (h.ifetchExposureLine != kAddrInvalid) {
+                hier_->access(id_, h.ifetchExposureLine,
+                              AccessType::Instr, now_);
+            }
+
+            if (h.si.writesReg())
+                th.archRegs[h.si.dst] = h.result;
+            if (h.si.writesReg() && th.renameMap[h.si.dst] == h.seq)
+                th.renameMap[h.si.dst] = kSeqNumInvalid;
+
+            rs_.release(h);
+            lsq_.release(h);
+            if (h.isBranch())
+                th.checkpoints.erase(h.seq);
+            if (h.si.op == Op::Halt) {
+                th.haltRetired = true;
+                th.stats.cycles = now_;
+            }
+
+            h.state = InstState::Retired;
+            h.retiredAt = now_;
+            ++th.stats.retired;
+
+            if (cfg_.recordTrace && !h.si.label.empty()) {
+                th.trace.push_back({h.si.label, h.pc, h.seq,
+                                    h.dispatchedAt, h.issuedAt,
+                                    h.completeAt, h.retiredAt,
+                                    h.effAddr});
+            }
+            th.rob.popHead();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Writeback / branch resolution
+// ---------------------------------------------------------------------
+
+void
+SmtCore::wakeConsumers(Thread &th, const DynInst &producer)
+{
+    for (auto &inst : th.rob) {
+        if (inst.seq <= producer.seq ||
+            inst.state != InstState::Dispatched) {
+            continue;
+        }
+        bool woke = false;
+        if (!inst.src1Ready && inst.src1Prod == producer.seq) {
+            inst.src1Ready = true;
+            inst.src1Val = producer.result;
+            woke = true;
+        }
+        if (!inst.src2Ready && inst.src2Prod == producer.seq) {
+            inst.src2Ready = true;
+            inst.src2Val = producer.result;
+            woke = true;
+        }
+        if (woke)
+            inst.readyAt = std::max(inst.readyAt, now_ + 1);
+    }
+}
+
+void
+SmtCore::resolveBranch(Thread &th, DynInst &br)
+{
+    assert(br.isBranch() && !br.resolved);
+    br.actualTaken = evalCond(br.si.cond, br.src1Val, br.src2Val);
+    br.mispredicted = br.actualTaken != br.predictedTaken;
+    br.resolved = true;
+    th.predictor.update(br.pc, br.actualTaken);
+    ++th.stats.branches;
+    if (br.mispredicted) {
+        ++th.stats.mispredicts;
+        squashAfter(th, br);
+    }
+}
+
+void
+SmtCore::writebackStage()
+{
+    // Branches resolve per thread, exactly as in Core (index-based
+    // loop: a squash removes that thread's younger entries).
+    for (auto &tp : threads_) {
+        Thread &th = *tp;
+        for (std::size_t idx = 0; idx < th.rob.size(); ++idx) {
+            DynInst &inst = *std::next(
+                th.rob.begin(), static_cast<std::ptrdiff_t>(idx));
+            if (inst.isBranch() && inst.state == InstState::Issued &&
+                inst.completeAt <= now_) {
+                inst.state = InstState::WrittenBack;
+                inst.wbAt = now_;
+                ports_.releaseIfHeldBy(inst.seq, th.tid);
+                resolveBranch(th, inst);
+                if (inst.mispredicted)
+                    break; // this thread's younger entries are gone
+            }
+        }
+    }
+
+    // Value-producing instructions from all threads arbitrate for the
+    // shared cdbWidth slots in global age (dispatch-stamp) order.
+    std::vector<std::pair<Thread *, DynInst *>> cands;
+    for (auto &tp : threads_) {
+        for (auto &inst : tp->rob) {
+            if (inst.state == InstState::Issued && !inst.isBranch() &&
+                inst.completeAt <= now_) {
+                cands.emplace_back(tp.get(), &inst);
+            }
+        }
+    }
+    std::sort(cands.begin(), cands.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second->stamp < b.second->stamp;
+              });
+    unsigned slots = cfg_.cdbWidth;
+    for (auto &[th, inst] : cands) {
+        if (slots == 0)
+            break;
+        inst->state = InstState::WrittenBack;
+        inst->wbAt = now_;
+        ports_.releaseIfHeldBy(inst->seq, th->tid);
+        wakeConsumers(*th, *inst);
+        --slots;
+    }
+}
+
+void
+SmtCore::squashAfter(Thread &th, const DynInst &br)
+{
+    const SeqNum bound = br.seq;
+
+    // Release structural resources held by this thread's squashed
+    // instructions; a sibling's holdings are untouched.
+    for (const auto &inst : th.rob) {
+        if (inst.seq <= bound)
+            continue;
+        rs_.release(const_cast<DynInst &>(inst));
+        lsq_.release(inst);
+    }
+    th.rob.squashYoungerThan(bound);
+    ports_.squashThread(th.tid, bound);
+    mshr_.squashThread(th.tid, bound);
+    th.scheme->filterSquashYoungerThan(bound);
+
+    const auto it = th.checkpoints.find(bound);
+    assert(it != th.checkpoints.end());
+    th.renameMap = it->second;
+    th.checkpoints.erase(std::next(it), th.checkpoints.end());
+
+    // Per-thread SeqNums are reused exactly as in Core; the global
+    // dispatch stamp is never reused, so cross-thread age arbitration
+    // stays consistent across squashes.
+    th.nextSeq = bound + 1;
+
+    const std::uint32_t new_pc =
+        br.actualTaken ? br.si.target : br.pc + 1;
+    th.frontend.redirect(new_pc, now_ + cfg_.squashPenalty);
+    ++th.stats.squashes;
+}
+
+// ---------------------------------------------------------------------
+// Safety transitions (exposure / deferred updates)
+// ---------------------------------------------------------------------
+
+void
+SmtCore::safetyStage()
+{
+    for (auto &tp : threads_) {
+        Thread &th = *tp;
+        if (th.rob.empty())
+            continue;
+        const auto shadows = computeShadows(th);
+        const SafePoint sp = th.scheme->safePoint();
+        std::size_t i = 0;
+        for (auto &inst : th.rob) {
+            const ShadowInfo &sh = shadows[i++];
+            if (!inst.isLoad() || !inst.executed())
+                continue;
+            if (!(inst.exposurePending || inst.deferredTouchPending))
+                continue;
+            if (!isSafe(th, inst, sh, sp))
+                continue;
+            if (inst.exposurePending) {
+                hier_->access(id_, inst.effAddr, AccessType::Data,
+                              now_);
+                inst.exposurePending = false;
+            }
+            if (inst.deferredTouchPending) {
+                hier_->l1DeferredTouch(id_, inst.effAddr,
+                                       AccessType::Data);
+                inst.deferredTouchPending = false;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Issue
+// ---------------------------------------------------------------------
+
+std::uint64_t
+SmtCore::execute(const DynInst &inst) const
+{
+    switch (inst.si.op) {
+      case Op::IntAlu:
+        return inst.src1Val + inst.src2Val +
+               static_cast<std::uint64_t>(inst.si.imm);
+      case Op::IntMul:
+        return inst.src1Val * (inst.si.src2 == kNoReg ? 1 : inst.src2Val) +
+               static_cast<std::uint64_t>(inst.si.imm);
+      case Op::FpSqrt:
+      case Op::FpDiv:
+        return inst.src1Val;
+      default:
+        return 0;
+    }
+}
+
+void
+SmtCore::issueStage()
+{
+    // Per-thread shadows first (as in Core: computed once per stage),
+    // then one merged pass over all ROBs in global age order.
+    struct Cand
+    {
+        Thread *th;
+        DynInst *inst;
+        const ShadowInfo *sh;
+    };
+    std::vector<std::vector<ShadowInfo>> shadows(threads_.size());
+    std::vector<Cand> order;
+    for (unsigned t = 0; t < threads_.size(); ++t) {
+        Thread &th = *threads_[t];
+        if (th.rob.empty())
+            continue;
+        shadows[t] = computeShadows(th);
+        std::size_t i = 0;
+        for (auto &inst : th.rob)
+            order.push_back({&th, &inst, &shadows[t][i++]});
+    }
+    if (order.empty())
+        return;
+    std::sort(order.begin(), order.end(),
+              [](const Cand &a, const Cand &b) {
+                  return a.inst->stamp < b.inst->stamp;
+              });
+
+    unsigned issued = 0;
+    for (const Cand &c : order) {
+        Thread &th = *c.th;
+        DynInst &inst = *c.inst;
+        const ShadowInfo &sh = *c.sh;
+        if (issued >= cfg_.issueWidth)
+            break;
+        if (inst.state != InstState::Dispatched)
+            continue;
+        if (!inst.src1Ready || !inst.src2Ready)
+            continue;
+        if (inst.readyAt > now_ || inst.retryAt > now_)
+            continue;
+
+        if (inst.loadPhase == LoadPhase::WaitSafe &&
+            !isSafe(th, inst, sh, th.scheme->safePoint())) {
+            continue;
+        }
+
+        if (inst.si.op == Op::Fence && th.rob.head().seq != inst.seq)
+            continue;
+
+        IssueContext ctx;
+        ctx.olderUnresolvedBranch = sh.olderUnresolvedBranch;
+        ctx.olderIncompleteLoad = sh.olderIncompleteLoad;
+        ctx.isLoad = inst.isLoad();
+        ctx.isBranch = inst.isBranch();
+        if (!th.scheme->mayIssue(ctx))
+            continue;
+
+        if (tryIssue(th, inst, sh))
+            ++issued;
+    }
+}
+
+bool
+SmtCore::tryIssue(Thread &th, DynInst &inst, const ShadowInfo &sh)
+{
+    const OpTraits &traits = opTraits(inst.si.op);
+    const SchedFlags flags = th.scheme->schedFlags();
+    const bool speculative = sh.olderUnresolvedBranch;
+
+    int port = ports_.selectPort(inst.si.op, now_);
+    if (port < 0 && flags.strictAgePriority && !traits.pipelined) {
+        // Advanced defense rule 2, thread-local: preempt the
+        // squashable EU held by a younger speculative instruction of
+        // the *same* thread (SeqNums are per-thread).
+        for (std::uint8_t p : traits.ports) {
+            const SeqNum victim = ports_.preempt(p, inst.seq, th.tid);
+            if (victim == kSeqNumInvalid)
+                continue;
+            DynInst *v = th.rob.find(victim);
+            assert(v && v->state == InstState::Issued);
+            v->state = InstState::Dispatched;
+            v->issuedAt = kTickMax;
+            v->completeAt = kTickMax;
+            v->retryAt = now_ + 1;
+            if (!v->inRs)
+                rs_.allocate(*v);
+            port = p;
+            break;
+        }
+    }
+    if (port < 0) {
+        // The per-cycle observable of the SMT port-contention channel:
+        // a ready instruction denied a port a sibling occupies.
+        if (smt_.numThreads > 1 &&
+            ports_.opContendedByOther(inst.si.op, th.tid, now_)) {
+            th.portContended = true;
+        }
+        return false;
+    }
+
+    if (inst.isLoad()) {
+        if (!issueLoad(th, inst,
+                       isSafe(th, inst, sh, th.scheme->safePoint()),
+                       speculative)) {
+            return false;
+        }
+    } else if (inst.isStore()) {
+        inst.effAddr = inst.src1Val * inst.si.scale +
+                       static_cast<std::uint64_t>(inst.si.imm);
+        inst.result = inst.src2Val;
+        inst.completeAt = now_ + traits.latency;
+    } else {
+        inst.result = execute(inst);
+        inst.completeAt = now_ + traits.latency;
+    }
+
+    ports_.issue(static_cast<std::uint8_t>(port), inst.si.op, now_,
+                 inst.completeAt, inst.seq, speculative, th.tid);
+    inst.port = port;
+    inst.state = InstState::Issued;
+    inst.issuedAt = now_;
+    ++th.stats.issued;
+    if (!th.scheme->schedFlags().holdRsUntilRetire)
+        rs_.release(inst);
+    return true;
+}
+
+bool
+SmtCore::issueLoad(Thread &th, DynInst &inst, bool safe,
+                   bool speculative)
+{
+    inst.effAddr = (inst.si.src1 == kNoReg ? 0
+                        : inst.src1Val * inst.si.scale) +
+                   static_cast<std::uint64_t>(inst.si.imm);
+
+    // Memory disambiguation against this thread's own older stores.
+    const DisambigResult dis = lsq_.check(inst, th.rob);
+    if (dis.blocked) {
+        inst.retryAt = now_ + 1;
+        return false;
+    }
+    if (inst.loadPhase == LoadPhase::None)
+        ++th.stats.loads;
+    if (dis.forward) {
+        inst.forwarded = true;
+        inst.result = dis.forwardValue;
+        inst.completeAt = now_ + cfg_.storeForwardLatency;
+        inst.loadPhase = LoadPhase::Done;
+        return true;
+    }
+
+    const SpecLoadPolicy policy =
+        safe ? SpecLoadPolicy::Visible : th.scheme->specLoadPolicy();
+    const Tick jitter = noise_ ? noise_->loadJitter() : 0;
+    const Addr line = lineAlign(inst.effAddr);
+    const SchedFlags flags = th.scheme->schedFlags();
+
+    auto need_mshr = [&](bool l1_hit) -> bool { return !l1_hit; };
+    auto acquire_mshr = [&](Tick ready_at, bool spec_alloc) -> bool {
+        if (mshr_.hasEntry(line, now_) ||
+            mshr_.allocate(line, now_, ready_at, inst.seq, spec_alloc,
+                           th.tid)) {
+            return true;
+        }
+        if (flags.preemptSpecMshr && !spec_alloc &&
+            mshr_.preemptYoungestSpeculative(now_, th.tid)) {
+            return mshr_.allocate(line, now_, ready_at, inst.seq,
+                                  spec_alloc, th.tid);
+        }
+        // The MSHR-contention observable: denied while a sibling
+        // thread holds entries in the shared file.
+        if (smt_.numThreads > 1 &&
+            mshr_.inUseByOther(th.tid, now_) > 0) {
+            th.mshrContended = true;
+        }
+        return false;
+    };
+
+    switch (policy) {
+      case SpecLoadPolicy::Visible: {
+        const bool l1_hit = hier_->l1Probe(id_, inst.effAddr,
+                                           AccessType::Data);
+        if (need_mshr(l1_hit)) {
+            const MemAccessResult probe = hier_->accessInvisible(
+                id_, inst.effAddr, AccessType::Data, now_);
+            if (!acquire_mshr(now_ + probe.latency + jitter,
+                              speculative)) {
+                const Tick earliest = mshr_.earliestReady(now_);
+                inst.retryAt =
+                    earliest == kTickMax ? now_ + 1 : earliest;
+                inst.loadPhase = LoadPhase::WaitMshr;
+                return false;
+            }
+        }
+        const MemAccessResult res =
+            hier_->access(id_, inst.effAddr, AccessType::Data, now_);
+        if (res.l1Hit)
+            ++th.stats.loadL1Hits;
+        inst.servedLevel = res.level;
+        inst.completeAt = now_ + res.latency + jitter;
+        inst.result = mem_->read(inst.effAddr);
+        inst.loadPhase = LoadPhase::InFlight;
+        return true;
+      }
+
+      case SpecLoadPolicy::DelayOnMiss: {
+        if (hier_->l1Probe(id_, inst.effAddr, AccessType::Data)) {
+            inst.servedLevel = 1;
+            ++th.stats.loadL1Hits;
+            inst.completeAt =
+                now_ + hier_->config().l1Latency + jitter;
+            inst.result = mem_->read(inst.effAddr);
+            inst.deferredTouchPending = true;
+            inst.loadPhase = LoadPhase::InFlight;
+            return true;
+        }
+        inst.loadPhase = LoadPhase::WaitSafe;
+        inst.retryAt = now_ + 1;
+        return false;
+      }
+
+      case SpecLoadPolicy::InvisibleRequest:
+      case SpecLoadPolicy::InvisibleFilter: {
+        if (policy == SpecLoadPolicy::InvisibleFilter &&
+            th.scheme->filterProbe(line)) {
+            inst.servedLevel = 1;
+            inst.completeAt =
+                now_ + hier_->config().l1Latency + jitter;
+            inst.result = mem_->read(inst.effAddr);
+            inst.exposurePending = true;
+            inst.loadPhase = LoadPhase::InFlight;
+            return true;
+        }
+        const MemAccessResult res = hier_->accessInvisible(
+            id_, inst.effAddr, AccessType::Data, now_);
+        if (need_mshr(res.l1Hit)) {
+            // Invisible speculative misses still occupy the shared
+            // MSHR file — visible to the sibling thread (G^D_MSHR's
+            // pressure point, now cross-thread).
+            if (!acquire_mshr(now_ + res.latency + jitter, true)) {
+                const Tick earliest = mshr_.earliestReady(now_);
+                inst.retryAt =
+                    earliest == kTickMax ? now_ + 1 : earliest;
+                inst.loadPhase = LoadPhase::WaitMshr;
+                return false;
+            }
+        }
+        if (res.l1Hit)
+            ++th.stats.loadL1Hits;
+        inst.servedLevel = res.level;
+        inst.completeAt = now_ + res.latency + jitter;
+        inst.result = mem_->read(inst.effAddr);
+        inst.exposurePending = true;
+        inst.loadPhase = LoadPhase::InFlight;
+        if (policy == SpecLoadPolicy::InvisibleFilter)
+            th.scheme->filterFill(line, inst.seq);
+        return true;
+      }
+
+      case SpecLoadPolicy::DelayAlways:
+        inst.loadPhase = LoadPhase::WaitSafe;
+        inst.retryAt = now_ + 1;
+        return false;
+    }
+    panic("SmtCore::issueLoad: unknown policy");
+}
+
+// ---------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------
+
+void
+SmtCore::renameSource(Thread &th, DynInst &inst, RegId src, bool first)
+{
+    bool *ready = first ? &inst.src1Ready : &inst.src2Ready;
+    std::uint64_t *val = first ? &inst.src1Val : &inst.src2Val;
+    SeqNum *prod = first ? &inst.src1Prod : &inst.src2Prod;
+
+    if (src == kNoReg) {
+        *ready = true;
+        *val = 0;
+        return;
+    }
+    const SeqNum p = th.renameMap[src];
+    if (p == kSeqNumInvalid) {
+        *ready = true;
+        *val = th.archRegs[src];
+        return;
+    }
+    const DynInst *pi = th.rob.find(p);
+    if (!pi) {
+        *ready = true;
+        *val = th.archRegs[src];
+        return;
+    }
+    if (pi->writtenBack()) {
+        *ready = true;
+        *val = pi->result;
+        return;
+    }
+    *ready = false;
+    *prod = p;
+}
+
+void
+SmtCore::dispatchStage()
+{
+    const unsigned n = smt_.numThreads;
+    for (auto &tp : threads_)
+        tp->dispatchBlocked = false;
+
+    unsigned slots = cfg_.dispatchWidth;
+    while (slots > 0) {
+        // Rotating-priority pick among threads able to dispatch.
+        Thread *th = nullptr;
+        for (unsigned k = 0; k < n; ++k) {
+            Thread *cand = threads_[(dispatchRR_ + k) % n].get();
+            if (cand->dispatchBlocked ||
+                cand->frontend.queueEmpty() || robFull(*cand) ||
+                rs_.full(cand->tid)) {
+                continue;
+            }
+            th = cand;
+            break;
+        }
+        if (!th)
+            break;
+
+        const FetchedInst &fi = th->frontend.front();
+        const StaticInst &si = th->prog->at(fi.pc);
+
+        DynInst d;
+        d.seq = th->nextSeq;
+        d.tid = th->tid;
+        d.stamp = nextStamp_;
+        d.pc = fi.pc;
+        d.si = si;
+        d.dispatchedAt = now_;
+        d.readyAt = now_ + 1;
+        d.predictedTaken = fi.predictedTaken;
+        d.ifetchExposureLine = fi.exposureLine;
+
+        if (si.isMem() && !lsq_.allocate(d)) {
+            // LQ/SQ share exhausted: this thread is done for the
+            // cycle (Core breaks; with siblings the slot may still go
+            // to another thread).
+            th->dispatchBlocked = true;
+            continue;
+        }
+
+        renameSource(*th, d, si.src1, true);
+        renameSource(*th, d, si.isLoad() ? kNoReg : si.src2, false);
+
+        if (si.isBranch())
+            th->checkpoints[d.seq] = th->renameMap;
+        if (si.writesReg())
+            th->renameMap[si.dst] = d.seq;
+
+        DynInst &stored = th->rob.push(std::move(d));
+        rs_.allocate(stored);
+        ++th->nextSeq;
+        ++nextStamp_;
+        th->frontend.popFront();
+        --slots;
+        dispatchRR_ = (static_cast<unsigned>(th->tid) + 1) % n;
+    }
+
+    // Dispatch back-pressure stat: instructions waiting behind a full
+    // RS share (the G^I_RS congestion observable, per thread).
+    for (auto &tp : threads_) {
+        if (!tp->frontend.queueEmpty() && rs_.full(tp->tid))
+            ++tp->stats.rsBlockedCycles;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fetch
+// ---------------------------------------------------------------------
+
+void
+SmtCore::fetchStage()
+{
+    std::vector<FetchArbiter::Candidate> cands(threads_.size());
+    for (unsigned t = 0; t < threads_.size(); ++t) {
+        const Thread &th = *threads_[t];
+        cands[t].fetchable = th.frontend.canFetch(now_);
+        cands[t].icount = static_cast<unsigned>(
+            th.rob.size() + th.frontend.queueSize());
+    }
+    const int pick = arbiter_.pick(cands);
+    if (pick < 0)
+        return;
+    Thread &th = *threads_[static_cast<unsigned>(pick)];
+    ++th.stats.fetchGrants;
+
+    const auto ifetch = [&](Addr line) -> IFetchResult {
+        bool speculative = false;
+        for (const auto &inst : th.rob) {
+            if (inst.isBranch() && !inst.resolved) {
+                speculative = true;
+                break;
+            }
+        }
+        if (th.scheme->protectsIFetch() && speculative) {
+            const MemAccessResult res = hier_->accessInvisible(
+                id_, line, AccessType::Instr, now_);
+            return {res.l1Hit ? now_ : now_ + res.latency, true};
+        }
+        const MemAccessResult res =
+            hier_->access(id_, line, AccessType::Instr, now_);
+        return {res.l1Hit ? now_ : now_ + res.latency, false};
+    };
+
+    th.frontend.tick(now_, *th.prog, th.predictor, ifetch);
+}
+
+} // namespace specint
