@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Cross-core interference PoC: leaking a message between two physical
+ * cores through the shared last-level cache.
+ *
+ * The victim runs on core 0 of a two-core System; the attacker is an
+ * ordinary program on core 1. Per bit, the victim's mis-trained branch
+ * transiently runs a gadget whose shared-LLC footprint is secret-
+ * dependent, and the attacker times its own loads:
+ *
+ *   occupancy: the gadget's loads go to 1-vs-M distinct uncached
+ *     lines, occupying 1-vs-M of the shared LLC-to-memory MSHRs for
+ *     the full memory latency. Invisible-speculation schemes make the
+ *     requests *state*-invisible but still spend the bandwidth — the
+ *     attacker's own misses queue behind them, so the secret comes
+ *     through against InvisiSpec and friends.
+ *
+ *   eviction: the gadget's transmitter load fills a primed LLC set iff
+ *     secret=1, evicting an attacker line (Prime+Probe). This one
+ *     *is* closed by invisible speculation — the contrast that shows
+ *     what "invisible" does and does not buy.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "attack/cross_core_probe.hh"
+
+using namespace specint;
+
+namespace
+{
+
+bool
+leak(const std::string &message, SchemeKind scheme,
+     CrossCoreChannelKind kind)
+{
+    std::vector<std::uint8_t> bits;
+    for (char ch : message)
+        for (int b = 7; b >= 0; --b)
+            bits.push_back((static_cast<unsigned char>(ch) >> b) & 1);
+
+    CrossCoreChannelConfig cfg;
+    cfg.scheme = scheme;
+    cfg.attack.kind = kind;
+    cfg.trialsPerBit = 1;
+
+    const CrossCoreChannelResult res = runCrossCoreChannel(bits, cfg);
+
+    std::string recovered;
+    if (res.channel.bitErrors == 0 && res.calibration.usable) {
+        for (std::size_t i = 0; i < message.size(); ++i) {
+            unsigned byte = 0;
+            for (unsigned b = 0; b < 8; ++b)
+                byte = (byte << 1) | bits[i * 8 + b];
+            recovered += static_cast<char>(byte);
+        }
+    }
+
+    std::printf("  %-24s %-10s calib %5llu vs %5llu  %s",
+                schemeName(scheme).c_str(),
+                crossCoreChannelKindName(kind).c_str(),
+                static_cast<unsigned long long>(res.calibration.score0),
+                static_cast<unsigned long long>(res.calibration.score1),
+                res.calibration.usable ? "open  " : "closed");
+    if (res.calibration.usable) {
+        std::printf("  %2u/%2u bits correct  recovered: \"%s\"",
+                    res.channel.bitsSent - res.channel.bitErrors,
+                    res.channel.bitsSent, recovered.c_str());
+    }
+    std::printf("\n");
+    return res.calibration.usable && res.channel.bitErrors == 0 &&
+           recovered == message;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::string message = "HI";
+
+    std::printf("=== Cross-core shared-LLC interference PoC ===\n\n");
+    std::printf("two physical cores over one inclusive LLC; the probe\n"
+                "core only times its own loads -- no shared pipeline,\n"
+                "no sibling thread.\n\n");
+    std::printf("leaking %zu bits: \"%s\"\n\n", message.size() * 8,
+                message.c_str());
+
+    bool ok = true;
+    ok &= leak(message, SchemeKind::Unsafe,
+               CrossCoreChannelKind::Occupancy);
+    ok &= leak(message, SchemeKind::InvisiSpecSpectre,
+               CrossCoreChannelKind::Occupancy);
+    ok &= leak(message, SchemeKind::SafeSpecWfb,
+               CrossCoreChannelKind::Occupancy);
+    ok &= leak(message, SchemeKind::Unsafe,
+               CrossCoreChannelKind::Eviction);
+
+    // Invisible speculation closes the eviction channel (no cache-
+    // state change), and fences close both (the gadget never issues).
+    std::printf("\nclosed channels for contrast (expect closed):\n");
+    bool closed_open = false;
+    closed_open |= leak(message, SchemeKind::InvisiSpecSpectre,
+                        CrossCoreChannelKind::Eviction);
+    closed_open |= leak(message, SchemeKind::FenceSpectre,
+                        CrossCoreChannelKind::Occupancy);
+    closed_open |= leak(message, SchemeKind::FenceSpectre,
+                        CrossCoreChannelKind::Eviction);
+
+    std::printf("\n%s\n",
+                ok && !closed_open
+                    ? "Invisible speculation hid the cache state; the "
+                      "sibling core read the secret out of the shared "
+                      "LLC's bandwidth anyway."
+                    : "unexpected channel behaviour");
+    return ok && !closed_open ? 0 : 1;
+}

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Cross-core interference probe and covert channels over the shared
+ * LLC (the paper's CrossCore attacker placement, §2.1).
+ *
+ * The victim runs on core 0 of a two-core System; the probe is a real
+ * program on core 1. The only coupling is the shared last-level
+ * cache, in two distinct ways — one channel for each:
+ *
+ *   Occupancy channel: a mis-speculated victim gadget issues M loads
+ *     to lines that are distinct iff secret=1 (the G^D_MSHR address
+ *     pattern, Fig. 4, lifted to the shared level). Each miss occupies
+ *     one of the shared LLC-to-memory MSHRs for the full memory
+ *     latency — *even under invisible-speculation schemes*, whose
+ *     requests hide cache-state changes but still consume shared-level
+ *     bandwidth. The probe core streams loads to its own uncached
+ *     lines concurrently; its completion time measures how much MSHR
+ *     capacity the victim left over. Requires the Hierarchy's
+ *     shared-level contention model (llcPortBusy/llcMshrs).
+ *
+ *   Eviction channel: the victim's speculative transmitter load fills
+ *     an LLC set the probe has primed with an eviction set iff
+ *     secret=1, evicting one probe line; the probe then times loads of
+ *     its lines and counts the miss (classic Prime+Probe over the
+ *     inclusive LLC). Open only against schemes whose speculative
+ *     loads change cache state — invisible speculation closes it,
+ *     which is exactly the contrast with the occupancy channel.
+ *
+ * Fence-style defenses close both (the gadget never issues);
+ * Delay-on-Miss closes both too (speculative misses never leave the
+ * core) — mirroring the SMT MSHR-channel result one level up.
+ */
+
+#ifndef SPECINT_ATTACK_CROSS_CORE_PROBE_HH
+#define SPECINT_ATTACK_CROSS_CORE_PROBE_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "attack/channel.hh"
+#include "cpu/program.hh"
+#include "system/system.hh"
+
+namespace specint
+{
+
+/** Which shared-LLC property carries the cross-core signal. */
+enum class CrossCoreChannelKind : std::uint8_t { Occupancy, Eviction };
+
+std::string crossCoreChannelKindName(CrossCoreChannelKind k);
+
+/** Victim-gadget and probe tuning knobs. */
+struct CrossCoreAttackParams
+{
+    CrossCoreChannelKind kind = CrossCoreChannelKind::Occupancy;
+    /** Branch-predicate chase depth (LLC-warm links): sets the squash
+     *  time and thereby the width of the interference window. */
+    unsigned predicateDepth = 2;
+    /** Victim gadget loads; distinct lines iff secret=1 (Occupancy).
+     *  Should stay below the shared llcMshrs so calibration sees the
+     *  full occupancy swing. */
+    unsigned gadgetLoads = 6;
+    /** Probe stream length (uncached loads / eviction-set probes). */
+    unsigned probeOps = 24;
+    /** Dependent-ALU prefix delaying the probe loads until the
+     *  victim's speculative access has landed (0 = per-kind default:
+     *  none for Occupancy, 200 for Eviction). */
+    unsigned probeDelayOps = 0;
+};
+
+/**
+ * A fully described cross-core attack: the victim (core 0) and probe
+ * (core 1) programs plus every address the harness must initialise,
+ * warm, flush or prime before each trial.
+ */
+struct CrossCoreAttack
+{
+    CrossCoreAttackParams params;
+    Program victim;
+    Program probe;
+
+    /** Word holding the secret bit (written per trial). */
+    Addr secretSlot = kAddrInvalid;
+    /** PC of the mis-trained victim branch. */
+    std::uint32_t branchPc = 0;
+
+    /** Memory words to initialise before every trial. */
+    std::vector<std::pair<Addr, std::uint64_t>> memInit;
+    /** Lines warmed into the victim core's private caches. */
+    std::vector<Addr> warmLines;
+    /** Lines flushed from the whole hierarchy before a run. */
+    std::vector<Addr> flushLines;
+    /** Lines made LLC-resident only (flushed, then LLC-filled). */
+    std::vector<Addr> llcWarmLines;
+    /** Eviction-set lines direct-filled into the monitored LLC set
+     *  during prime (Eviction kind; also flushed first). */
+    std::vector<Addr> primeLines;
+    /** Labeled probe loads ("p0".."pN-1") whose latency the Eviction
+     *  decoder sums. */
+    unsigned probeLoadCount = 0;
+};
+
+/**
+ * Build the victim/probe program pair for @p params. @p hier provides
+ * the LLC set/slice mapping the Eviction kind needs for congruent
+ * addresses (an attacker that has already recovered the mapping).
+ */
+CrossCoreAttack buildCrossCoreAttack(const CrossCoreAttackParams &params,
+                                     const Hierarchy &hier);
+
+/** Outcome of one two-core trial. */
+struct CrossCoreTrialOutcome
+{
+    /** Probe-side timing score (finish time or summed probe-load
+     *  latency, depending on the channel kind). */
+    std::uint64_t score = 0;
+    /** Total cycles of the run (slowest core). */
+    Tick cycles = 0;
+    /** Both cores ran to Halt. */
+    bool finished = false;
+};
+
+/** Decoder calibration: known-secret scores and the derived rule. */
+struct CrossCoreCalibration
+{
+    std::uint64_t score0 = 0;
+    std::uint64_t score1 = 0;
+    double threshold = 0.0;
+    /** secret=1 produces the higher score. */
+    bool oneIsHigh = false;
+    /** The two scores are separated enough to decode at all — false
+     *  means the scheme closes this channel. */
+    bool usable = false;
+
+    /** Decode one trial score under this calibration. */
+    unsigned decode(std::uint64_t score) const
+    {
+        const bool high = static_cast<double>(score) > threshold;
+        return high == oneIsHigh ? 1u : 0u;
+    }
+};
+
+/**
+ * Trial harness for the cross-core channels: owns a two-core System
+ * (victim scheme on core 0, an undefended probe on core 1) and runs
+ * prepare/run/score trials. The Occupancy kind enables the shared-LLC
+ * contention model (defaults below) unless the caller already set the
+ * knobs in @p hier.
+ */
+class CrossCoreHarness
+{
+  public:
+    /** Shared-level contention defaults for the Occupancy kind. */
+    static constexpr Tick kDefaultLlcPortBusy = 2;
+    static constexpr unsigned kDefaultLlcMshrs = 8;
+
+    CrossCoreHarness(CrossCoreAttackParams params,
+                     SchemeKind victim_scheme,
+                     CoreConfig core = CoreConfig{},
+                     HierarchyConfig hier = HierarchyConfig::small());
+
+    /** Set up memory/cache/predictor state for one trial. */
+    void prepare(unsigned secret, NoiseModel *noise = nullptr);
+
+    /** Run victim + probe and extract the probe's score. */
+    CrossCoreTrialOutcome runTrial();
+
+    /** Noiseless known-secret runs -> decode rule. */
+    CrossCoreCalibration calibrate(std::uint64_t min_gap = 16);
+
+    System &system() { return sys_; }
+    const CrossCoreAttack &attack() const { return atk_; }
+
+  private:
+    System sys_;
+    CrossCoreAttack atk_;
+};
+
+/** Cross-core channel configuration. */
+struct CrossCoreChannelConfig
+{
+    /** Victim scheme under attack (core 0). */
+    SchemeKind scheme = SchemeKind::InvisiSpecSpectre;
+    CrossCoreAttackParams attack;
+    unsigned trialsPerBit = 3;
+    NoiseConfig noise = NoiseConfig::none();
+    std::uint64_t seed = 42;
+    /** Nominal clock for bits/s conversion (§4.1: 3.6 GHz). */
+    double clockGhz = 3.6;
+    /** Unmodelled per-trial overhead (cross-core attacks need victim
+     *  synchronisation and, for Eviction, eviction-set upkeep). */
+    std::uint64_t perTrialOverheadCycles = 5000;
+    /** Minimum calibration gap for the channel to count as open. */
+    std::uint64_t minCalibrationGap = 16;
+};
+
+/** Channel measurement plus the calibration it decoded with. */
+struct CrossCoreChannelResult
+{
+    ChannelResult channel;
+    CrossCoreCalibration calibration;
+};
+
+/**
+ * Transmit @p bits over the cross-core channel against cfg.scheme. If
+ * calibration finds no exploitable timing gap (the defense closes the
+ * channel), every bit decodes as 0 and the result's calibration.usable
+ * is false.
+ */
+CrossCoreChannelResult
+runCrossCoreChannel(const std::vector<std::uint8_t> &bits,
+                    const CrossCoreChannelConfig &cfg);
+
+} // namespace specint
+
+#endif // SPECINT_ATTACK_CROSS_CORE_PROBE_HH

@@ -1,20 +1,14 @@
 /**
  * @file
- * Out-of-order core implementation. Stages run in reverse
- * pipeline order inside tick() — retire, writeback, safety (scheme
- * exposures / deferred updates), issue, dispatch, fetch — so producers
- * wake consumers with a one-cycle boundary. Speculation-safety schemes
- * are consulted at load issue, instruction issue, the safety stage, and
- * through the scheduler flags (see core.hh and spec/scheme.hh).
+ * Core façade implementation: CoreConfig validation and the
+ * single-thread run() conversion. The pipeline itself lives in the
+ * unified engine (cpu/pipeline/) — this file intentionally contains
+ * no stage logic.
  */
 
 #include "cpu/core.hh"
 
-#include <algorithm>
-#include <cassert>
-
 #include "sim/log.hh"
-#include "spec/unsafe.hh"
 
 namespace specint
 {
@@ -45,723 +39,27 @@ CoreConfig::validate() const
 }
 
 Core::Core(CoreConfig cfg, CoreId id, Hierarchy &hier, MainMemory &mem)
-    : cfg_(cfg), id_(id), hier_(&hier), mem_(&mem),
-      frontend_({cfg.fetchWidth, cfg.decodeQueue, 0}),
-      rob_(cfg.robSize), rs_(cfg.rsSize), lsq_(cfg.lqSize, cfg.sqSize),
-      mshr_(cfg.mshrs)
+    : engine_(cfg, SmtConfig::singleThread(), id, hier, mem, "Core",
+              "CoreConfig")
 {
-    const std::string err = cfg_.validate();
-    if (!err.empty())
-        fatal("CoreConfig: " + err);
-    scheme_ = std::make_unique<UnsafeScheme>();
-}
-
-void
-Core::setScheme(SchemePtr scheme)
-{
-    assert(scheme);
-    scheme_ = std::move(scheme);
-}
-
-const InstTraceEntry *
-Core::traceEntry(const std::string &label) const
-{
-    for (const auto &e : trace_)
-        if (e.label == label)
-            return &e;
-    return nullptr;
-}
-
-Tick
-Core::completeTime(const std::string &label) const
-{
-    const InstTraceEntry *e = traceEntry(label);
-    return e ? e->completeAt : kTickMax;
-}
-
-bool
-Core::completedBefore(const std::string &a, const std::string &b) const
-{
-    return completeTime(a) < completeTime(b);
-}
-
-void
-Core::resetPipeline(const Program &prog)
-{
-    prog_ = &prog;
-    now_ = 0;
-    nextSeq_ = 0;
-    haltRetired_ = false;
-    frontend_.reset(0);
-    rob_.clear();
-    rs_.clear();
-    lsq_.clear();
-    ports_.reset();
-    mshr_.reset();
-    renameMap_.fill(kSeqNumInvalid);
-    checkpoints_.clear();
-    const auto &init = prog.initRegs();
-    for (unsigned r = 0; r < kNumRegs; ++r)
-        archRegs_[r] = init[r];
-    stats_ = CoreStats{};
-    trace_.clear();
-    scheme_->reset();
 }
 
 CoreStats
 Core::run(const Program &prog)
 {
-    assert(!prog.empty());
-    resetPipeline(prog);
-    while (!haltRetired_ && now_ < cfg_.maxCycles)
-        tick();
-    stats_.cycles = now_;
-    stats_.finished = haltRetired_;
-    if (!haltRetired_)
-        warn("Core::run hit maxCycles (" + std::to_string(now_) +
-             ") before Halt retired");
-    return stats_;
-}
-
-void
-Core::tick()
-{
-    if (cycleHook_)
-        cycleHook_(now_);
-    ports_.beginCycle(now_);
-    retireStage();
-    writebackStage();
-    safetyStage();
-    issueStage();
-    dispatchStage();
-    fetchStage();
-    ++now_;
-}
-
-// ---------------------------------------------------------------------
-// Shadow / safety computation
-// ---------------------------------------------------------------------
-
-std::vector<Core::ShadowInfo>
-Core::computeShadows() const
-{
-    std::vector<ShadowInfo> out;
-    out.reserve(rob_.size());
-    ShadowInfo running;
-    for (const auto &inst : rob_) {
-        out.push_back(running);
-        if (inst.isBranch() && !inst.resolved)
-            running.olderUnresolvedBranch = true;
-        if (inst.isLoad() && !inst.executed()) {
-            running.olderIncompleteLoad = true;
-            running.olderIncompleteMem = true;
-        }
-        if (inst.isStore() && !inst.executed())
-            running.olderIncompleteMem = true;
-    }
-    return out;
-}
-
-bool
-Core::isSafe(const DynInst &inst, const ShadowInfo &sh, SafePoint sp) const
-{
-    switch (sp) {
-      case SafePoint::Always:
-        return true;
-      case SafePoint::BranchesResolved:
-        return !sh.olderUnresolvedBranch;
-      case SafePoint::TSO:
-        return !sh.olderUnresolvedBranch && !sh.olderIncompleteMem;
-      case SafePoint::RobHead:
-        return !rob_.empty() && rob_.head().seq == inst.seq;
-    }
-    panic("isSafe: unknown SafePoint");
-}
-
-// ---------------------------------------------------------------------
-// Retire
-// ---------------------------------------------------------------------
-
-void
-Core::retireStage()
-{
-    for (unsigned n = 0; n < cfg_.retireWidth && !rob_.empty(); ++n) {
-        DynInst &h = rob_.head();
-        if (h.state != InstState::WrittenBack)
-            break;
-
-        if (h.isStore()) {
-            // Stores update memory and the cache at retirement: they
-            // are never speculative when they reach this point.
-            mem_->write(h.effAddr, h.result);
-            hier_->access(id_, h.effAddr, AccessType::Data, now_);
-        }
-        if (h.isLoad()) {
-            if (h.exposurePending) {
-                hier_->access(id_, h.effAddr, AccessType::Data, now_);
-                h.exposurePending = false;
-            }
-            if (h.deferredTouchPending) {
-                hier_->l1DeferredTouch(id_, h.effAddr, AccessType::Data);
-                h.deferredTouchPending = false;
-            }
-        }
-        if (h.ifetchExposureLine != kAddrInvalid) {
-            hier_->access(id_, h.ifetchExposureLine, AccessType::Instr,
-                          now_);
-        }
-
-        if (h.si.writesReg())
-            archRegs_[h.si.dst] = h.result;
-        if (h.si.writesReg() && renameMap_[h.si.dst] == h.seq)
-            renameMap_[h.si.dst] = kSeqNumInvalid;
-
-        rs_.release(h); // no-op unless entries are held until retire
-        lsq_.release(h);
-        if (h.isBranch())
-            checkpoints_.erase(h.seq);
-        if (h.si.op == Op::Halt)
-            haltRetired_ = true;
-
-        h.state = InstState::Retired;
-        h.retiredAt = now_;
-        ++stats_.retired;
-
-        if (cfg_.recordTrace && !h.si.label.empty()) {
-            trace_.push_back({h.si.label, h.pc, h.seq, h.dispatchedAt,
-                              h.issuedAt, h.completeAt, h.retiredAt,
-                              h.effAddr});
-        }
-        rob_.popHead();
-    }
-}
-
-// ---------------------------------------------------------------------
-// Writeback / branch resolution
-// ---------------------------------------------------------------------
-
-void
-Core::wakeConsumers(const DynInst &producer)
-{
-    for (auto &inst : rob_) {
-        if (inst.seq <= producer.seq ||
-            inst.state != InstState::Dispatched) {
-            continue;
-        }
-        bool woke = false;
-        if (!inst.src1Ready && inst.src1Prod == producer.seq) {
-            inst.src1Ready = true;
-            inst.src1Val = producer.result;
-            woke = true;
-        }
-        if (!inst.src2Ready && inst.src2Prod == producer.seq) {
-            inst.src2Ready = true;
-            inst.src2Val = producer.result;
-            woke = true;
-        }
-        if (woke) {
-            // Writeback-to-issue delay: a freshly woken consumer can
-            // issue at the earliest on the cycle after the writeback —
-            // the gap the G^D_NPEU cascade exploits (Fig. 3).
-            inst.readyAt = std::max(inst.readyAt, now_ + 1);
-        }
-    }
-}
-
-void
-Core::resolveBranch(DynInst &br)
-{
-    assert(br.isBranch() && !br.resolved);
-    br.actualTaken = evalCond(br.si.cond, br.src1Val, br.src2Val);
-    br.mispredicted = br.actualTaken != br.predictedTaken;
-    br.resolved = true;
-    predictor_.update(br.pc, br.actualTaken);
-    ++stats_.branches;
-    if (br.mispredicted) {
-        ++stats_.mispredicts;
-        squashAfter(br);
-    }
-}
-
-void
-Core::writebackStage()
-{
-    // Branches resolve as soon as they complete; they produce no value
-    // and do not contend for CDB slots. Index-based loop: a squash
-    // removes younger entries from the deque's tail mid-iteration.
-    for (std::size_t idx = 0; idx < rob_.size(); ++idx) {
-        DynInst &inst = *std::next(rob_.begin(),
-                                   static_cast<std::ptrdiff_t>(idx));
-        if (inst.isBranch() && inst.state == InstState::Issued &&
-            inst.completeAt <= now_) {
-            inst.state = InstState::WrittenBack;
-            inst.wbAt = now_;
-            ports_.releaseIfHeldBy(inst.seq);
-            resolveBranch(inst);
-            if (inst.mispredicted)
-                break; // younger entries are gone
-        }
-    }
-
-    // Value-producing instructions arbitrate for cdbWidth writeback
-    // slots, oldest first. Losing the arbitration delays the result
-    // broadcast — the CDB contention channel of Fig. 1.
-    unsigned slots = cfg_.cdbWidth;
-    for (auto &inst : rob_) {
-        if (slots == 0)
-            break;
-        if (inst.state != InstState::Issued || inst.isBranch() ||
-            inst.completeAt > now_) {
-            continue;
-        }
-        inst.state = InstState::WrittenBack;
-        inst.wbAt = now_;
-        ports_.releaseIfHeldBy(inst.seq);
-        wakeConsumers(inst);
-        --slots;
-    }
-}
-
-void
-Core::squashAfter(const DynInst &br)
-{
-    const SeqNum bound = br.seq;
-
-    // Release structural resources held by squashed instructions.
-    for (const auto &inst : rob_) {
-        if (inst.seq <= bound)
-            continue;
-        rs_.release(const_cast<DynInst &>(inst));
-        lsq_.release(inst);
-    }
-    rob_.squashYoungerThan(bound);
-    ports_.squashYoungerThan(bound);
-    mshr_.squashYoungerThan(bound);
-    scheme_->filterSquashYoungerThan(bound);
-
-    // Restore the rename map from the branch's checkpoint; discard
-    // checkpoints belonging to squashed (younger) branches.
-    const auto it = checkpoints_.find(bound);
-    assert(it != checkpoints_.end());
-    renameMap_ = it->second;
-    checkpoints_.erase(std::next(it), checkpoints_.end());
-
-    // Sequence numbers of squashed instructions are reused: every
-    // structure referencing them (ports, MSHRs, checkpoints, filter
-    // caches) was purged above, and reuse keeps the ROB's contiguous
-    // seq invariant (O(1) lookup) intact across squashes.
-    nextSeq_ = bound + 1;
-
-    const std::uint32_t new_pc =
-        br.actualTaken ? br.si.target : br.pc + 1;
-    frontend_.redirect(new_pc, now_ + cfg_.squashPenalty);
-    ++stats_.squashes;
-}
-
-// ---------------------------------------------------------------------
-// Safety transitions (exposure / deferred updates)
-// ---------------------------------------------------------------------
-
-void
-Core::safetyStage()
-{
-    if (rob_.empty())
-        return;
-    const auto shadows = computeShadows();
-    const SafePoint sp = scheme_->safePoint();
-    std::size_t i = 0;
-    for (auto &inst : rob_) {
-        const ShadowInfo &sh = shadows[i++];
-        if (!inst.isLoad() || !inst.executed())
-            continue;
-        if (!(inst.exposurePending || inst.deferredTouchPending))
-            continue;
-        if (!isSafe(inst, sh, sp))
-            continue;
-        if (inst.exposurePending) {
-            // InvisiSpec-style exposure: the load's visible cache fill
-            // happens now, when it ceases to be speculative.
-            hier_->access(id_, inst.effAddr, AccessType::Data, now_);
-            inst.exposurePending = false;
-        }
-        if (inst.deferredTouchPending) {
-            // DoM deferred replacement update.
-            hier_->l1DeferredTouch(id_, inst.effAddr, AccessType::Data);
-            inst.deferredTouchPending = false;
-        }
-    }
-}
-
-// ---------------------------------------------------------------------
-// Issue
-// ---------------------------------------------------------------------
-
-std::uint64_t
-Core::execute(const DynInst &inst) const
-{
-    switch (inst.si.op) {
-      case Op::IntAlu:
-        return inst.src1Val + inst.src2Val +
-               static_cast<std::uint64_t>(inst.si.imm);
-      case Op::IntMul:
-        return inst.src1Val * (inst.si.src2 == kNoReg ? 1 : inst.src2Val) +
-               static_cast<std::uint64_t>(inst.si.imm);
-      case Op::FpSqrt:
-      case Op::FpDiv:
-        // Value semantics are irrelevant for the experiments; preserve
-        // the dependency chain by passing the operand through.
-        return inst.src1Val;
-      default:
-        return 0;
-    }
-}
-
-void
-Core::issueStage()
-{
-    if (rob_.empty())
-        return;
-    const auto shadows = computeShadows();
-    const SafePoint sp = scheme_->safePoint();
-    const SchedFlags flags = scheme_->schedFlags();
-
-    unsigned issued = 0;
-    std::size_t i = 0;
-    for (auto &inst : rob_) {
-        const ShadowInfo &sh = shadows[i++];
-        if (issued >= cfg_.issueWidth)
-            break;
-        if (inst.state != InstState::Dispatched)
-            continue;
-        if (!inst.src1Ready || !inst.src2Ready)
-            continue;
-        if (inst.readyAt > now_ || inst.retryAt > now_)
-            continue;
-
-        // Loads the scheme parked until their safe point.
-        if (inst.loadPhase == LoadPhase::WaitSafe &&
-            !isSafe(inst, sh, sp)) {
-            continue;
-        }
-
-        // Fences serialise: issue only from the ROB head.
-        if (inst.si.op == Op::Fence && rob_.head().seq != inst.seq)
-            continue;
-
-        // Scheme issue gate (fence defenses).
-        IssueContext ctx;
-        ctx.olderUnresolvedBranch = sh.olderUnresolvedBranch;
-        ctx.olderIncompleteLoad = sh.olderIncompleteLoad;
-        ctx.isLoad = inst.isLoad();
-        ctx.isBranch = inst.isBranch();
-        if (!scheme_->mayIssue(ctx))
-            continue;
-
-        if (tryIssue(inst, sh))
-            ++issued;
-
-        // A mid-issue preemption (advanced defense) mutates pipeline
-        // state but never removes ROB entries, so iteration is safe.
-        (void)flags;
-    }
-}
-
-bool
-Core::tryIssue(DynInst &inst, const ShadowInfo &sh)
-{
-    const OpTraits &traits = opTraits(inst.si.op);
-    const SchedFlags flags = scheme_->schedFlags();
-    const bool speculative = sh.olderUnresolvedBranch;
-
-    int port = ports_.selectPort(inst.si.op, now_);
-    if (port < 0 && flags.strictAgePriority && !traits.pipelined) {
-        // Advanced defense rule 2: a younger speculative instruction
-        // must never delay an older one — preempt the squashable EU.
-        for (std::uint8_t p : traits.ports) {
-            const SeqNum victim = ports_.preempt(p, inst.seq);
-            if (victim == kSeqNumInvalid)
-                continue;
-            DynInst *v = rob_.find(victim);
-            assert(v && v->state == InstState::Issued);
-            // The preempted instruction is re-issued later; with the
-            // hold-until-retire rule its RS entry still exists.
-            v->state = InstState::Dispatched;
-            v->issuedAt = kTickMax;
-            v->completeAt = kTickMax;
-            v->retryAt = now_ + 1;
-            if (!v->inRs)
-                rs_.allocate(*v);
-            port = p;
-            break;
-        }
-    }
-    if (port < 0)
-        return false;
-
-    if (inst.isLoad()) {
-        if (!issueLoad(inst, isSafe(inst, sh, scheme_->safePoint()),
-                       speculative)) {
-            return false;
-        }
-    } else if (inst.isStore()) {
-        inst.effAddr = inst.src1Val * inst.si.scale +
-                       static_cast<std::uint64_t>(inst.si.imm);
-        inst.result = inst.src2Val;
-        inst.completeAt = now_ + traits.latency;
-    } else {
-        inst.result = execute(inst);
-        inst.completeAt = now_ + traits.latency;
-    }
-
-    ports_.issue(static_cast<std::uint8_t>(port), inst.si.op, now_,
-                 inst.completeAt, inst.seq, speculative);
-    inst.port = port;
-    inst.state = InstState::Issued;
-    inst.issuedAt = now_;
-    ++stats_.issued;
-    if (!scheme_->schedFlags().holdRsUntilRetire)
-        rs_.release(inst);
-    return true;
-}
-
-bool
-Core::issueLoad(DynInst &inst, bool safe, bool speculative)
-{
-    inst.effAddr = (inst.si.src1 == kNoReg ? 0
-                        : inst.src1Val * inst.si.scale) +
-                   static_cast<std::uint64_t>(inst.si.imm);
-
-    // Memory disambiguation.
-    const DisambigResult dis = lsq_.check(inst, rob_);
-    if (dis.blocked) {
-        inst.retryAt = now_ + 1;
-        return false;
-    }
-    if (inst.loadPhase == LoadPhase::None)
-        ++stats_.loads; // count each load once, not per retry
-    if (dis.forward) {
-        inst.forwarded = true;
-        inst.result = dis.forwardValue;
-        inst.completeAt = now_ + cfg_.storeForwardLatency;
-        inst.loadPhase = LoadPhase::Done;
-        return true;
-    }
-
-    const SpecLoadPolicy policy =
-        safe ? SpecLoadPolicy::Visible : scheme_->specLoadPolicy();
-    const Tick jitter = noise_ ? noise_->loadJitter() : 0;
-    const Addr line = lineAlign(inst.effAddr);
-    const SchedFlags flags = scheme_->schedFlags();
-
-    auto need_mshr = [&](bool l1_hit) -> bool { return !l1_hit; };
-    auto acquire_mshr = [&](Tick ready_at, bool spec_alloc) -> bool {
-        if (mshr_.hasEntry(line, now_) ||
-            mshr_.allocate(line, now_, ready_at, inst.seq, spec_alloc)) {
-            return true;
-        }
-        if (flags.preemptSpecMshr && !spec_alloc &&
-            mshr_.preemptYoungestSpeculative(now_)) {
-            return mshr_.allocate(line, now_, ready_at, inst.seq,
-                                  spec_alloc);
-        }
-        return false;
-    };
-
-    switch (policy) {
-      case SpecLoadPolicy::Visible: {
-        const bool l1_hit = hier_->l1Probe(id_, inst.effAddr,
-                                           AccessType::Data);
-        if (need_mshr(l1_hit)) {
-            // Reserve the MSHR before touching any cache state.
-            const MemAccessResult probe = hier_->accessInvisible(
-                id_, inst.effAddr, AccessType::Data, now_);
-            if (!acquire_mshr(now_ + probe.latency + jitter,
-                              speculative)) {
-                const Tick earliest = mshr_.earliestReady(now_);
-                inst.retryAt =
-                    earliest == kTickMax ? now_ + 1 : earliest;
-                inst.loadPhase = LoadPhase::WaitMshr;
-                return false;
-            }
-        }
-        const MemAccessResult res =
-            hier_->access(id_, inst.effAddr, AccessType::Data, now_);
-        if (res.l1Hit)
-            ++stats_.loadL1Hits;
-        inst.servedLevel = res.level;
-        inst.completeAt = now_ + res.latency + jitter;
-        inst.result = mem_->read(inst.effAddr);
-        inst.loadPhase = LoadPhase::InFlight;
-        return true;
-      }
-
-      case SpecLoadPolicy::DelayOnMiss: {
-        if (hier_->l1Probe(id_, inst.effAddr, AccessType::Data)) {
-            // Speculative L1 hit: serve the data, defer the
-            // replacement-state update until the load is safe.
-            inst.servedLevel = 1;
-            ++stats_.loadL1Hits;
-            inst.completeAt =
-                now_ + hier_->config().l1Latency + jitter;
-            inst.result = mem_->read(inst.effAddr);
-            inst.deferredTouchPending = true;
-            inst.loadPhase = LoadPhase::InFlight;
-            return true;
-        }
-        // Speculative miss: delay until safe, then re-execute.
-        inst.loadPhase = LoadPhase::WaitSafe;
-        inst.retryAt = now_ + 1;
-        return false;
-      }
-
-      case SpecLoadPolicy::InvisibleRequest:
-      case SpecLoadPolicy::InvisibleFilter: {
-        if (policy == SpecLoadPolicy::InvisibleFilter &&
-            scheme_->filterProbe(line)) {
-            // MuonTrap filter-cache hit: core-local, fast.
-            inst.servedLevel = 1;
-            inst.completeAt =
-                now_ + hier_->config().l1Latency + jitter;
-            inst.result = mem_->read(inst.effAddr);
-            inst.exposurePending = true;
-            inst.loadPhase = LoadPhase::InFlight;
-            return true;
-        }
-        const MemAccessResult res = hier_->accessInvisible(
-            id_, inst.effAddr, AccessType::Data, now_);
-        if (need_mshr(res.l1Hit)) {
-            // Invisible speculative misses still occupy MSHRs — the
-            // pressure point G^D_MSHR exploits (Fig. 4).
-            if (!acquire_mshr(now_ + res.latency + jitter, true)) {
-                const Tick earliest = mshr_.earliestReady(now_);
-                inst.retryAt =
-                    earliest == kTickMax ? now_ + 1 : earliest;
-                inst.loadPhase = LoadPhase::WaitMshr;
-                return false;
-            }
-        }
-        if (res.l1Hit)
-            ++stats_.loadL1Hits;
-        inst.servedLevel = res.level;
-        inst.completeAt = now_ + res.latency + jitter;
-        inst.result = mem_->read(inst.effAddr);
-        inst.exposurePending = true;
-        inst.loadPhase = LoadPhase::InFlight;
-        if (policy == SpecLoadPolicy::InvisibleFilter)
-            scheme_->filterFill(line, inst.seq);
-        return true;
-      }
-
-      case SpecLoadPolicy::DelayAlways:
-        inst.loadPhase = LoadPhase::WaitSafe;
-        inst.retryAt = now_ + 1;
-        return false;
-    }
-    panic("issueLoad: unknown policy");
-}
-
-// ---------------------------------------------------------------------
-// Dispatch
-// ---------------------------------------------------------------------
-
-void
-Core::renameSource(DynInst &inst, RegId src, bool first)
-{
-    bool *ready = first ? &inst.src1Ready : &inst.src2Ready;
-    std::uint64_t *val = first ? &inst.src1Val : &inst.src2Val;
-    SeqNum *prod = first ? &inst.src1Prod : &inst.src2Prod;
-
-    if (src == kNoReg) {
-        *ready = true;
-        *val = 0;
-        return;
-    }
-    const SeqNum p = renameMap_[src];
-    if (p == kSeqNumInvalid) {
-        *ready = true;
-        *val = archRegs_[src];
-        return;
-    }
-    const DynInst *pi = rob_.find(p);
-    if (!pi) {
-        // Producer already retired: the architectural value is current.
-        *ready = true;
-        *val = archRegs_[src];
-        return;
-    }
-    if (pi->writtenBack()) {
-        *ready = true;
-        *val = pi->result;
-        return;
-    }
-    *ready = false;
-    *prod = p;
-}
-
-void
-Core::dispatchStage()
-{
-    for (unsigned n = 0; n < cfg_.dispatchWidth; ++n) {
-        if (frontend_.queueEmpty() || rob_.full() || rs_.full())
-            break;
-
-        const FetchedInst &fi = frontend_.front();
-        const StaticInst &si = prog_->at(fi.pc);
-
-        DynInst d;
-        d.seq = nextSeq_;
-        d.pc = fi.pc;
-        d.si = si;
-        d.dispatchedAt = now_;
-        d.readyAt = now_ + 1;
-        d.predictedTaken = fi.predictedTaken;
-        d.ifetchExposureLine = fi.exposureLine;
-
-        if (si.isMem() && !lsq_.allocate(d))
-            break;
-
-        renameSource(d, si.src1, true);
-        // Loads use src1 only as the address base; src2 is unused.
-        renameSource(d, si.isLoad() ? kNoReg : si.src2, false);
-
-        if (si.isBranch())
-            checkpoints_[d.seq] = renameMap_;
-        if (si.writesReg())
-            renameMap_[si.dst] = d.seq;
-
-        DynInst &stored = rob_.push(std::move(d));
-        rs_.allocate(stored);
-        ++nextSeq_;
-        frontend_.popFront();
-    }
-}
-
-// ---------------------------------------------------------------------
-// Fetch
-// ---------------------------------------------------------------------
-
-void
-Core::fetchStage()
-{
-    const auto ifetch = [&](Addr line) -> IFetchResult {
-        bool speculative = false;
-        for (const auto &inst : rob_) {
-            if (inst.isBranch() && !inst.resolved) {
-                speculative = true;
-                break;
-            }
-        }
-        if (scheme_->protectsIFetch() && speculative) {
-            const MemAccessResult res = hier_->accessInvisible(
-                id_, line, AccessType::Instr, now_);
-            return {res.l1Hit ? now_ : now_ + res.latency, true};
-        }
-        const MemAccessResult res =
-            hier_->access(id_, line, AccessType::Instr, now_);
-        return {res.l1Hit ? now_ : now_ + res.latency, false};
-    };
-
-    frontend_.tick(now_, *prog_, predictor_, ifetch);
+    const EngineRunResult res = engine_.run({&prog});
+    const ThreadStats &t = res.threads[0];
+    CoreStats stats;
+    stats.cycles = res.cycles;
+    stats.retired = t.retired;
+    stats.issued = t.issued;
+    stats.squashes = t.squashes;
+    stats.branches = t.branches;
+    stats.mispredicts = t.mispredicts;
+    stats.loads = t.loads;
+    stats.loadL1Hits = t.loadL1Hits;
+    stats.finished = res.finished;
+    return stats;
 }
 
 } // namespace specint

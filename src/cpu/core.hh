@@ -1,237 +1,96 @@
 /**
  * @file
- * Out-of-order core.
+ * Out-of-order core — the single-thread façade over the unified
+ * pipeline engine (cpu/pipeline/engine.hh).
  *
- * A dynamically scheduled core in the style the paper assumes (§2.3):
- * in-order fetch/dispatch into a ROB and unified RS, age-ordered
- * port-constrained issue to pipelined and non-pipelined execution
- * units, a bandwidth-limited writeback (CDB) stage, precise squash on
- * branch mispredictions, and in-order retirement.
- *
- * The speculation-safety Scheme (src/spec) is consulted at load issue,
- * at every instruction's issue (fence defenses), and in the scheduler
- * (advanced defense). The core deliberately leaves the rest of the
- * pipeline policy *performance-greedy and speculation-oblivious* —
- * that is the root cause the paper identifies (§3.2): readiness-based
- * resource allocation lets mis-speculated instructions delay older,
- * retirement-bound ones.
- */
-
-#ifndef SPECINT_CPU_CORE_HH
-#define SPECINT_CPU_CORE_HH
-
-#include <array>
-#include <functional>
-#include <map>
-#include <memory>
-#include <string>
-#include <vector>
-
-#include "cpu/branch_predictor.hh"
-#include "cpu/exec_unit.hh"
-#include "cpu/frontend.hh"
-#include "cpu/isa.hh"
-#include "cpu/lsq.hh"
-#include "cpu/program.hh"
-#include "cpu/reservation_station.hh"
-#include "cpu/rob.hh"
-#include "memory/hierarchy.hh"
-#include "memory/mshr.hh"
-#include "sim/noise.hh"
-#include "spec/scheme.hh"
-
-namespace specint
-{
-
-/** Core structural configuration (defaults are Kaby Lake-flavoured:
- *  97-entry unified RS, 8 issue ports — §4.1). */
-struct CoreConfig
-{
-    unsigned fetchWidth = 4;
-    unsigned decodeQueue = 24;
-    unsigned dispatchWidth = 4;
-    unsigned issueWidth = 8;
-    unsigned retireWidth = 4;
-
-    unsigned robSize = 224;
-    unsigned rsSize = 97;
-    unsigned lqSize = 72;
-    unsigned sqSize = 56;
-    unsigned mshrs = 10;
-
-    /** Writeback (common data bus) slots per cycle. */
-    unsigned cdbWidth = 4;
-
-    /** Frontend redirect penalty after a squash. */
-    Tick squashPenalty = 5;
-    /** Store-to-load forwarding latency. */
-    Tick storeForwardLatency = 5;
-
-    /** Runaway guard for run(). */
-    std::uint64_t maxCycles = 2'000'000;
-
-    /** Record timing of labeled instructions. */
-    bool recordTrace = true;
-
-    /**
-     * Structural sanity check. @return "" if the configuration is
-     * usable, otherwise a description of the first problem (zero-size
-     * structure, issueWidth exceeding the port count, ...). Core and
-     * SmtCore call this from their constructors and fatal() on a
-     * non-empty result instead of silently misbehaving.
-     */
-    std::string validate() const;
-};
-
-/** Aggregate statistics of one run. */
-struct CoreStats
-{
-    Tick cycles = 0;
-    std::uint64_t retired = 0;
-    std::uint64_t issued = 0;
-    std::uint64_t squashes = 0;
-    std::uint64_t branches = 0;
-    std::uint64_t mispredicts = 0;
-    std::uint64_t loads = 0;
-    std::uint64_t loadL1Hits = 0;
-    /** Program ran to Halt (vs hitting maxCycles). */
-    bool finished = false;
-};
-
-/** Retire-time timing record of a labeled instruction. */
-struct InstTraceEntry
-{
-    std::string label;
-    std::uint32_t pc = 0;
-    SeqNum seq = 0;
-    Tick dispatchedAt = 0;
-    Tick issuedAt = 0;
-    Tick completeAt = 0;
-    Tick retiredAt = 0;
-    Addr effAddr = kAddrInvalid;
-};
-
-/**
- * The out-of-order core.
+ * Core is PipelineEngine with exactly one thread behind the original
+ * single-thread API the attack harnesses, benches and examples
+ * consume. It adds no pipeline behaviour of its own: every stage runs
+ * in the shared engine, and tests/test_smt.cc pins both this façade
+ * and SmtCore(1 thread) cycle-for-cycle against golden traces captured
+ * from the pre-unification pipeline.
  *
  * The hierarchy and main memory are shared with other agents (the
  * attacker); the predictor is owned but externally trainable, exactly
  * like a real branch predictor primed by an attacker-controlled run.
  */
+
+#ifndef SPECINT_CPU_CORE_HH
+#define SPECINT_CPU_CORE_HH
+
+#include <string>
+#include <vector>
+
+#include "cpu/core_types.hh"
+#include "cpu/pipeline/engine.hh"
+
+namespace specint
+{
+
 class Core
 {
   public:
     Core(CoreConfig cfg, CoreId id, Hierarchy &hier, MainMemory &mem);
 
     /** Install the active speculation-safety scheme. */
-    void setScheme(SchemePtr scheme);
-    Scheme &scheme() { return *scheme_; }
+    void setScheme(SchemePtr scheme) { engine_.setScheme(0, std::move(scheme)); }
+    Scheme &scheme() { return engine_.scheme(0); }
 
     /** Attach a noise model (nullptr = noiseless). */
-    void setNoise(NoiseModel *noise) { noise_ = noise; }
+    void setNoise(NoiseModel *noise) { engine_.setNoise(noise); }
 
-    /**
-     * Per-cycle hook, invoked at the start of every simulated cycle.
-     * Experiments use it to model concurrent agents — e.g. the
-     * attacker's fixed-time LLC reference access in the VD-AD/VI-AD
-     * attacks (§3.3.1) runs from this hook.
-     */
-    using CycleHook = std::function<void(Tick)>;
-    void setCycleHook(CycleHook hook) { cycleHook_ = std::move(hook); }
-    void clearCycleHook() { cycleHook_ = nullptr; }
+    /** Per-cycle hook (see PipelineEngine::setCycleHook). */
+    using CycleHook = PipelineEngine::CycleHook;
+    void setCycleHook(CycleHook hook)
+    {
+        engine_.setCycleHook(std::move(hook));
+    }
+    void clearCycleHook() { engine_.clearCycleHook(); }
 
-    BranchPredictor &predictor() { return predictor_; }
-    const CoreConfig &config() const { return cfg_; }
-    CoreId id() const { return id_; }
-    Hierarchy &hierarchy() { return *hier_; }
+    BranchPredictor &predictor() { return engine_.predictor(0); }
+    const CoreConfig &config() const { return engine_.config(); }
+    CoreId id() const { return engine_.id(); }
+    Hierarchy &hierarchy() { return engine_.hierarchy(); }
 
     /** Execute @p prog to completion (or maxCycles). */
     CoreStats run(const Program &prog);
 
     /** Timing trace of labeled retired instructions (last run). */
-    const std::vector<InstTraceEntry> &trace() const { return trace_; }
+    const std::vector<InstTraceEntry> &trace() const
+    {
+        return engine_.trace(0);
+    }
 
     /** Find the trace entry for @p label (nullptr if absent). */
-    const InstTraceEntry *traceEntry(const std::string &label) const;
+    const InstTraceEntry *traceEntry(const std::string &label) const
+    {
+        return engine_.traceEntry(0, label);
+    }
 
     /** Convenience: completion time of the labeled instruction
      *  (kTickMax if it never retired). */
-    Tick completeTime(const std::string &label) const;
+    Tick completeTime(const std::string &label) const
+    {
+        return engine_.completeTime(0, label);
+    }
 
     /** Order check: did @p a complete before @p b? */
-    bool completedBefore(const std::string &a, const std::string &b) const;
+    bool completedBefore(const std::string &a, const std::string &b) const
+    {
+        return completeTime(a) < completeTime(b);
+    }
 
     /** Architectural register value (after run: final state). */
-    std::uint64_t archReg(RegId reg) const { return archRegs_[reg]; }
+    std::uint64_t archReg(RegId reg) const
+    {
+        return engine_.archReg(0, reg);
+    }
+
+    /** The underlying unified engine (System/bench introspection). */
+    PipelineEngine &engine() { return engine_; }
 
   private:
-    using RenameMap = std::array<SeqNum, kNumRegs>;
-
-    /** Per-instruction speculative-shadow context, recomputed each
-     *  cycle in one ROB pass. */
-    struct ShadowInfo
-    {
-        bool olderUnresolvedBranch = false;
-        bool olderIncompleteLoad = false;
-        bool olderIncompleteMem = false;
-    };
-
-    void resetPipeline(const Program &prog);
-    void tick();
-
-    void retireStage();
-    void writebackStage();
-    void safetyStage();
-    void issueStage();
-    void dispatchStage();
-    void fetchStage();
-
-    /** Compute shadow info for every ROB entry (age order). */
-    std::vector<ShadowInfo> computeShadows() const;
-    bool isSafe(const DynInst &inst, const ShadowInfo &sh,
-                SafePoint sp) const;
-
-    /** Attempt to issue @p inst. @return true if it left the RS. */
-    bool tryIssue(DynInst &inst, const ShadowInfo &sh);
-    /** Load-specific issue path. */
-    bool issueLoad(DynInst &inst, bool safe, bool speculative);
-
-    void resolveBranch(DynInst &br);
-    void squashAfter(const DynInst &br);
-    void wakeConsumers(const DynInst &producer);
-
-    /** Read a source register through the rename map. */
-    void renameSource(DynInst &inst, RegId src, bool first);
-
-    std::uint64_t execute(const DynInst &inst) const;
-
-    CoreConfig cfg_;
-    CoreId id_;
-    Hierarchy *hier_;
-    MainMemory *mem_;
-    NoiseModel *noise_ = nullptr;
-    SchemePtr scheme_;
-
-    BranchPredictor predictor_;
-    Frontend frontend_;
-    Rob rob_;
-    ReservationStation rs_;
-    Lsq lsq_;
-    PortSet ports_;
-    MshrFile mshr_;
-
-    const Program *prog_ = nullptr;
-    Tick now_ = 0;
-    SeqNum nextSeq_ = 0;
-    bool haltRetired_ = false;
-
-    std::array<std::uint64_t, kNumRegs> archRegs_{};
-    RenameMap renameMap_{};
-    std::map<SeqNum, RenameMap> checkpoints_;
-
-    CoreStats stats_;
-    std::vector<InstTraceEntry> trace_;
-    CycleHook cycleHook_;
+    PipelineEngine engine_;
 };
 
 } // namespace specint

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Commit-side stages of the unified engine. Stores, pending
+ * exposure accesses and deferred replacement updates become visible at
+ * retirement; branches resolve at writeback and squash precisely and
+ * thread-locally; value producers arbitrate for the shared CDB slots
+ * oldest (dispatch stamp) first.
+ */
+
+#include "cpu/pipeline/commit_unit.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace specint
+{
+
+void
+CommitUnit::retire(std::vector<std::unique_ptr<ThreadContext>> &threads,
+                   Tick now)
+{
+    for (auto &tp : threads) {
+        ThreadContext &th = *tp;
+        for (unsigned n = 0; n < cfg_.retireWidth && !th.rob.empty();
+             ++n) {
+            DynInst &h = th.rob.head();
+            if (h.state != InstState::WrittenBack)
+                break;
+
+            if (h.isStore()) {
+                // Stores update memory and the cache at retirement:
+                // they are never speculative when they reach this
+                // point.
+                mem_.write(h.effAddr, h.result);
+                hier_.access(id_, h.effAddr, AccessType::Data, now);
+            }
+            if (h.isLoad()) {
+                if (h.exposurePending) {
+                    hier_.access(id_, h.effAddr, AccessType::Data, now);
+                    h.exposurePending = false;
+                }
+                if (h.deferredTouchPending) {
+                    hier_.l1DeferredTouch(id_, h.effAddr,
+                                          AccessType::Data);
+                    h.deferredTouchPending = false;
+                }
+            }
+            if (h.ifetchExposureLine != kAddrInvalid) {
+                hier_.access(id_, h.ifetchExposureLine, AccessType::Instr,
+                             now);
+            }
+
+            if (h.si.writesReg())
+                th.archRegs[h.si.dst] = h.result;
+            if (h.si.writesReg() && th.renameMap[h.si.dst] == h.seq)
+                th.renameMap[h.si.dst] = kSeqNumInvalid;
+
+            rs_.release(h); // no-op unless entries are held until retire
+            lsq_.release(h);
+            if (h.isBranch())
+                th.checkpoints.erase(h.seq);
+            if (h.si.op == Op::Halt) {
+                th.haltRetired = true;
+                th.stats.cycles = now;
+            }
+
+            h.state = InstState::Retired;
+            h.retiredAt = now;
+            ++th.stats.retired;
+
+            if (cfg_.recordTrace && !h.si.label.empty()) {
+                th.trace.push_back({h.si.label, h.pc, h.seq,
+                                    h.dispatchedAt, h.issuedAt,
+                                    h.completeAt, h.retiredAt,
+                                    h.effAddr});
+            }
+            th.rob.popHead();
+        }
+    }
+}
+
+void
+CommitUnit::wakeConsumers(ThreadContext &th, const DynInst &producer,
+                          Tick now)
+{
+    for (auto &inst : th.rob) {
+        if (inst.seq <= producer.seq ||
+            inst.state != InstState::Dispatched) {
+            continue;
+        }
+        bool woke = false;
+        if (!inst.src1Ready && inst.src1Prod == producer.seq) {
+            inst.src1Ready = true;
+            inst.src1Val = producer.result;
+            woke = true;
+        }
+        if (!inst.src2Ready && inst.src2Prod == producer.seq) {
+            inst.src2Ready = true;
+            inst.src2Val = producer.result;
+            woke = true;
+        }
+        if (woke) {
+            // Writeback-to-issue delay: a freshly woken consumer can
+            // issue at the earliest on the cycle after the writeback —
+            // the gap the G^D_NPEU cascade exploits (Fig. 3).
+            inst.readyAt = std::max(inst.readyAt, now + 1);
+        }
+    }
+}
+
+void
+CommitUnit::resolveBranch(ThreadContext &th, DynInst &br, Tick now)
+{
+    assert(br.isBranch() && !br.resolved);
+    br.actualTaken = evalCond(br.si.cond, br.src1Val, br.src2Val);
+    br.mispredicted = br.actualTaken != br.predictedTaken;
+    br.resolved = true;
+    th.predictor.update(br.pc, br.actualTaken);
+    ++th.stats.branches;
+    if (br.mispredicted) {
+        ++th.stats.mispredicts;
+        squashAfter(th, br, now);
+    }
+}
+
+void
+CommitUnit::writeback(std::vector<std::unique_ptr<ThreadContext>> &threads,
+                      Tick now)
+{
+    // Branches resolve per thread as soon as they complete; they
+    // produce no value and do not contend for CDB slots. Index-based
+    // loop: a squash removes that thread's younger entries from the
+    // deque's tail mid-iteration.
+    for (auto &tp : threads) {
+        ThreadContext &th = *tp;
+        for (std::size_t idx = 0; idx < th.rob.size(); ++idx) {
+            DynInst &inst = *std::next(
+                th.rob.begin(), static_cast<std::ptrdiff_t>(idx));
+            if (inst.isBranch() && inst.state == InstState::Issued &&
+                inst.completeAt <= now) {
+                inst.state = InstState::WrittenBack;
+                inst.wbAt = now;
+                ports_.releaseIfHeldBy(inst.seq, th.tid);
+                resolveBranch(th, inst, now);
+                if (inst.mispredicted)
+                    break; // this thread's younger entries are gone
+            }
+        }
+    }
+
+    // Value-producing instructions from all threads arbitrate for the
+    // shared cdbWidth slots in global age (dispatch-stamp) order.
+    // Losing the arbitration delays the result broadcast — the CDB
+    // contention channel of Fig. 1.
+    cands_.clear();
+    for (auto &tp : threads) {
+        for (auto &inst : tp->rob) {
+            if (inst.state == InstState::Issued && !inst.isBranch() &&
+                inst.completeAt <= now) {
+                cands_.emplace_back(tp.get(), &inst);
+            }
+        }
+    }
+    // A single thread's ROB is already in dispatch (stamp) order;
+    // only a real cross-thread merge needs the sort.
+    if (threads.size() > 1) {
+        std::sort(cands_.begin(), cands_.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.second->stamp < b.second->stamp;
+                  });
+    }
+    unsigned slots = cfg_.cdbWidth;
+    for (auto &[th, inst] : cands_) {
+        if (slots == 0)
+            break;
+        inst->state = InstState::WrittenBack;
+        inst->wbAt = now;
+        ports_.releaseIfHeldBy(inst->seq, th->tid);
+        wakeConsumers(*th, *inst, now);
+        --slots;
+    }
+}
+
+void
+CommitUnit::squashAfter(ThreadContext &th, const DynInst &br, Tick now)
+{
+    const SeqNum bound = br.seq;
+
+    // Release structural resources held by this thread's squashed
+    // instructions; a sibling's holdings are untouched.
+    for (const auto &inst : th.rob) {
+        if (inst.seq <= bound)
+            continue;
+        rs_.release(const_cast<DynInst &>(inst));
+        lsq_.release(inst);
+    }
+    th.rob.squashYoungerThan(bound);
+    ports_.squashThread(th.tid, bound);
+    mshr_.squashThread(th.tid, bound);
+    th.scheme->filterSquashYoungerThan(bound);
+
+    // Restore the rename map from the branch's checkpoint; discard
+    // checkpoints belonging to squashed (younger) branches.
+    const auto it = th.checkpoints.find(bound);
+    assert(it != th.checkpoints.end());
+    th.renameMap = it->second;
+    th.checkpoints.erase(std::next(it), th.checkpoints.end());
+
+    // Per-thread SeqNums of squashed instructions are reused: every
+    // structure referencing them (ports, MSHRs, checkpoints, filter
+    // caches) was purged above, and reuse keeps the ROB's contiguous
+    // seq invariant (O(1) lookup) intact. The global dispatch stamp is
+    // never reused, so cross-thread age arbitration stays consistent
+    // across squashes.
+    th.nextSeq = bound + 1;
+
+    const std::uint32_t new_pc =
+        br.actualTaken ? br.si.target : br.pc + 1;
+    th.frontend.redirect(new_pc, now + cfg_.squashPenalty);
+    ++th.stats.squashes;
+}
+
+} // namespace specint

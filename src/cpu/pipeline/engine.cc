@@ -1,0 +1,213 @@
+/**
+ * @file
+ * PipelineEngine implementation: construction/validation, the run
+ * loop and per-cycle orchestration. Stages run in reverse pipeline
+ * order inside tick() — retire, writeback, safety (scheme exposures /
+ * deferred updates), issue, dispatch, fetch — so producers wake
+ * consumers with a one-cycle boundary; the per-cycle cross-thread
+ * contention sample closes the cycle.
+ */
+
+#include "cpu/pipeline/engine.hh"
+
+#include <cassert>
+
+#include "sim/log.hh"
+
+namespace specint
+{
+
+PipelineEngine::PipelineEngine(CoreConfig cfg, SmtConfig smt, CoreId id,
+                               Hierarchy &hier, MainMemory &mem,
+                               std::string name,
+                               std::string config_context)
+    : cfg_(cfg), smt_(smt), id_(id), hier_(&hier), mem_(&mem),
+      name_(std::move(name)),
+      rs_(cfg.rsSize, smt.numThreads, smt.rsPolicy),
+      lsq_(cfg.lqSize, cfg.sqSize, smt.numThreads, smt.lqPolicy,
+           smt.sqPolicy),
+      mshr_(cfg.mshrs), arbiter_(smt.fetchPolicy, smt.numThreads),
+      commit_(cfg_, id_, rs_, lsq_, ports_, mshr_, hier, mem),
+      sched_(cfg_, smt_, id_, rs_, lsq_, ports_, mshr_, hier, mem),
+      front_(cfg_, smt_, id_, rs_, lsq_, hier, arbiter_)
+{
+    std::string err = cfg_.validate();
+    if (err.empty())
+        err = validateSmtConfig(smt_, cfg_);
+    if (!err.empty()) {
+        fatal((config_context.empty() ? name_ : config_context) + ": " +
+              err);
+    }
+    for (unsigned t = 0; t < smt_.numThreads; ++t) {
+        threads_.push_back(std::make_unique<ThreadContext>(
+            cfg_, static_cast<ThreadId>(t)));
+    }
+}
+
+PipelineEngine::~PipelineEngine() = default;
+
+void
+PipelineEngine::setScheme(ThreadId tid, SchemePtr scheme)
+{
+    assert(scheme && tid < threads_.size());
+    threads_[tid]->scheme = std::move(scheme);
+}
+
+Scheme &
+PipelineEngine::scheme(ThreadId tid)
+{
+    return *threads_[tid]->scheme;
+}
+
+BranchPredictor &
+PipelineEngine::predictor(ThreadId tid)
+{
+    return threads_[tid]->predictor;
+}
+
+const std::vector<InstTraceEntry> &
+PipelineEngine::trace(ThreadId tid) const
+{
+    return threads_[tid]->trace;
+}
+
+const InstTraceEntry *
+PipelineEngine::traceEntry(ThreadId tid, const std::string &label) const
+{
+    for (const auto &e : threads_[tid]->trace)
+        if (e.label == label)
+            return &e;
+    return nullptr;
+}
+
+Tick
+PipelineEngine::completeTime(ThreadId tid, const std::string &label) const
+{
+    const InstTraceEntry *e = traceEntry(tid, label);
+    return e ? e->completeAt : kTickMax;
+}
+
+std::uint64_t
+PipelineEngine::archReg(ThreadId tid, RegId reg) const
+{
+    return threads_[tid]->archRegs[reg];
+}
+
+const std::vector<ContentionSample> &
+PipelineEngine::contention(ThreadId tid) const
+{
+    return threads_[tid]->samples;
+}
+
+// ---------------------------------------------------------------------
+// Run loop
+// ---------------------------------------------------------------------
+
+void
+PipelineEngine::beginRun(const std::vector<const Program *> &progs)
+{
+    assert(progs.size() == threads_.size());
+    for ([[maybe_unused]] const Program *p : progs)
+        assert(p && !p->empty());
+    now_ = 0;
+    rs_.clear();
+    lsq_.clear();
+    ports_.reset();
+    mshr_.reset();
+    arbiter_.reset();
+    front_.reset();
+    for (unsigned t = 0; t < threads_.size(); ++t)
+        threads_[t]->resetRun(progs[t]);
+}
+
+bool
+PipelineEngine::allHalted() const
+{
+    for (const auto &th : threads_)
+        if (!th->haltRetired)
+            return false;
+    return true;
+}
+
+bool
+PipelineEngine::step()
+{
+    if (allHalted() || now_ >= cfg_.maxCycles)
+        return false;
+    tick();
+    return true;
+}
+
+EngineRunResult
+PipelineEngine::finishRun()
+{
+    EngineRunResult res;
+    res.cycles = now_;
+    res.finished = allHalted();
+    if (!res.finished) {
+        warn(name_ + "::run hit maxCycles (" + std::to_string(now_) +
+             ") before every thread's Halt retired");
+    }
+    for (auto &tp : threads_) {
+        tp->stats.finished = tp->haltRetired;
+        if (!tp->haltRetired)
+            tp->stats.cycles = now_;
+        res.threads.push_back(tp->stats);
+    }
+    return res;
+}
+
+EngineRunResult
+PipelineEngine::run(const std::vector<const Program *> &progs)
+{
+    beginRun(progs);
+    while (step()) {
+    }
+    return finishRun();
+}
+
+void
+PipelineEngine::tick()
+{
+    if (cycleHook_)
+        cycleHook_(now_);
+    ports_.beginCycle(now_);
+    for (auto &tp : threads_)
+        tp->portContended = tp->mshrContended = false;
+    commit_.retire(threads_, now_);
+    commit_.writeback(threads_, now_);
+    sched_.safety(threads_, now_);
+    sched_.issue(threads_, now_, noise_);
+    front_.dispatch(threads_, now_);
+    front_.fetch(threads_, now_);
+    sampleContention();
+    ++now_;
+}
+
+void
+PipelineEngine::sampleContention()
+{
+    for (auto &tp : threads_) {
+        ThreadContext &th = *tp;
+        if (th.portContended)
+            ++th.stats.portContendedCycles;
+        if (th.mshrContended)
+            ++th.stats.mshrContendedCycles;
+        if (!smt_.recordContention)
+            continue;
+        ContentionSample s;
+        s.cycle = now_;
+        s.portsHeldByOther = static_cast<std::uint8_t>(
+            ports_.countHeldByOther(th.tid, now_));
+        s.port0HeldByOther = ports_.holder(0) != kSeqNumInvalid &&
+                             ports_.holderTid(0) != th.tid &&
+                             ports_.busy(0, now_);
+        s.mshrHeldByOther = static_cast<std::uint8_t>(
+            mshr_.inUseByOther(th.tid, now_));
+        s.portContended = th.portContended;
+        s.mshrContended = th.mshrContended;
+        th.samples.push_back(s);
+    }
+}
+
+} // namespace specint

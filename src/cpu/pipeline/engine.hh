@@ -1,0 +1,173 @@
+/**
+ * @file
+ * The unified out-of-order pipeline engine.
+ *
+ * PipelineEngine is the one pipeline implementation in the simulator:
+ * a dynamically scheduled core in the style the paper assumes (§2.3) —
+ * in-order fetch/dispatch into per-thread ROBs and a unified RS,
+ * age-ordered port-constrained issue to pipelined and non-pipelined
+ * execution units, a bandwidth-limited writeback (CDB) stage, precise
+ * per-thread squash, and in-order retirement — generalised to N
+ * architectural (SMT) threads. The stages live in the component
+ * classes of this directory (CommitUnit, Scheduler, FrontUnit,
+ * ThreadContext); the engine owns the shared structures
+ * (RS/LSQ/ports/MSHRs/fetch arbiter) and orchestrates one cycle in
+ * reverse pipeline order so producers wake consumers with a one-cycle
+ * boundary.
+ *
+ * Facades: cpu/core.hh (Core) is this engine with one thread behind
+ * the original single-thread API; smt/smt_core.hh (SmtCore) is the
+ * N-thread orchestration; system/system.hh steps N engines over one
+ * shared Hierarchy via the incremental beginRun()/step() API.
+ *
+ * The speculation-safety Scheme (src/spec) is consulted at load issue,
+ * at every instruction's issue (fence defenses), and in the scheduler
+ * (advanced defense). The engine deliberately leaves the rest of the
+ * pipeline policy *performance-greedy and speculation-oblivious* —
+ * that is the root cause the paper identifies (§3.2).
+ */
+
+#ifndef SPECINT_CPU_PIPELINE_ENGINE_HH
+#define SPECINT_CPU_PIPELINE_ENGINE_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/exec_unit.hh"
+#include "cpu/lsq.hh"
+#include "cpu/pipeline/commit_unit.hh"
+#include "cpu/pipeline/front_unit.hh"
+#include "cpu/pipeline/scheduler.hh"
+#include "cpu/pipeline/thread_context.hh"
+#include "cpu/reservation_station.hh"
+#include "memory/hierarchy.hh"
+#include "memory/mshr.hh"
+#include "sim/noise.hh"
+#include "smt/fetch_arbiter.hh"
+#include "smt/smt_config.hh"
+
+namespace specint
+{
+
+/** Aggregate result of one engine run. */
+struct EngineRunResult
+{
+    /** Total cycles simulated. */
+    Tick cycles = 0;
+    /** All threads ran to Halt (vs hitting maxCycles). */
+    bool finished = false;
+    std::vector<ThreadStats> threads;
+};
+
+class PipelineEngine
+{
+  public:
+    /**
+     * @param name how the façade that owns the engine appears in
+     * runtime diagnostics ("Core", "SmtCore", "System core 2", ...).
+     * @param config_context prefix for configuration fatal()s
+     * ("CoreConfig", "SystemConfig(core 2)", ...); defaults to @p name.
+     */
+    PipelineEngine(CoreConfig cfg, SmtConfig smt, CoreId id,
+                   Hierarchy &hier, MainMemory &mem,
+                   std::string name = "PipelineEngine",
+                   std::string config_context = "");
+    ~PipelineEngine();
+
+    unsigned numThreads() const { return smt_.numThreads; }
+    const CoreConfig &config() const { return cfg_; }
+    const SmtConfig &smtConfig() const { return smt_; }
+    CoreId id() const { return id_; }
+    Hierarchy &hierarchy() { return *hier_; }
+
+    /** Install thread @p tid's speculation-safety scheme. */
+    void setScheme(ThreadId tid, SchemePtr scheme);
+    Scheme &scheme(ThreadId tid);
+
+    /** Attach a noise model shared by all threads (nullptr = none). */
+    void setNoise(NoiseModel *noise) { noise_ = noise; }
+    NoiseModel *noiseModel() const { return noise_; }
+
+    /** Per-cycle hook, invoked at the start of every simulated cycle.
+     *  Experiments use it to model concurrent agents — e.g. the
+     *  attacker's fixed-time LLC reference access in the VD-AD/VI-AD
+     *  attacks (§3.3.1) runs from this hook. */
+    using CycleHook = std::function<void(Tick)>;
+    void setCycleHook(CycleHook hook) { cycleHook_ = std::move(hook); }
+    void clearCycleHook() { cycleHook_ = nullptr; }
+
+    BranchPredictor &predictor(ThreadId tid);
+
+    /** Run one program per thread to completion (or maxCycles). */
+    EngineRunResult run(const std::vector<const Program *> &progs);
+
+    /** @name Incremental run API (the System layer's tick loop). */
+    /// @{
+    /** Reset the pipeline and start executing @p progs (one per
+     *  thread) from cycle 0. */
+    void beginRun(const std::vector<const Program *> &progs);
+    /** Simulate one cycle. @return false if the engine was already
+     *  done (all Halts retired or maxCycles reached) and no cycle was
+     *  simulated. */
+    bool step();
+    /** Every thread's Halt has retired. */
+    bool halted() const { return allHalted(); }
+    /** Current cycle of this engine's local clock. */
+    Tick now() const { return now_; }
+    /** Collect the run result (also emits the maxCycles warning). */
+    EngineRunResult finishRun();
+    /// @}
+
+    /** @name Per-thread run introspection. */
+    /// @{
+    const std::vector<InstTraceEntry> &trace(ThreadId tid) const;
+    const InstTraceEntry *traceEntry(ThreadId tid,
+                                     const std::string &label) const;
+    Tick completeTime(ThreadId tid, const std::string &label) const;
+    std::uint64_t archReg(ThreadId tid, RegId reg) const;
+    /** Per-cycle contention samples (empty unless recordContention). */
+    const std::vector<ContentionSample> &contention(ThreadId tid) const;
+    /// @}
+
+    /** Fetch-stage grants per thread over the last run (fairness). */
+    const std::vector<std::uint64_t> &fetchGrants() const
+    {
+        return arbiter_.grants();
+    }
+
+  private:
+    bool allHalted() const;
+    void tick();
+    void sampleContention();
+
+    CoreConfig cfg_;
+    SmtConfig smt_;
+    CoreId id_;
+    Hierarchy *hier_;
+    MainMemory *mem_;
+    NoiseModel *noise_ = nullptr;
+    std::string name_;
+
+    std::vector<std::unique_ptr<ThreadContext>> threads_;
+
+    // Fully shared structures.
+    ReservationStation rs_;
+    Lsq lsq_;
+    PortSet ports_;
+    MshrFile mshr_;
+    FetchArbiter arbiter_;
+
+    // Stage components (constructed after the structures they share).
+    CommitUnit commit_;
+    Scheduler sched_;
+    FrontUnit front_;
+
+    Tick now_ = 0;
+    CycleHook cycleHook_;
+};
+
+} // namespace specint
+
+#endif // SPECINT_CPU_PIPELINE_ENGINE_HH

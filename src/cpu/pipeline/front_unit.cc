@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Front-end stages of the unified engine: rotating-priority
+ * dispatch with rename-map checkpointing, and fetch through the L1-I
+ * cache for the arbiter-granted thread (invisible when the scheme
+ * protects the I-cache and the thread is speculating).
+ */
+
+#include "cpu/pipeline/front_unit.hh"
+
+namespace specint
+{
+
+void
+FrontUnit::reset()
+{
+    dispatchRR_ = 0;
+    nextStamp_ = 0;
+}
+
+bool
+FrontUnit::robFull(
+    const ThreadContext &th,
+    const std::vector<std::unique_ptr<ThreadContext>> &threads) const
+{
+    if (smt_.robPolicy == SharingPolicy::Partitioned &&
+        smt_.numThreads > 1) {
+        return th.rob.size() >=
+               partitionedShare(cfg_.robSize, smt_.numThreads);
+    }
+    unsigned n = 0;
+    for (const auto &tp : threads)
+        n += static_cast<unsigned>(tp->rob.size());
+    return n >= cfg_.robSize;
+}
+
+void
+FrontUnit::dispatch(std::vector<std::unique_ptr<ThreadContext>> &threads,
+                    Tick now)
+{
+    const unsigned n = smt_.numThreads;
+    for (auto &tp : threads)
+        tp->dispatchBlocked = false;
+
+    unsigned slots = cfg_.dispatchWidth;
+    while (slots > 0) {
+        // Rotating-priority pick among threads able to dispatch.
+        ThreadContext *th = nullptr;
+        for (unsigned k = 0; k < n; ++k) {
+            ThreadContext *cand = threads[(dispatchRR_ + k) % n].get();
+            if (cand->dispatchBlocked ||
+                cand->frontend.queueEmpty() ||
+                robFull(*cand, threads) || rs_.full(cand->tid)) {
+                continue;
+            }
+            th = cand;
+            break;
+        }
+        if (!th)
+            break;
+
+        const FetchedInst &fi = th->frontend.front();
+        const StaticInst &si = th->prog->at(fi.pc);
+
+        DynInst d;
+        d.seq = th->nextSeq;
+        d.tid = th->tid;
+        d.stamp = nextStamp_;
+        d.pc = fi.pc;
+        d.si = si;
+        d.dispatchedAt = now;
+        d.readyAt = now + 1;
+        d.predictedTaken = fi.predictedTaken;
+        d.ifetchExposureLine = fi.exposureLine;
+
+        if (si.isMem() && !lsq_.allocate(d)) {
+            // LQ/SQ share exhausted: this thread is done for the
+            // cycle (with siblings the slot may still go to another
+            // thread).
+            th->dispatchBlocked = true;
+            continue;
+        }
+
+        th->renameSource(d, si.src1, true);
+        // Loads use src1 only as the address base; src2 is unused.
+        th->renameSource(d, si.isLoad() ? kNoReg : si.src2, false);
+
+        if (si.isBranch())
+            th->checkpoints[d.seq] = th->renameMap;
+        if (si.writesReg())
+            th->renameMap[si.dst] = d.seq;
+
+        DynInst &stored = th->rob.push(std::move(d));
+        rs_.allocate(stored);
+        ++th->nextSeq;
+        ++nextStamp_;
+        th->frontend.popFront();
+        --slots;
+        dispatchRR_ = (static_cast<unsigned>(th->tid) + 1) % n;
+    }
+
+    // Dispatch back-pressure stat: instructions waiting behind a full
+    // RS share (the G^I_RS congestion observable, per thread).
+    for (auto &tp : threads) {
+        if (!tp->frontend.queueEmpty() && rs_.full(tp->tid))
+            ++tp->stats.rsBlockedCycles;
+    }
+}
+
+void
+FrontUnit::fetch(std::vector<std::unique_ptr<ThreadContext>> &threads,
+                 Tick now)
+{
+    fetchCands_.resize(threads.size());
+    for (unsigned t = 0; t < threads.size(); ++t) {
+        const ThreadContext &th = *threads[t];
+        fetchCands_[t].fetchable = th.frontend.canFetch(now);
+        fetchCands_[t].icount = static_cast<unsigned>(
+            th.rob.size() + th.frontend.queueSize());
+    }
+    const int pick = arbiter_.pick(fetchCands_);
+    if (pick < 0)
+        return;
+    ThreadContext &th = *threads[static_cast<unsigned>(pick)];
+    ++th.stats.fetchGrants;
+
+    const auto ifetch = [&](Addr line) -> IFetchResult {
+        bool speculative = false;
+        for (const auto &inst : th.rob) {
+            if (inst.isBranch() && !inst.resolved) {
+                speculative = true;
+                break;
+            }
+        }
+        if (th.scheme->protectsIFetch() && speculative) {
+            const MemAccessResult res = hier_.accessInvisible(
+                id_, line, AccessType::Instr, now);
+            return {res.l1Hit ? now : now + res.latency, true};
+        }
+        const MemAccessResult res =
+            hier_.access(id_, line, AccessType::Instr, now);
+        return {res.l1Hit ? now : now + res.latency, false};
+    };
+
+    th.frontend.tick(now, *th.prog, th.predictor, ifetch);
+}
+
+} // namespace specint

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Front-end stage component of the unified pipeline engine: rotating-
+ * priority dispatch (rename, window allocation, the global dispatch
+ * stamp) and arbitrated instruction fetch.
+ *
+ * One thread owns the fetch stage each cycle (RoundRobin or ICOUNT via
+ * FetchArbiter); dispatch hands the shared dispatchWidth slots to
+ * threads in rotating priority, skipping threads blocked on a full
+ * ROB/RS/LQ/SQ share. With one thread both reduce to the plain
+ * in-order frontend of a single-thread core.
+ */
+
+#ifndef SPECINT_CPU_PIPELINE_FRONT_UNIT_HH
+#define SPECINT_CPU_PIPELINE_FRONT_UNIT_HH
+
+#include <memory>
+#include <vector>
+
+#include "cpu/lsq.hh"
+#include "cpu/pipeline/thread_context.hh"
+#include "cpu/reservation_station.hh"
+#include "memory/hierarchy.hh"
+#include "smt/fetch_arbiter.hh"
+#include "smt/smt_config.hh"
+
+namespace specint
+{
+
+class FrontUnit
+{
+  public:
+    FrontUnit(const CoreConfig &cfg, const SmtConfig &smt, CoreId id,
+              ReservationStation &rs, Lsq &lsq, Hierarchy &hier,
+              FetchArbiter &arbiter)
+        : cfg_(cfg), smt_(smt), id_(id), rs_(rs), lsq_(lsq),
+          hier_(hier), arbiter_(arbiter)
+    {}
+
+    /** Reset dispatch rotation and the global stamp for a new run. */
+    void reset();
+
+    /** Dispatch up to dispatchWidth instructions across threads. */
+    void dispatch(std::vector<std::unique_ptr<ThreadContext>> &threads,
+                  Tick now);
+
+    /** Fetch for the thread the arbiter grants this cycle. */
+    void fetch(std::vector<std::unique_ptr<ThreadContext>> &threads,
+               Tick now);
+
+  private:
+    /** Per-thread ROB occupancy limit under the active policy. */
+    bool robFull(
+        const ThreadContext &th,
+        const std::vector<std::unique_ptr<ThreadContext>> &threads) const;
+
+    const CoreConfig &cfg_;
+    const SmtConfig &smt_;
+    CoreId id_;
+    ReservationStation &rs_;
+    Lsq &lsq_;
+    Hierarchy &hier_;
+    FetchArbiter &arbiter_;
+
+    /** Rotating dispatch priority pointer. */
+    unsigned dispatchRR_ = 0;
+    /** Core-global dispatch order stamp — the cross-thread age key
+     *  (never reused, unlike per-thread SeqNums). */
+    std::uint64_t nextStamp_ = 0;
+
+    /** Reused fetch-arbitration buffer (hot path: no per-cycle alloc). */
+    std::vector<FetchArbiter::Candidate> fetchCands_;
+};
+
+} // namespace specint
+
+#endif // SPECINT_CPU_PIPELINE_FRONT_UNIT_HH

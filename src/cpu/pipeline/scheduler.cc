@@ -1,0 +1,363 @@
+/**
+ * @file
+ * Scheduler stages of the unified engine. The safety stage applies
+ * scheme-deferred visibility transitions; the issue stage merges all
+ * threads' ready instructions in global dispatch-stamp order and
+ * consults the active scheme at every decision point (load policies,
+ * fence gates, strict age priority with squashable-EU preemption).
+ */
+
+#include "cpu/pipeline/scheduler.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/log.hh"
+
+namespace specint
+{
+
+void
+Scheduler::safety(std::vector<std::unique_ptr<ThreadContext>> &threads,
+                  Tick now)
+{
+    for (auto &tp : threads) {
+        ThreadContext &th = *tp;
+        if (th.rob.empty())
+            continue;
+        th.computeShadows(shadows_[th.tid]);
+        const auto &shadows = shadows_[th.tid];
+        const SafePoint sp = th.scheme->safePoint();
+        std::size_t i = 0;
+        for (auto &inst : th.rob) {
+            const ShadowInfo &sh = shadows[i++];
+            if (!inst.isLoad() || !inst.executed())
+                continue;
+            if (!(inst.exposurePending || inst.deferredTouchPending))
+                continue;
+            if (!th.isSafe(inst, sh, sp))
+                continue;
+            if (inst.exposurePending) {
+                // InvisiSpec-style exposure: the load's visible cache
+                // fill happens now, when it ceases to be speculative.
+                hier_.access(id_, inst.effAddr, AccessType::Data, now);
+                inst.exposurePending = false;
+            }
+            if (inst.deferredTouchPending) {
+                // DoM deferred replacement update.
+                hier_.l1DeferredTouch(id_, inst.effAddr,
+                                      AccessType::Data);
+                inst.deferredTouchPending = false;
+            }
+        }
+    }
+}
+
+std::uint64_t
+Scheduler::execute(const DynInst &inst)
+{
+    switch (inst.si.op) {
+      case Op::IntAlu:
+        return inst.src1Val + inst.src2Val +
+               static_cast<std::uint64_t>(inst.si.imm);
+      case Op::IntMul:
+        return inst.src1Val * (inst.si.src2 == kNoReg ? 1 : inst.src2Val) +
+               static_cast<std::uint64_t>(inst.si.imm);
+      case Op::FpSqrt:
+      case Op::FpDiv:
+        // Value semantics are irrelevant for the experiments; preserve
+        // the dependency chain by passing the operand through.
+        return inst.src1Val;
+      default:
+        return 0;
+    }
+}
+
+void
+Scheduler::issue(std::vector<std::unique_ptr<ThreadContext>> &threads,
+                 Tick now, NoiseModel *noise)
+{
+    // Per-thread shadows first (computed once per stage), then one
+    // merged pass over all ROBs in global age order.
+    order_.clear();
+    for (auto &tp : threads) {
+        ThreadContext &th = *tp;
+        if (th.rob.empty())
+            continue;
+        th.computeShadows(shadows_[th.tid]);
+        std::size_t i = 0;
+        for (auto &inst : th.rob)
+            order_.push_back({&th, &inst, &shadows_[th.tid][i++]});
+    }
+    if (order_.empty())
+        return;
+    // A single thread's ROB is already in dispatch (stamp) order;
+    // only a real cross-thread merge needs the sort.
+    if (threads.size() > 1) {
+        std::sort(order_.begin(), order_.end(),
+                  [](const Cand &a, const Cand &b) {
+                      return a.inst->stamp < b.inst->stamp;
+                  });
+    }
+
+    unsigned issued = 0;
+    for (const Cand &c : order_) {
+        ThreadContext &th = *c.th;
+        DynInst &inst = *c.inst;
+        const ShadowInfo &sh = *c.sh;
+        if (issued >= cfg_.issueWidth)
+            break;
+        if (inst.state != InstState::Dispatched)
+            continue;
+        if (!inst.src1Ready || !inst.src2Ready)
+            continue;
+        if (inst.readyAt > now || inst.retryAt > now)
+            continue;
+
+        // Loads the scheme parked until their safe point.
+        if (inst.loadPhase == LoadPhase::WaitSafe &&
+            !th.isSafe(inst, sh, th.scheme->safePoint())) {
+            continue;
+        }
+
+        // Fences serialise: issue only from the ROB head.
+        if (inst.si.op == Op::Fence && th.rob.head().seq != inst.seq)
+            continue;
+
+        // Scheme issue gate (fence defenses).
+        IssueContext ctx;
+        ctx.olderUnresolvedBranch = sh.olderUnresolvedBranch;
+        ctx.olderIncompleteLoad = sh.olderIncompleteLoad;
+        ctx.isLoad = inst.isLoad();
+        ctx.isBranch = inst.isBranch();
+        if (!th.scheme->mayIssue(ctx))
+            continue;
+
+        if (tryIssue(th, inst, sh, now, noise))
+            ++issued;
+    }
+}
+
+bool
+Scheduler::tryIssue(ThreadContext &th, DynInst &inst,
+                    const ShadowInfo &sh, Tick now, NoiseModel *noise)
+{
+    const OpTraits &traits = opTraits(inst.si.op);
+    const SchedFlags flags = th.scheme->schedFlags();
+    const bool speculative = sh.olderUnresolvedBranch;
+
+    int port = ports_.selectPort(inst.si.op, now);
+    if (port < 0 && flags.strictAgePriority && !traits.pipelined) {
+        // Advanced defense rule 2, thread-local: a younger speculative
+        // instruction must never delay an older one — preempt the
+        // squashable EU held by a younger speculative instruction of
+        // the *same* thread (SeqNums are per-thread).
+        for (std::uint8_t p : traits.ports) {
+            const SeqNum victim = ports_.preempt(p, inst.seq, th.tid);
+            if (victim == kSeqNumInvalid)
+                continue;
+            DynInst *v = th.rob.find(victim);
+            assert(v && v->state == InstState::Issued);
+            // The preempted instruction is re-issued later; with the
+            // hold-until-retire rule its RS entry still exists.
+            v->state = InstState::Dispatched;
+            v->issuedAt = kTickMax;
+            v->completeAt = kTickMax;
+            v->retryAt = now + 1;
+            if (!v->inRs)
+                rs_.allocate(*v);
+            port = p;
+            break;
+        }
+    }
+    if (port < 0) {
+        // The per-cycle observable of the SMT port-contention channel:
+        // a ready instruction denied a port a sibling occupies.
+        if (smt_.numThreads > 1 &&
+            ports_.opContendedByOther(inst.si.op, th.tid, now)) {
+            th.portContended = true;
+        }
+        return false;
+    }
+
+    if (inst.isLoad()) {
+        if (!issueLoad(th, inst,
+                       th.isSafe(inst, sh, th.scheme->safePoint()),
+                       speculative, now, noise)) {
+            return false;
+        }
+    } else if (inst.isStore()) {
+        inst.effAddr = inst.src1Val * inst.si.scale +
+                       static_cast<std::uint64_t>(inst.si.imm);
+        inst.result = inst.src2Val;
+        inst.completeAt = now + traits.latency;
+    } else {
+        inst.result = execute(inst);
+        inst.completeAt = now + traits.latency;
+    }
+
+    ports_.issue(static_cast<std::uint8_t>(port), inst.si.op, now,
+                 inst.completeAt, inst.seq, speculative, th.tid);
+    inst.port = port;
+    inst.state = InstState::Issued;
+    inst.issuedAt = now;
+    ++th.stats.issued;
+    if (!th.scheme->schedFlags().holdRsUntilRetire)
+        rs_.release(inst);
+    return true;
+}
+
+bool
+Scheduler::issueLoad(ThreadContext &th, DynInst &inst, bool safe,
+                     bool speculative, Tick now, NoiseModel *noise)
+{
+    inst.effAddr = (inst.si.src1 == kNoReg ? 0
+                        : inst.src1Val * inst.si.scale) +
+                   static_cast<std::uint64_t>(inst.si.imm);
+
+    // Memory disambiguation against this thread's own older stores.
+    const DisambigResult dis = lsq_.check(inst, th.rob);
+    if (dis.blocked) {
+        inst.retryAt = now + 1;
+        return false;
+    }
+    if (inst.loadPhase == LoadPhase::None)
+        ++th.stats.loads; // count each load once, not per retry
+    if (dis.forward) {
+        inst.forwarded = true;
+        inst.result = dis.forwardValue;
+        inst.completeAt = now + cfg_.storeForwardLatency;
+        inst.loadPhase = LoadPhase::Done;
+        return true;
+    }
+
+    const SpecLoadPolicy policy =
+        safe ? SpecLoadPolicy::Visible : th.scheme->specLoadPolicy();
+    const Tick jitter = noise ? noise->loadJitter() : 0;
+    const Addr line = lineAlign(inst.effAddr);
+    const SchedFlags flags = th.scheme->schedFlags();
+
+    auto need_mshr = [&](bool l1_hit) -> bool { return !l1_hit; };
+    auto acquire_mshr = [&](Tick ready_at, bool spec_alloc) -> bool {
+        if (mshr_.hasEntry(line, now) ||
+            mshr_.allocate(line, now, ready_at, inst.seq, spec_alloc,
+                           th.tid)) {
+            return true;
+        }
+        if (flags.preemptSpecMshr && !spec_alloc &&
+            mshr_.preemptYoungestSpeculative(now, th.tid)) {
+            return mshr_.allocate(line, now, ready_at, inst.seq,
+                                  spec_alloc, th.tid);
+        }
+        // The MSHR-contention observable: denied while a sibling
+        // thread holds entries in the shared file.
+        if (smt_.numThreads > 1 &&
+            mshr_.inUseByOther(th.tid, now) > 0) {
+            th.mshrContended = true;
+        }
+        return false;
+    };
+
+    switch (policy) {
+      case SpecLoadPolicy::Visible: {
+        const bool l1_hit = hier_.l1Probe(id_, inst.effAddr,
+                                          AccessType::Data);
+        if (need_mshr(l1_hit)) {
+            // Reserve the MSHR before touching any cache state; the
+            // latency peek is a pure query (no bandwidth consumed).
+            const MemAccessResult probe = hier_.peekLatency(
+                id_, inst.effAddr, AccessType::Data);
+            if (!acquire_mshr(now + probe.latency + jitter,
+                              speculative)) {
+                const Tick earliest = mshr_.earliestReady(now);
+                inst.retryAt =
+                    earliest == kTickMax ? now + 1 : earliest;
+                inst.loadPhase = LoadPhase::WaitMshr;
+                return false;
+            }
+        }
+        const MemAccessResult res =
+            hier_.access(id_, inst.effAddr, AccessType::Data, now);
+        if (res.l1Hit)
+            ++th.stats.loadL1Hits;
+        inst.servedLevel = res.level;
+        inst.completeAt = now + res.latency + jitter;
+        inst.result = mem_.read(inst.effAddr);
+        inst.loadPhase = LoadPhase::InFlight;
+        return true;
+      }
+
+      case SpecLoadPolicy::DelayOnMiss: {
+        if (hier_.l1Probe(id_, inst.effAddr, AccessType::Data)) {
+            // Speculative L1 hit: serve the data, defer the
+            // replacement-state update until the load is safe.
+            inst.servedLevel = 1;
+            ++th.stats.loadL1Hits;
+            inst.completeAt =
+                now + hier_.config().l1Latency + jitter;
+            inst.result = mem_.read(inst.effAddr);
+            inst.deferredTouchPending = true;
+            inst.loadPhase = LoadPhase::InFlight;
+            return true;
+        }
+        // Speculative miss: delay until safe, then re-execute.
+        inst.loadPhase = LoadPhase::WaitSafe;
+        inst.retryAt = now + 1;
+        return false;
+      }
+
+      case SpecLoadPolicy::InvisibleRequest:
+      case SpecLoadPolicy::InvisibleFilter: {
+        if (policy == SpecLoadPolicy::InvisibleFilter &&
+            th.scheme->filterProbe(line)) {
+            // MuonTrap filter-cache hit: core-local, fast.
+            inst.servedLevel = 1;
+            inst.completeAt =
+                now + hier_.config().l1Latency + jitter;
+            inst.result = mem_.read(inst.effAddr);
+            inst.exposurePending = true;
+            inst.loadPhase = LoadPhase::InFlight;
+            return true;
+        }
+        // Reserve the core MSHR before the request leaves the core:
+        // the ready-time estimate is a pure peek, and the real
+        // (bandwidth-consuming) invisible request only happens once
+        // the load actually goes out — a denied load must not charge
+        // shared-level occupancy on every retry.
+        const MemAccessResult probe =
+            hier_.peekLatency(id_, inst.effAddr, AccessType::Data);
+        if (need_mshr(probe.l1Hit)) {
+            // Invisible speculative misses still occupy MSHRs — the
+            // pressure point G^D_MSHR exploits (Fig. 4), per-core and,
+            // through the shared-LLC model, across cores.
+            if (!acquire_mshr(now + probe.latency + jitter, true)) {
+                const Tick earliest = mshr_.earliestReady(now);
+                inst.retryAt =
+                    earliest == kTickMax ? now + 1 : earliest;
+                inst.loadPhase = LoadPhase::WaitMshr;
+                return false;
+            }
+        }
+        const MemAccessResult res = hier_.accessInvisible(
+            id_, inst.effAddr, AccessType::Data, now);
+        if (res.l1Hit)
+            ++th.stats.loadL1Hits;
+        inst.servedLevel = res.level;
+        inst.completeAt = now + res.latency + jitter;
+        inst.result = mem_.read(inst.effAddr);
+        inst.exposurePending = true;
+        inst.loadPhase = LoadPhase::InFlight;
+        if (policy == SpecLoadPolicy::InvisibleFilter)
+            th.scheme->filterFill(line, inst.seq);
+        return true;
+      }
+
+      case SpecLoadPolicy::DelayAlways:
+        inst.loadPhase = LoadPhase::WaitSafe;
+        inst.retryAt = now + 1;
+        return false;
+    }
+    panic("Scheduler::issueLoad: unknown policy");
+}
+
+} // namespace specint

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * ThreadContext implementation: per-thread run reset and the helper
+ * computations (shadows, safe points, rename) shared by every stage
+ * component of the unified pipeline engine.
+ */
+
+#include "cpu/pipeline/thread_context.hh"
+
+#include "sim/log.hh"
+#include "spec/unsafe.hh"
+
+namespace specint
+{
+
+ThreadContext::ThreadContext(const CoreConfig &cfg, ThreadId t)
+    : tid(t), frontend({cfg.fetchWidth, cfg.decodeQueue, t}),
+      rob(cfg.robSize)
+{
+    scheme = std::make_unique<UnsafeScheme>();
+    renameMap.fill(kSeqNumInvalid);
+}
+
+void
+ThreadContext::resetRun(const Program *p)
+{
+    prog = p;
+    frontend.reset(0);
+    rob.clear();
+    haltRetired = false;
+    nextSeq = 0;
+    renameMap.fill(kSeqNumInvalid);
+    checkpoints.clear();
+    const auto &init = prog->initRegs();
+    for (unsigned r = 0; r < kNumRegs; ++r)
+        archRegs[r] = init[r];
+    stats = ThreadStats{};
+    trace.clear();
+    samples.clear();
+    scheme->reset();
+}
+
+void
+ThreadContext::computeShadows(std::vector<ShadowInfo> &out) const
+{
+    out.clear();
+    out.reserve(rob.size());
+    ShadowInfo running;
+    for (const auto &inst : rob) {
+        out.push_back(running);
+        if (inst.isBranch() && !inst.resolved)
+            running.olderUnresolvedBranch = true;
+        if (inst.isLoad() && !inst.executed()) {
+            running.olderIncompleteLoad = true;
+            running.olderIncompleteMem = true;
+        }
+        if (inst.isStore() && !inst.executed())
+            running.olderIncompleteMem = true;
+    }
+}
+
+bool
+ThreadContext::isSafe(const DynInst &inst, const ShadowInfo &sh,
+                      SafePoint sp) const
+{
+    switch (sp) {
+      case SafePoint::Always:
+        return true;
+      case SafePoint::BranchesResolved:
+        return !sh.olderUnresolvedBranch;
+      case SafePoint::TSO:
+        return !sh.olderUnresolvedBranch && !sh.olderIncompleteMem;
+      case SafePoint::RobHead:
+        return !rob.empty() && rob.head().seq == inst.seq;
+    }
+    panic("ThreadContext::isSafe: unknown SafePoint");
+}
+
+void
+ThreadContext::renameSource(DynInst &inst, RegId src, bool first) const
+{
+    bool *ready = first ? &inst.src1Ready : &inst.src2Ready;
+    std::uint64_t *val = first ? &inst.src1Val : &inst.src2Val;
+    SeqNum *prod = first ? &inst.src1Prod : &inst.src2Prod;
+
+    if (src == kNoReg) {
+        *ready = true;
+        *val = 0;
+        return;
+    }
+    const SeqNum p = renameMap[src];
+    if (p == kSeqNumInvalid) {
+        *ready = true;
+        *val = archRegs[src];
+        return;
+    }
+    const DynInst *pi = rob.find(p);
+    if (!pi) {
+        // Producer already retired: the architectural value is current.
+        *ready = true;
+        *val = archRegs[src];
+        return;
+    }
+    if (pi->writtenBack()) {
+        *ready = true;
+        *val = pi->result;
+        return;
+    }
+    *ready = false;
+    *prod = p;
+}
+
+} // namespace specint

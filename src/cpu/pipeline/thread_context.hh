@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Per-thread pipeline context of the unified engine.
+ *
+ * ThreadContext owns everything an architectural thread carries
+ * through the pipeline — frontend, branch predictor, ROB, rename
+ * state, architectural registers, speculation-safety scheme, stats and
+ * traces — plus the per-thread helper computations (speculative-shadow
+ * info, safe-point checks, operand rename) every stage consults. The
+ * stage components in this directory operate on one or more
+ * ThreadContexts and the shared structures (RS/LSQ/ports/MSHRs) owned
+ * by the PipelineEngine.
+ *
+ * With one ThreadContext the engine is the plain out-of-order core;
+ * with N it is the SMT core. tests/test_smt.cc pins the single-thread
+ * configuration against golden cycle traces captured from the
+ * pre-unification pipeline.
+ */
+
+#ifndef SPECINT_CPU_PIPELINE_THREAD_CONTEXT_HH
+#define SPECINT_CPU_PIPELINE_THREAD_CONTEXT_HH
+
+#include <array>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cpu/branch_predictor.hh"
+#include "cpu/core_types.hh"
+#include "cpu/frontend.hh"
+#include "cpu/program.hh"
+#include "cpu/rob.hh"
+#include "spec/scheme.hh"
+
+namespace specint
+{
+
+/** Per-thread statistics of one engine run. */
+struct ThreadStats
+{
+    /** Cycle at which this thread's Halt retired (run end if never). */
+    Tick cycles = 0;
+    std::uint64_t retired = 0;
+    std::uint64_t issued = 0;
+    std::uint64_t squashes = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t loadL1Hits = 0;
+    bool finished = false;
+
+    /** @name Cross-thread contention counters (the SMT channel). */
+    /// @{
+    /** Cycles the fetch arbiter granted this thread the fetch stage. */
+    std::uint64_t fetchGrants = 0;
+    /** Cycles a ready instruction of this thread was denied an issue
+     *  port that a sibling thread held or had consumed. */
+    std::uint64_t portContendedCycles = 0;
+    /** Cycles a load of this thread was denied an MSHR while sibling
+     *  threads held at least one entry. */
+    std::uint64_t mshrContendedCycles = 0;
+    /** Cycles dispatch stalled on a full RS share. */
+    std::uint64_t rsBlockedCycles = 0;
+    /// @}
+};
+
+/** One per-cycle cross-thread contention sample (recordContention). */
+struct ContentionSample
+{
+    Tick cycle = 0;
+    /** Ports whose non-pipelined unit a sibling holds this cycle. */
+    std::uint8_t portsHeldByOther = 0;
+    /** Port 0 (the NPEU port) held by a sibling this cycle. */
+    bool port0HeldByOther = false;
+    /** MSHR entries held by siblings this cycle. */
+    std::uint8_t mshrHeldByOther = 0;
+    /** This thread experienced a port denial this cycle. */
+    bool portContended = false;
+    /** This thread experienced an MSHR denial this cycle. */
+    bool mshrContended = false;
+};
+
+/** Per-instruction speculative-shadow context, recomputed each cycle
+ *  in one age-ordered ROB pass. */
+struct ShadowInfo
+{
+    bool olderUnresolvedBranch = false;
+    bool olderIncompleteLoad = false;
+    bool olderIncompleteMem = false;
+};
+
+/** Per-thread pipeline context (see file comment). */
+struct ThreadContext
+{
+    using RenameMap = std::array<SeqNum, kNumRegs>;
+
+    ThreadContext(const CoreConfig &cfg, ThreadId t);
+
+    ThreadId tid;
+    Frontend frontend;
+    BranchPredictor predictor;
+    Rob rob;
+    SchemePtr scheme;
+
+    const Program *prog = nullptr;
+    bool haltRetired = false;
+    SeqNum nextSeq = 0;
+
+    std::array<std::uint64_t, kNumRegs> archRegs{};
+    RenameMap renameMap{};
+    std::map<SeqNum, RenameMap> checkpoints;
+
+    ThreadStats stats;
+    std::vector<InstTraceEntry> trace;
+    std::vector<ContentionSample> samples;
+
+    /** @name Per-cycle flags */
+    /// @{
+    bool dispatchBlocked = false;
+    bool portContended = false;
+    bool mshrContended = false;
+    /// @}
+
+    /** Reset all run state and start executing @p p from its entry. */
+    void resetRun(const Program *p);
+
+    /** Compute shadow info for every ROB entry (age order) into
+     *  @p out, which is cleared first — a caller-owned buffer so the
+     *  per-cycle stages never reallocate on the hot path. */
+    void computeShadows(std::vector<ShadowInfo> &out) const;
+
+    /** Is @p inst past safe point @p sp given its shadow info? */
+    bool isSafe(const DynInst &inst, const ShadowInfo &sh,
+                SafePoint sp) const;
+
+    /** Read a source register through the rename map. */
+    void renameSource(DynInst &inst, RegId src, bool first) const;
+};
+
+} // namespace specint
+
+#endif // SPECINT_CPU_PIPELINE_THREAD_CONTEXT_HH

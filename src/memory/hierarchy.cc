@@ -7,6 +7,7 @@
 
 #include "memory/hierarchy.hh"
 
+#include <algorithm>
 #include <cassert>
 
 #include "sim/log.hh"
@@ -69,6 +70,71 @@ Hierarchy::Hierarchy(HierarchyConfig cfg)
     }
     for (unsigned s = 0; s < cfg_.llcSlices; ++s)
         llc_.emplace_back(cfg_.llcSlice);
+    slicePortFreeAt_.assign(cfg_.llcSlices, 0);
+    llcStats_.assign(cfg_.cores, LlcContentionStats{});
+}
+
+std::int64_t
+Hierarchy::sharedLevelDelay(CoreId core, Addr addr, Tick now,
+                            bool llc_miss)
+{
+    if (cfg_.llcPortBusy == 0 && cfg_.llcMshrs == 0)
+        return 0; // contention unmodelled: exact pre-System latencies
+
+    assert(core < llcStats_.size());
+    LlcContentionStats &st = llcStats_[core];
+    ++st.requests;
+    Tick start = now;
+
+    // Slice port: one request per llcPortBusy cycles.
+    if (cfg_.llcPortBusy > 0) {
+        Tick &free_at = slicePortFreeAt_[llcSliceIndex(addr)];
+        if (free_at > start)
+            start = free_at;
+        free_at = start + cfg_.llcPortBusy;
+    }
+    std::int64_t extra = static_cast<std::int64_t>(start - now);
+
+    // Shared LLC-to-memory MSHRs: an LLC miss needs an entry for the
+    // full memory latency; a request to a line already in flight
+    // coalesces and completes with that fill.
+    if (llc_miss && cfg_.llcMshrs > 0) {
+        const Addr line = lineAlign(addr);
+        llcMshrs_.erase(
+            std::remove_if(llcMshrs_.begin(), llcMshrs_.end(),
+                           [&](const LlcMshrEntry &e) {
+                               return e.readyAt <= start;
+                           }),
+            llcMshrs_.end());
+        const auto hit = std::find_if(
+            llcMshrs_.begin(), llcMshrs_.end(),
+            [&](const LlcMshrEntry &e) { return e.line == line; });
+        if (hit != llcMshrs_.end()) {
+            // Coalesced: done when the in-flight fill returns, which
+            // is sooner than a fresh memory fetch.
+            extra += static_cast<std::int64_t>(hit->readyAt - start) -
+                     static_cast<std::int64_t>(cfg_.memLatency);
+        } else if (llcMshrs_.size() < cfg_.llcMshrs) {
+            llcMshrs_.push_back({line, start + cfg_.memLatency});
+        } else {
+            // File full: wait for the earliest outstanding fill.
+            auto earliest = llcMshrs_.begin();
+            for (auto it = std::next(earliest); it != llcMshrs_.end();
+                 ++it) {
+                if (it->readyAt < earliest->readyAt)
+                    earliest = it;
+            }
+            const Tick wait_until = earliest->readyAt;
+            extra += static_cast<std::int64_t>(wait_until - start);
+            *earliest = {line, wait_until + cfg_.memLatency};
+        }
+    }
+
+    if (extra > 0) {
+        ++st.queued;
+        st.queueDelay += static_cast<Tick>(extra);
+    }
+    return extra;
 }
 
 unsigned
@@ -145,6 +211,10 @@ Hierarchy::access(CoreId core, Addr addr, AccessType type, Tick now)
     if (slice.touch(addr)) {
         res.level = 3;
         res.llcHit = true;
+        const std::int64_t q = sharedLevelDelay(core, addr, now, false);
+        res.queueDelay = static_cast<Tick>(q > 0 ? q : 0);
+        res.latency = static_cast<Tick>(
+            static_cast<std::int64_t>(res.latency) + q);
         l2_[core].fill(addr);
         l1.fill(addr);
         return res;
@@ -152,6 +222,10 @@ Hierarchy::access(CoreId core, Addr addr, AccessType type, Tick now)
 
     res.latency += cfg_.memLatency;
     res.level = 4;
+    const std::int64_t q = sharedLevelDelay(core, addr, now, true);
+    res.queueDelay = static_cast<Tick>(q > 0 ? q : 0);
+    res.latency = static_cast<Tick>(
+        static_cast<std::int64_t>(res.latency) + q);
     llcFill(addr);
     l2_[core].fill(addr);
     l1.fill(addr);
@@ -160,7 +234,23 @@ Hierarchy::access(CoreId core, Addr addr, AccessType type, Tick now)
 
 MemAccessResult
 Hierarchy::accessInvisible(CoreId core, Addr addr, AccessType type,
-                           Tick) const
+                           Tick now)
+{
+    MemAccessResult res = peekLatency(core, addr, type);
+    if (res.level >= 3) {
+        // The invisible request still travelled to the shared LLC:
+        // charge its bandwidth/MSHR occupancy (state stays untouched).
+        const std::int64_t q =
+            sharedLevelDelay(core, addr, now, res.level == 4);
+        res.queueDelay = static_cast<Tick>(q > 0 ? q : 0);
+        res.latency = static_cast<Tick>(
+            static_cast<std::int64_t>(res.latency) + q);
+    }
+    return res;
+}
+
+MemAccessResult
+Hierarchy::peekLatency(CoreId core, Addr addr, AccessType type) const
 {
     assert(core < cfg_.cores);
     MemAccessResult res;
@@ -197,12 +287,18 @@ Hierarchy::accessDirect(CoreId core, Addr addr, Tick now)
 
     res.latency = cfg_.llcLatency;
     CacheArray &slice = llc_[llcSliceIndex(addr)];
-    if (slice.touch(addr)) {
+    const bool hit = slice.touch(addr);
+    if (!hit)
+        res.latency += cfg_.memLatency;
+    const std::int64_t q = sharedLevelDelay(core, addr, now, !hit);
+    res.queueDelay = static_cast<Tick>(q > 0 ? q : 0);
+    res.latency = static_cast<Tick>(
+        static_cast<std::int64_t>(res.latency) + q);
+    if (hit) {
         res.level = 3;
         res.llcHit = true;
         return res;
     }
-    res.latency += cfg_.memLatency;
     res.level = 4;
     llcFill(addr);
     return res;
@@ -248,6 +344,15 @@ Hierarchy::reset()
     for (auto &c : llc_)
         c.reset();
     trace_.clear();
+    resetContention();
+}
+
+void
+Hierarchy::resetContention()
+{
+    slicePortFreeAt_.assign(cfg_.llcSlices, 0);
+    llcMshrs_.clear();
+    llcStats_.assign(cfg_.cores, LlcContentionStats{});
 }
 
 } // namespace specint

@@ -63,6 +63,31 @@ struct HierarchyConfig
     /** Inclusive LLC: LLC evictions back-invalidate private copies. */
     bool inclusiveLlc = true;
 
+    /**
+     * @name Shared-level contention model (System layer; 0 = off)
+     *
+     * When enabled, every request that reaches the LLC — visible,
+     * invisible or direct — competes for finite shared-level
+     * resources: each slice accepts one request per llcPortBusy
+     * cycles, and LLC misses occupy one of llcMshrs shared
+     * (LLC-to-memory) MSHRs for the memory latency, coalescing with an
+     * in-flight fill of the same line. Queueing delay is added to the
+     * returned latency. This is the substrate of the cross-core
+     * occupancy channel: *invisible* speculation hides cache state,
+     * not shared-level bandwidth, so a sibling core still feels a
+     * mis-speculated gadget's LLC traffic (attack/cross_core_probe.hh).
+     *
+     * Both knobs default to 0 (unmodelled), which preserves the exact
+     * single-core latencies every pre-System experiment was calibrated
+     * against.
+     */
+    /// @{
+    /** Cycles one LLC-slice port is occupied per request. */
+    Tick llcPortBusy = 0;
+    /** Shared LLC-to-memory MSHR entries (0 = unlimited). */
+    unsigned llcMshrs = 0;
+    /// @}
+
     /** Small config for fast unit tests. */
     static HierarchyConfig small();
     /** i7-7700-like default. */
@@ -78,6 +103,20 @@ struct MemAccessResult
     int level = 4;
     bool l1Hit = false;
     bool llcHit = false;
+    /** Shared-level queueing the request experienced (included in
+     *  latency; 0 unless the contention model is enabled). */
+    Tick queueDelay = 0;
+};
+
+/** Per-core shared-level (LLC) contention counters. */
+struct LlcContentionStats
+{
+    /** Requests from this core that reached the LLC. */
+    std::uint64_t requests = 0;
+    /** Requests that waited for a slice port or a shared MSHR. */
+    std::uint64_t queued = 0;
+    /** Total cycles spent waiting. */
+    Tick queueDelay = 0;
 };
 
 /** One entry in the visible LLC access trace (C(E)). */
@@ -129,10 +168,21 @@ class Hierarchy
 
     /**
      * Invisible access (InvisiSpec/SafeSpec speculative request):
-     * latency as if performed, but no state change and no trace entry.
+     * latency as if performed, but no *cache-state* change and no
+     * trace entry. The request still consumes shared-level bandwidth
+     * when the contention model is enabled — invisibility hides
+     * state, not occupancy.
      */
     MemAccessResult accessInvisible(CoreId core, Addr addr,
-                                    AccessType type, Tick now) const;
+                                    AccessType type, Tick now);
+
+    /**
+     * Pure latency query: what an access would cost right now, with
+     * no state change, no trace entry and no bandwidth consumed. Used
+     * for MSHR ready-time estimation; never observable by a sibling.
+     */
+    MemAccessResult peekLatency(CoreId core, Addr addr,
+                                AccessType type) const;
 
     /**
      * Direct LLC client access (attacker agent). Skips private caches:
@@ -150,8 +200,21 @@ class Hierarchy
     /** clflush analogue: remove the line from every cache. */
     void flushLine(Addr addr);
 
-    /** Reset all arrays and the trace. */
+    /** Reset all arrays, the trace and the contention state. */
     void reset();
+
+    /** @name Shared-level contention model */
+    /// @{
+    /** Drop all port/MSHR occupancy and zero the contention stats
+     *  (harnesses call this between untimed setup and a timed run). */
+    void resetContention();
+    /** Per-core shared-level contention counters since the last
+     *  reset. */
+    const LlcContentionStats &llcContention(CoreId core) const
+    {
+        return llcStats_[core];
+    }
+    /// @}
 
     /** @name Visible LLC access trace (the paper's C(E)). */
     /// @{
@@ -184,12 +247,36 @@ class Hierarchy
     /** Back-invalidate a line evicted from the inclusive LLC. */
     void backInvalidate(Addr line_addr);
 
+    /**
+     * Charge one LLC-reaching request from @p core against the
+     * shared-level contention model. @return the queueing delay to add
+     * to the request's latency (may be negative when an LLC miss
+     * coalesces with an in-flight fill of the same line, which
+     * completes sooner than a fresh memory fetch).
+     */
+    std::int64_t sharedLevelDelay(CoreId core, Addr addr, Tick now,
+                                  bool llc_miss);
+
     HierarchyConfig cfg_;
     std::vector<CacheArray> l1i_;
     std::vector<CacheArray> l1d_;
     std::vector<CacheArray> l2_;
     std::vector<CacheArray> llc_;
     std::vector<VisibleAccess> trace_;
+
+    /** @name Shared-level contention state */
+    /// @{
+    /** Cycle each LLC slice's port is next free. */
+    std::vector<Tick> slicePortFreeAt_;
+    /** In-flight LLC-to-memory fills (line, completion time). */
+    struct LlcMshrEntry
+    {
+        Addr line;
+        Tick readyAt;
+    };
+    std::vector<LlcMshrEntry> llcMshrs_;
+    std::vector<LlcContentionStats> llcStats_;
+    /// @}
 };
 
 } // namespace specint

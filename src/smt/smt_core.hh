@@ -1,6 +1,7 @@
 /**
  * @file
- * Simultaneous-multithreading out-of-order core.
+ * Simultaneous-multithreading out-of-order core — the N-thread
+ * orchestration of the unified pipeline engine (cpu/pipeline/).
  *
  * SmtCore runs N architectural threads on one physical core. Each
  * thread owns its frontend, branch predictor, ROB, rename state and
@@ -17,10 +18,11 @@
  * Squash is strictly per-thread: a mispredict on thread A flushes only
  * A's ROB/frontend/rename state and releases only A's ports and MSHRs.
  *
- * With numThreads == 1 every shared-resource policy degenerates and
- * the pipeline is cycle-identical to the plain Core (guarded by
- * tests/test_smt.cc's equivalence regression): the stages below are a
- * mechanical generalisation of Core's — keep the two in sync.
+ * All of that behaviour lives in PipelineEngine — SmtCore only
+ * forwards. With numThreads == 1 every shared-resource policy
+ * degenerates and the engine is cycle-identical to the plain Core
+ * façade (pinned against golden pre-unification traces by
+ * tests/test_smt.cc).
  *
  * This is the substrate of the §2.1 SMT attacker placement: a sibling
  * thread observes a victim's *speculative* port and MSHR usage
@@ -30,184 +32,108 @@
 #ifndef SPECINT_SMT_SMT_CORE_HH
 #define SPECINT_SMT_SMT_CORE_HH
 
-#include <array>
-#include <functional>
-#include <map>
-#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cpu/core.hh"
+#include "cpu/pipeline/engine.hh"
 #include "smt/fetch_arbiter.hh"
 #include "smt/smt_config.hh"
 
 namespace specint
 {
 
-/** Per-thread statistics of one SMT run. */
-struct SmtThreadStats
-{
-    /** Cycle at which this thread's Halt retired (run end if never). */
-    Tick cycles = 0;
-    std::uint64_t retired = 0;
-    std::uint64_t issued = 0;
-    std::uint64_t squashes = 0;
-    std::uint64_t branches = 0;
-    std::uint64_t mispredicts = 0;
-    std::uint64_t loads = 0;
-    std::uint64_t loadL1Hits = 0;
-    bool finished = false;
-
-    /** @name Cross-thread contention counters (the SMT channel). */
-    /// @{
-    /** Cycles the fetch arbiter granted this thread the fetch stage. */
-    std::uint64_t fetchGrants = 0;
-    /** Cycles a ready instruction of this thread was denied an issue
-     *  port that a sibling thread held or had consumed. */
-    std::uint64_t portContendedCycles = 0;
-    /** Cycles a load of this thread was denied an MSHR while sibling
-     *  threads held at least one entry. */
-    std::uint64_t mshrContendedCycles = 0;
-    /** Cycles dispatch stalled on a full RS share. */
-    std::uint64_t rsBlockedCycles = 0;
-    /// @}
-};
+/** Per-thread statistics of one SMT run (engine ThreadStats). */
+using SmtThreadStats = ThreadStats;
 
 /** One per-cycle cross-thread contention sample (recordContention). */
-struct SmtContentionSample
-{
-    Tick cycle = 0;
-    /** Ports whose non-pipelined unit a sibling holds this cycle. */
-    std::uint8_t portsHeldByOther = 0;
-    /** Port 0 (the NPEU port) held by a sibling this cycle. */
-    bool port0HeldByOther = false;
-    /** MSHR entries held by siblings this cycle. */
-    std::uint8_t mshrHeldByOther = 0;
-    /** This thread experienced a port denial this cycle. */
-    bool portContended = false;
-    /** This thread experienced an MSHR denial this cycle. */
-    bool mshrContended = false;
-};
+using SmtContentionSample = ContentionSample;
 
-/** Aggregate result of one SMT run. */
-struct SmtRunResult
-{
-    /** Total cycles simulated. */
-    Tick cycles = 0;
-    /** All threads ran to Halt (vs hitting maxCycles). */
-    bool finished = false;
-    std::vector<SmtThreadStats> threads;
-};
+/** Aggregate result of one SMT run (engine run result). */
+using SmtRunResult = EngineRunResult;
 
 class SmtCore
 {
   public:
     SmtCore(CoreConfig cfg, SmtConfig smt, CoreId id, Hierarchy &hier,
-            MainMemory &mem);
-    ~SmtCore();
+            MainMemory &mem)
+        : engine_(cfg, smt, id, hier, mem, "SmtCore")
+    {}
 
-    unsigned numThreads() const { return smt_.numThreads; }
-    const CoreConfig &config() const { return cfg_; }
-    const SmtConfig &smtConfig() const { return smt_; }
-    CoreId id() const { return id_; }
-    Hierarchy &hierarchy() { return *hier_; }
+    unsigned numThreads() const { return engine_.numThreads(); }
+    const CoreConfig &config() const { return engine_.config(); }
+    const SmtConfig &smtConfig() const { return engine_.smtConfig(); }
+    CoreId id() const { return engine_.id(); }
+    Hierarchy &hierarchy() { return engine_.hierarchy(); }
 
     /** Install thread @p tid's speculation-safety scheme. */
-    void setScheme(ThreadId tid, SchemePtr scheme);
-    Scheme &scheme(ThreadId tid);
+    void setScheme(ThreadId tid, SchemePtr scheme)
+    {
+        engine_.setScheme(tid, std::move(scheme));
+    }
+    Scheme &scheme(ThreadId tid) { return engine_.scheme(tid); }
 
     /** Attach a noise model shared by all threads (nullptr = none). */
-    void setNoise(NoiseModel *noise) { noise_ = noise; }
-    NoiseModel *noiseModel() const { return noise_; }
+    void setNoise(NoiseModel *noise) { engine_.setNoise(noise); }
+    NoiseModel *noiseModel() const { return engine_.noiseModel(); }
 
     /** Per-cycle hook (same contract as Core::setCycleHook). */
-    using CycleHook = std::function<void(Tick)>;
-    void setCycleHook(CycleHook hook) { cycleHook_ = std::move(hook); }
-    void clearCycleHook() { cycleHook_ = nullptr; }
+    using CycleHook = PipelineEngine::CycleHook;
+    void setCycleHook(CycleHook hook)
+    {
+        engine_.setCycleHook(std::move(hook));
+    }
+    void clearCycleHook() { engine_.clearCycleHook(); }
 
-    BranchPredictor &predictor(ThreadId tid);
+    BranchPredictor &predictor(ThreadId tid)
+    {
+        return engine_.predictor(tid);
+    }
 
     /** Run one program per thread to completion (or maxCycles). */
-    SmtRunResult run(const std::vector<const Program *> &progs);
+    SmtRunResult run(const std::vector<const Program *> &progs)
+    {
+        return engine_.run(progs);
+    }
 
     /** @name Per-thread run introspection (mirrors Core's helpers). */
     /// @{
-    const std::vector<InstTraceEntry> &trace(ThreadId tid) const;
+    const std::vector<InstTraceEntry> &trace(ThreadId tid) const
+    {
+        return engine_.trace(tid);
+    }
     const InstTraceEntry *traceEntry(ThreadId tid,
-                                     const std::string &label) const;
-    Tick completeTime(ThreadId tid, const std::string &label) const;
-    std::uint64_t archReg(ThreadId tid, RegId reg) const;
+                                     const std::string &label) const
+    {
+        return engine_.traceEntry(tid, label);
+    }
+    Tick completeTime(ThreadId tid, const std::string &label) const
+    {
+        return engine_.completeTime(tid, label);
+    }
+    std::uint64_t archReg(ThreadId tid, RegId reg) const
+    {
+        return engine_.archReg(tid, reg);
+    }
     /** Per-cycle contention samples (empty unless recordContention). */
-    const std::vector<SmtContentionSample> &contention(ThreadId tid) const;
+    const std::vector<SmtContentionSample> &contention(ThreadId tid) const
+    {
+        return engine_.contention(tid);
+    }
     /// @}
 
     /** Fetch-stage grants per thread over the last run (fairness). */
     const std::vector<std::uint64_t> &fetchGrants() const
     {
-        return arbiter_.grants();
+        return engine_.fetchGrants();
     }
 
+    /** The underlying unified engine. */
+    PipelineEngine &engine() { return engine_; }
+
   private:
-    struct Thread;
-
-    /** Per-instruction speculative-shadow context (same as Core's). */
-    struct ShadowInfo
-    {
-        bool olderUnresolvedBranch = false;
-        bool olderIncompleteLoad = false;
-        bool olderIncompleteMem = false;
-    };
-
-    void resetPipeline(const std::vector<const Program *> &progs);
-    bool allHalted() const;
-    void tick();
-
-    void retireStage();
-    void writebackStage();
-    void safetyStage();
-    void issueStage();
-    void dispatchStage();
-    void fetchStage();
-    void sampleContention();
-
-    unsigned robShare() const;
-    bool robFull(const Thread &th) const;
-    unsigned robOccupancyTotal() const;
-
-    std::vector<ShadowInfo> computeShadows(const Thread &th) const;
-    bool isSafe(const Thread &th, const DynInst &inst,
-                const ShadowInfo &sh, SafePoint sp) const;
-
-    bool tryIssue(Thread &th, DynInst &inst, const ShadowInfo &sh);
-    bool issueLoad(Thread &th, DynInst &inst, bool safe,
-                   bool speculative);
-
-    void wakeConsumers(Thread &th, const DynInst &producer);
-    void resolveBranch(Thread &th, DynInst &br);
-    void squashAfter(Thread &th, const DynInst &br);
-    void renameSource(Thread &th, DynInst &inst, RegId src, bool first);
-    std::uint64_t execute(const DynInst &inst) const;
-
-    CoreConfig cfg_;
-    SmtConfig smt_;
-    CoreId id_;
-    Hierarchy *hier_;
-    MainMemory *mem_;
-    NoiseModel *noise_ = nullptr;
-
-    std::vector<std::unique_ptr<Thread>> threads_;
-
-    // Fully shared structures.
-    ReservationStation rs_;
-    Lsq lsq_;
-    PortSet ports_;
-    MshrFile mshr_;
-    FetchArbiter arbiter_;
-
-    Tick now_ = 0;
-    std::uint64_t nextStamp_ = 0;
-    unsigned dispatchRR_ = 0;
-    CycleHook cycleHook_;
+    PipelineEngine engine_;
 };
 
 } // namespace specint

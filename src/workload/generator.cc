@@ -34,24 +34,30 @@ generateWorkload(const WorkloadSpec &spec)
     GeneratedWorkload out;
     Rng rng(spec.seed);
     Program &prog = out.prog;
+    if (spec.codeBase)
+        prog = Program(spec.codeBase);
 
     const unsigned footprint = std::max(1u, spec.footprintLines);
+    // Same region split as the defaults (ring 64 MB past the data), so
+    // dataBase == 0 reproduces the historical layout bit-for-bit.
+    const Addr data_base = spec.dataBase ? spec.dataBase : kDataBase;
+    const Addr ring_base = data_base + (kRingBase - kDataBase);
 
     // Pointer ring for chase loads: ring_i -> ring_{(i+stride)%N}. A
     // large stride defeats spatial locality, like mcf's access stream.
     const unsigned ring = footprint;
     for (unsigned i = 0; i < ring; ++i) {
         const unsigned next = (i + 17) % ring;
-        out.memInit.emplace_back(kRingBase + 64ULL * i,
-                                 kRingBase + 64ULL * next);
+        out.memInit.emplace_back(ring_base + 64ULL * i,
+                                 ring_base + 64ULL * next);
     }
-    prog.setReg(rChase, kRingBase);
+    prog.setReg(rChase, ring_base);
 
     // Branch predicate data: word 0 of every footprint line holds a
     // uniform value in [0, 100), so predicate loads are as cold as the
     // workload's data stream and resolve as slowly.
     for (unsigned i = 0; i < footprint; ++i)
-        out.memInit.emplace_back(kDataBase + 64ULL * i, rng.below(100));
+        out.memInit.emplace_back(data_base + 64ULL * i, rng.below(100));
 
     const std::int64_t taken_threshold =
         static_cast<std::int64_t>(spec.branchTakenProb * 100.0);
@@ -60,9 +66,14 @@ generateWorkload(const WorkloadSpec &spec)
         return static_cast<RegId>(rFirstTmp + rng.below(kTmpRegs));
     };
     auto footprint_addr = [&]() -> std::int64_t {
-        return static_cast<std::int64_t>(
-            kDataBase + 64ULL * rng.below(footprint) +
-            8ULL * rng.below(8));
+        // Explicitly sequenced: the two draws inside one expression
+        // would have unspecified order, and the seeded streams (and
+        // the golden traces pinned on them) must not depend on the
+        // compiler's choice. Line-then-word is the historical order.
+        const std::uint64_t line = rng.below(footprint);
+        const std::uint64_t word = rng.below(8);
+        return static_cast<std::int64_t>(data_base + 64ULL * line +
+                                         8ULL * word);
     };
 
     unsigned emitted = 0;
@@ -92,7 +103,7 @@ generateWorkload(const WorkloadSpec &spec)
                 pred = tmp();
                 prog.load(pred, kNoReg,
                           static_cast<std::int64_t>(
-                              kDataBase + 64ULL * rng.below(footprint)));
+                              data_base + 64ULL * rng.below(footprint)));
                 extra = 1;
             } else {
                 pred = spec.chaseFrac > 0 && rng.chance(spec.chaseFrac)

@@ -47,6 +47,14 @@ struct WorkloadSpec
     /** P(branch taken); mispredict rate ~= min(p, 1-p) once trained. */
     double branchTakenProb = 0.10;
 
+    /** Base address of the data footprint (0 = the generator's
+     *  default region). Multi-core experiments give each core a
+     *  distinct base so their footprints are disjoint. */
+    Addr dataBase = 0;
+    /** Base address of the program's code (0 = Program's default);
+     *  distinct per core for the same reason. */
+    Addr codeBase = 0;
+
     std::uint64_t seed = 12345;
 };
 
