@@ -1,133 +1,16 @@
 /**
  * @file
- * Ablation of the §5.4 advanced defense: which of its rules blocks
- * which gadget, and what each rule costs on the workload suite.
- *
- *  - rule 1 (hold resources until retire)  -> blocks G^I_RS
- *  - rule 2a (age-priority squashable EUs) -> blocks G^D_NPEU
- *  - rule 2b (speculative-MSHR preemption) -> blocks G^D_MSHR
+ * Thin wrapper: the §5.4 advanced-defense rule ablation as a
+ * standalone binary. Equivalent to `specsim_bench ablation_advanced`;
+ * the scenario lives in bench/scenarios/ablation_advanced.cc.
  */
 
-#include <cmath>
-#include <cstdio>
-#include <memory>
-
-#include "attack/sender.hh"
-#include "cpu/core.hh"
-#include "sim/stats.hh"
-#include "spec/advanced.hh"
-#include "workload/suite.hh"
-
-using namespace specint;
-
-namespace
-{
-
-bool
-attackWorks(GadgetKind g, OrderingKind o,
-            AdvancedDefenseScheme::Rules rules,
-            SpecLoadPolicy base = SpecLoadPolicy::DelayOnMiss)
-{
-    Hierarchy hier(HierarchyConfig::small());
-    MainMemory mem;
-    Core victim(CoreConfig{}, 0, hier, mem);
-    victim.setScheme(
-        std::make_unique<AdvancedDefenseScheme>(rules, base));
-    AttackerAgent attacker(hier, 1);
-    TrialHarness harness(hier, mem, victim, attacker);
-
-    SenderParams params;
-    params.gadget = g;
-    params.ordering = o;
-    const SenderProgram sp = buildSender(params, hier);
-
-    int sig[2] = {-1, -1};
-    bool present[2] = {false, false};
-    for (unsigned secret = 0; secret < 2; ++secret) {
-        harness.prepare(sp, secret);
-        const TrialResult r = harness.run(sp);
-        sig[secret] = r.orderSignal();
-        present[secret] = r.targetPresent;
-    }
-    if (o == OrderingKind::Presence)
-        return present[0] != present[1];
-    return sig[0] >= 0 && sig[1] >= 0 && sig[0] != sig[1];
-}
-
-double
-suiteSlowdown(AdvancedDefenseScheme::Rules rules)
-{
-    // Cycles relative to plain DoM (the cache-protection baseline the
-    // advanced defense builds on), geomean over a reduced suite.
-    double log_sum = 0.0;
-    unsigned n = 0;
-    for (const WorkloadSpec &spec : spec2017Archetypes(2500)) {
-        const GeneratedWorkload wl = generateWorkload(spec);
-        std::uint64_t cyc[2];
-        for (int variant = 0; variant < 2; ++variant) {
-            Hierarchy hier(HierarchyConfig::small());
-            MainMemory mem;
-            for (const auto &[a, v] : wl.memInit)
-                mem.write(a, v);
-            Core core(CoreConfig{}, 0, hier, mem);
-            if (variant == 0)
-                core.setScheme(makeScheme(SchemeKind::DomNonTso));
-            else
-                core.setScheme(
-                    std::make_unique<AdvancedDefenseScheme>(rules));
-            cyc[variant] = core.run(wl.prog).cycles;
-        }
-        log_sum += std::log(static_cast<double>(cyc[1]) /
-                            static_cast<double>(cyc[0]));
-        ++n;
-    }
-    return std::exp(log_sum / n);
-}
-
-} // namespace
+#include "scenarios/scenarios.hh"
+#include "sim/experiment/driver.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("=== Ablation: advanced defense rules (§5.4) ===\n\n");
-
-    struct Config
-    {
-        const char *name;
-        AdvancedDefenseScheme::Rules rules;
-    };
-    const Config configs[] = {
-        {"none (plain DoM)", {false, false, false}},
-        {"rule1: hold RS", {true, false, false}},
-        {"rule2a: EU priority", {false, true, false}},
-        {"rule2b: MSHR preempt", {false, false, true}},
-        {"all rules", {true, true, true}},
-    };
-
-    TextTable table({"rules", "NPEU blocked", "MSHR blocked",
-                     "G^I_RS blocked", "slowdown vs DoM"});
-    for (const Config &c : configs) {
-        // Rule 2a requires rule 1's held RS entries for re-issue.
-        AdvancedDefenseScheme::Rules r = c.rules;
-        if (r.agePriority)
-            r.holdResources = true;
-        const bool npeu =
-            !attackWorks(GadgetKind::Npeu, OrderingKind::VdVd, r);
-        // The MSHR column layers the rules on an InvisiSpec-style
-        // substrate: with DoM underneath, speculative misses never
-        // issue and the gadget is moot regardless of the rules.
-        const bool mshr =
-            !attackWorks(GadgetKind::Mshr, OrderingKind::VdVd, r,
-                         SpecLoadPolicy::InvisibleRequest);
-        const bool rs =
-            !attackWorks(GadgetKind::Rs, OrderingKind::Presence, r);
-        table.addRow({c.name, npeu ? "yes" : "NO",
-                      mshr ? "yes" : "NO", rs ? "yes" : "NO",
-                      fmtDouble(suiteSlowdown(r))});
-    }
-    std::printf("%s\n", table.render().c_str());
-    std::printf("takeaway (paper §5.4): each rule closes its channel; "
-                "all three together block every gadget at a modest "
-                "cost over DoM.\n");
-    return 0;
+    return specint::experiment::runScenarioCli(
+        specint::scenarios::all(), "ablation_advanced", argc, argv);
 }

@@ -1,118 +1,16 @@
 /**
  * @file
- * Ablation: the cross-core shared-LLC channels across every defense
- * scheme × channel kind (occupancy vs eviction).
- *
- * For each combination the bench calibrates the probe core (known-
- * secret timing scores), then transmits a random bit string and
- * reports whether the channel is open, its bit error rate and its
- * throughput. The headline result extends the paper's argument to the
- * CrossCore placement: invisible-speculation schemes hide speculative
- * *cache state*, so they close the eviction (Prime+Probe) channel —
- * but their invisible requests still consume shared-level bandwidth
- * and MSHRs, so the occupancy channel stays open against every scheme
- * that lets speculative misses leave the core. Only Delay-on-Miss
- * (and the DoM-based advanced defense) and fence-style defenses close
- * both.
- *
- * Usage: ablation_cross_core [--csv] [--bits N]
- *   --csv   emit one machine-readable CSV table (for perf tracking)
- *   --bits  bits per channel run (default 16)
+ * Thin wrapper: the cross-core channel ablation as a standalone
+ * binary. Equivalent to `specsim_bench ablation_cross_core`; the
+ * scenario lives in bench/scenarios/ablation_cross_core.cc.
  */
 
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
-
-#include "attack/cross_core_probe.hh"
-
-using namespace specint;
+#include "scenarios/scenarios.hh"
+#include "sim/experiment/driver.hh"
 
 int
 main(int argc, char **argv)
 {
-    bool csv = false;
-    unsigned bits_n = 16;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--csv") == 0) {
-            csv = true;
-        } else if (std::strcmp(argv[i], "--bits") == 0 &&
-                   i + 1 < argc) {
-            bits_n = static_cast<unsigned>(std::atoi(argv[++i]));
-        } else {
-            std::fprintf(stderr,
-                         "usage: %s [--csv] [--bits N]\n", argv[0]);
-            return 2;
-        }
-    }
-
-    if (csv) {
-        std::printf("scheme,channel,score0,score1,open,"
-                    "bits,errors,error_rate,bps\n");
-    } else {
-        std::printf("=== Cross-core shared-LLC channel: "
-                    "defense x channel-kind ablation ===\n\n");
-        std::printf("%-24s %-10s %8s %8s %-7s %9s %10s\n",
-                    "scheme", "channel", "score0", "score1", "state",
-                    "err-rate", "bps");
-    }
-
-    const std::vector<std::uint8_t> bits = randomBits(bits_n, 2021);
-
-    for (SchemeKind scheme : allSchemes()) {
-        for (CrossCoreChannelKind kind :
-             {CrossCoreChannelKind::Occupancy,
-              CrossCoreChannelKind::Eviction}) {
-            CrossCoreChannelConfig cfg;
-            cfg.scheme = scheme;
-            cfg.attack.kind = kind;
-            cfg.trialsPerBit = 1;
-
-            const CrossCoreChannelResult res =
-                runCrossCoreChannel(bits, cfg);
-            const double err = res.channel.errorRate();
-            const double bps =
-                res.calibration.usable
-                    ? res.channel.bitsPerSecond(cfg.clockGhz)
-                    : 0.0;
-
-            if (csv) {
-                std::printf(
-                    "%s,%s,%llu,%llu,%d,%u,%u,%.4f,%.0f\n",
-                    schemeName(scheme).c_str(),
-                    crossCoreChannelKindName(kind).c_str(),
-                    static_cast<unsigned long long>(
-                        res.calibration.score0),
-                    static_cast<unsigned long long>(
-                        res.calibration.score1),
-                    res.calibration.usable ? 1 : 0,
-                    res.channel.bitsSent, res.channel.bitErrors, err,
-                    bps);
-            } else {
-                std::printf(
-                    "%-24s %-10s %8llu %8llu %-7s %8.1f%% %10.0f\n",
-                    schemeName(scheme).c_str(),
-                    crossCoreChannelKindName(kind).c_str(),
-                    static_cast<unsigned long long>(
-                        res.calibration.score0),
-                    static_cast<unsigned long long>(
-                        res.calibration.score1),
-                    res.calibration.usable ? "OPEN" : "closed",
-                    err * 100.0, bps);
-            }
-        }
-        if (!csv)
-            std::printf("\n");
-    }
-
-    if (!csv) {
-        std::printf(
-            "Reading: OPEN means probe calibration found a decodable "
-            "timing gap.\nEviction (Prime+Probe) is closed by every "
-            "invisible-speculation scheme;\noccupancy (shared LLC "
-            "MSHR/port bandwidth) pierces them all — invisibility\n"
-            "hides cache state, not bandwidth. DoM-style and fence "
-            "defenses close both.\n");
-    }
-    return 0;
+    return specint::experiment::runScenarioCli(
+        specint::scenarios::all(), "ablation_cross_core", argc, argv);
 }

@@ -1,71 +1,16 @@
 /**
  * @file
- * Ablation: G^D_MSHR sensitivity to the L1-D MSHR count.
- *
- * The gadget needs M >= #MSHRs speculative misses to distinct lines to
- * stall the older victim load q. Sweeping the core's MSHR count with a
- * fixed gadget (M = 10) shows the delay collapse once the file is
- * larger than the gadget, quantifying the design point the paper's
- * Fig. 4 relies on.
+ * Thin wrapper: the MSHR-count ablation as a standalone binary.
+ * Equivalent to `specsim_bench ablation_mshr`; the scenario lives in
+ * bench/scenarios/ablation_mshr.cc.
  */
 
-#include <cstdio>
-
-#include "attack/sender.hh"
-#include "cpu/core.hh"
-#include "sim/stats.hh"
-
-using namespace specint;
+#include "scenarios/scenarios.hh"
+#include "sim/experiment/driver.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("=== Ablation: MSHR count vs G^D_MSHR delay "
-                "(InvisiSpec-Spectre, gadget M=10) ===\n\n");
-
-    TextTable table({"MSHRs", "q issue (s=0)", "q issue (s=1)",
-                     "delay", "order flips"});
-
-    bool shape = true;
-    for (unsigned mshrs : {4u, 6u, 8u, 10u, 12u, 16u, 24u}) {
-        CoreConfig cfg;
-        cfg.mshrs = mshrs;
-        Hierarchy hier(HierarchyConfig::small());
-        MainMemory mem;
-        Core victim(cfg, 0, hier, mem);
-        victim.setScheme(makeScheme(SchemeKind::InvisiSpecSpectre));
-        AttackerAgent attacker(hier, 1);
-        TrialHarness harness(hier, mem, victim, attacker);
-
-        SenderParams params;
-        params.gadget = GadgetKind::Mshr;
-        params.ordering = OrderingKind::VdVd;
-        params.mshrLoads = 10;
-        const SenderProgram sp = buildSender(params, hier);
-
-        Tick q_issue[2] = {0, 0};
-        int sig[2] = {-1, -1};
-        for (unsigned secret = 0; secret < 2; ++secret) {
-            harness.prepare(sp, secret);
-            const TrialResult r = harness.run(sp);
-            sig[secret] = r.orderSignal();
-            const auto *q = victim.traceEntry("loadQ");
-            q_issue[secret] = q ? q->issuedAt : 0;
-        }
-        const bool flips = sig[0] >= 0 && sig[1] >= 0 && sig[0] != sig[1];
-        table.addRow({std::to_string(mshrs),
-                      std::to_string(q_issue[0]),
-                      std::to_string(q_issue[1]),
-                      std::to_string(static_cast<long>(q_issue[1]) -
-                                     static_cast<long>(q_issue[0])),
-                      flips ? "yes" : "no"});
-        if (mshrs <= 10 && !flips)
-            shape = false;
-        if (mshrs > 12 && flips)
-            shape = false;
-    }
-    std::printf("%s\n", table.render().c_str());
-    std::printf("shape check: attack works iff MSHRs <= gadget loads: "
-                "%s\n", shape ? "YES" : "NO");
-    return shape ? 0 : 1;
+    return specint::experiment::runScenarioCli(
+        specint::scenarios::all(), "ablation_mshr", argc, argv);
 }

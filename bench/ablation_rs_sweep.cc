@@ -1,62 +1,16 @@
 /**
  * @file
- * Ablation: G^I_RS sensitivity to the reservation-station size.
- *
- * The gadget dispatches rsAdds dependent ADDs; the frontend stalls
- * only once the RS fills. With a fixed gadget (160 ADDs), growing the
- * RS past gadget size + decode queue defeats the back-throttling and
- * the target line gets fetched regardless of the secret.
+ * Thin wrapper: the RS-size ablation as a standalone binary.
+ * Equivalent to `specsim_bench ablation_rs`; the scenario lives in
+ * bench/scenarios/ablation_rs.cc.
  */
 
-#include <cstdio>
-
-#include "attack/sender.hh"
-#include "cpu/core.hh"
-#include "sim/stats.hh"
-
-using namespace specint;
+#include "scenarios/scenarios.hh"
+#include "sim/experiment/driver.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("=== Ablation: RS size vs G^I_RS back-throttling "
-                "(DoM, gadget = 160 ADDs) ===\n\n");
-
-    TextTable table({"RS size", "present(s=0)", "present(s=1)",
-                     "channel works"});
-    bool shape = true;
-    for (unsigned rs : {32u, 64u, 97u, 128u, 160u, 224u}) {
-        CoreConfig cfg;
-        cfg.rsSize = rs;
-        Hierarchy hier(HierarchyConfig::small());
-        MainMemory mem;
-        Core victim(cfg, 0, hier, mem);
-        victim.setScheme(makeScheme(SchemeKind::DomNonTso));
-        AttackerAgent attacker(hier, 1);
-        TrialHarness harness(hier, mem, victim, attacker);
-
-        SenderParams params;
-        params.gadget = GadgetKind::Rs;
-        params.ordering = OrderingKind::Presence;
-        params.rsAdds = 160;
-        const SenderProgram sp = buildSender(params, hier);
-
-        bool present[2];
-        for (unsigned secret = 0; secret < 2; ++secret) {
-            harness.prepare(sp, secret);
-            present[secret] = harness.run(sp).targetPresent;
-        }
-        const bool works = present[0] != present[1];
-        table.addRow({std::to_string(rs), present[0] ? "yes" : "no",
-                      present[1] ? "yes" : "no",
-                      works ? "yes" : "no"});
-        if (rs <= 128 && !works)
-            shape = false;
-        if (rs >= 224 && works)
-            shape = false;
-    }
-    std::printf("%s\n", table.render().c_str());
-    std::printf("shape check: channel works iff RS (plus queue) fits "
-                "inside the gadget: %s\n", shape ? "YES" : "NO");
-    return shape ? 0 : 1;
+    return specint::experiment::runScenarioCli(
+        specint::scenarios::all(), "ablation_rs", argc, argv);
 }

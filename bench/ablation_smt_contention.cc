@@ -1,141 +1,16 @@
 /**
  * @file
- * Ablation: the SMT sibling-thread contention channel across every
- * defense scheme × resource-sharing policy × channel kind.
- *
- * For each combination the bench calibrates the probe (known-secret
- * contention scores), then transmits a random bit string and reports
- * whether the channel is open, its bit error rate and its throughput.
- * The headline result mirrors the paper's argument extended to SMT:
- * invisible-speculation schemes (and even the §5.4 advanced defense,
- * whose rules are thread-local) leave speculative *execution-resource*
- * usage visible to a sibling thread; only fence-style defenses that
- * keep the gadget from issuing close the channel. Partitioning the
- * window structures (ROB/RS/LQ/SQ) does not help either: ports and
- * MSHRs are fully shared by construction.
- *
- * Usage: ablation_smt_contention [--csv] [--bits N]
- *   --csv   emit one machine-readable CSV table (for perf tracking)
- *   --bits  bits per channel run (default 24)
+ * Thin wrapper: the SMT contention-channel ablation as a standalone
+ * binary. Equivalent to `specsim_bench ablation_smt`; the scenario
+ * lives in bench/scenarios/ablation_smt.cc.
  */
 
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <string>
-#include <vector>
-
-#include "attack/smt_probe.hh"
-
-using namespace specint;
-
-namespace
-{
-
-struct PolicyPoint
-{
-    const char *name;
-    SharingPolicy window; ///< ROB/RS/LQ/SQ policy
-    FetchPolicy fetch;
-};
-
-constexpr PolicyPoint kPolicies[] = {
-    {"shared+icount", SharingPolicy::Shared, FetchPolicy::ICount},
-    {"shared+rr", SharingPolicy::Shared, FetchPolicy::RoundRobin},
-    {"partitioned+icount", SharingPolicy::Partitioned,
-     FetchPolicy::ICount},
-};
-
-} // namespace
+#include "scenarios/scenarios.hh"
+#include "sim/experiment/driver.hh"
 
 int
 main(int argc, char **argv)
 {
-    bool csv = false;
-    unsigned bits_n = 24;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--csv") == 0) {
-            csv = true;
-        } else if (std::strcmp(argv[i], "--bits") == 0 &&
-                   i + 1 < argc) {
-            bits_n = static_cast<unsigned>(std::atoi(argv[++i]));
-        } else {
-            std::fprintf(stderr,
-                         "usage: %s [--csv] [--bits N]\n", argv[0]);
-            return 2;
-        }
-    }
-
-    if (csv) {
-        std::printf("scheme,channel,policy,score0,score1,open,"
-                    "bits,errors,error_rate,bps\n");
-    } else {
-        std::printf("=== SMT sibling-thread contention channel: "
-                    "defense x sharing-policy ablation ===\n\n");
-        std::printf("%-24s %-7s %-19s %7s %7s %-7s %9s %10s\n",
-                    "scheme", "channel", "policy", "score0", "score1",
-                    "state", "err-rate", "bps");
-    }
-
-    const std::vector<std::uint8_t> bits = randomBits(bits_n, 2021);
-
-    for (SchemeKind scheme : allSchemes()) {
-        for (SmtChannelKind kind :
-             {SmtChannelKind::Port, SmtChannelKind::Mshr}) {
-            for (const PolicyPoint &pp : kPolicies) {
-                SmtChannelConfig cfg;
-                cfg.scheme = scheme;
-                cfg.attack.kind = kind;
-                cfg.smt.robPolicy = cfg.smt.rsPolicy = cfg.smt.lqPolicy =
-                    cfg.smt.sqPolicy = pp.window;
-                cfg.smt.fetchPolicy = pp.fetch;
-                cfg.trialsPerBit = 1;
-
-                const SmtChannelResult res =
-                    runSmtContentionChannel(bits, cfg);
-                const double err = res.channel.errorRate();
-                const double bps = res.calibration.usable
-                                       ? res.channel.bitsPerSecond(
-                                             cfg.clockGhz)
-                                       : 0.0;
-
-                if (csv) {
-                    std::printf(
-                        "%s,%s,%s,%llu,%llu,%d,%u,%u,%.4f,%.0f\n",
-                        schemeName(scheme).c_str(),
-                        smtChannelKindName(kind).c_str(), pp.name,
-                        static_cast<unsigned long long>(
-                            res.calibration.score0),
-                        static_cast<unsigned long long>(
-                            res.calibration.score1),
-                        res.calibration.usable ? 1 : 0,
-                        res.channel.bitsSent, res.channel.bitErrors,
-                        err, bps);
-                } else {
-                    std::printf(
-                        "%-24s %-7s %-19s %7llu %7llu %-7s %8.1f%% %10.0f\n",
-                        schemeName(scheme).c_str(),
-                        smtChannelKindName(kind).c_str(), pp.name,
-                        static_cast<unsigned long long>(
-                            res.calibration.score0),
-                        static_cast<unsigned long long>(
-                            res.calibration.score1),
-                        res.calibration.usable ? "OPEN" : "closed",
-                        err * 100.0, bps);
-                }
-            }
-        }
-        if (!csv)
-            std::printf("\n");
-    }
-
-    if (!csv) {
-        std::printf(
-            "Reading: OPEN means the probe's calibration found a "
-            "decodable contention gap.\nPartitioning ROB/RS/LQ/SQ never "
-            "closes the channel (ports/MSHRs stay shared);\nonly "
-            "defenses that keep the mis-speculated gadget from issuing "
-            "do.\n");
-    }
-    return 0;
+    return specint::experiment::runScenarioCli(
+        specint::scenarios::all(), "ablation_smt", argc, argv);
 }

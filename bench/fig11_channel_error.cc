@@ -1,67 +1,16 @@
 /**
  * @file
- * Figure 11 reproduction: covert-channel bit-error probability vs bit
- * rate for (a) the D-Cache PoC (§4.2) and (b) the I-Cache PoC (§4.3).
- *
- * The trade-off knob is trials-per-bit (the paper: "the number of
- * times the PoC is run to leak each bit"): fewer trials = higher rate
- * = more errors under the calibrated noise model. Shape targets: both
- * curves rise with bit rate; the I-Cache channel reaches ~5x higher
- * rates (its trial is one flush+reload instead of a two-eviction-set
- * prime/probe). The paper's representative point is 465 bps at 0.2
- * error for the I-Cache PoC.
+ * Thin wrapper: the Fig. 11 channel error/bit-rate sweep as a
+ * standalone binary. Equivalent to `specsim_bench fig11`; the
+ * scenario lives in bench/scenarios/fig11.cc.
  */
 
-#include <cstdio>
-
-#include "attack/channel.hh"
-
-using namespace specint;
-
-namespace
-{
-
-void
-sweep(const char *name, bool dcache)
-{
-    std::printf("--- Fig. 11(%s): %s PoC ---\n", dcache ? "a" : "b",
-                name);
-    std::printf("%10s %12s %12s %10s\n", "trials/bit", "bit rate",
-                "error prob", "discarded");
-
-    double prev_rate = 1e18;
-    bool monotone = true;
-    // Odd trial counts only: even counts can tie the majority vote.
-    for (unsigned trials : {15u, 9u, 5u, 3u, 1u}) {
-        ChannelConfig cfg;
-        cfg.scheme = SchemeKind::DomNonTso;
-        cfg.trialsPerBit = trials;
-        cfg.noise = NoiseConfig::calibrated();
-        cfg.seed = 1000 + trials;
-        const auto bits = randomBits(200, 42 + trials);
-        const ChannelResult res = dcache ? runDCacheChannel(bits, cfg)
-                                         : runICacheChannel(bits, cfg);
-        const double rate = res.bitsPerSecond(cfg.clockGhz);
-        std::printf("%10u %9.1f bps %12.3f %10u\n", trials, rate,
-                    res.errorRate(), res.discardedTrials);
-        monotone = monotone && rate > 0;
-        prev_rate = rate;
-    }
-    (void)prev_rate;
-    std::printf("\n");
-}
-
-} // namespace
+#include "scenarios/scenarios.hh"
+#include "sim/experiment/driver.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("=== Fig. 11: channel error vs bit rate ===\n\n");
-    sweep("D-Cache (G^D_NPEU + QLRU replacement-state receiver)", true);
-    sweep("I-Cache (G^I_RS + Flush+Reload receiver)", false);
-
-    std::printf("shape targets: error probability falls as trials/bit "
-                "grows (rate falls);\nI-Cache rates are several times "
-                "the D-Cache rates (paper: ~1000 vs ~200 bps).\n");
-    return 0;
+    return specint::experiment::runScenarioCli(
+        specint::scenarios::all(), "fig11", argc, argv);
 }

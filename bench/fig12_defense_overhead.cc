@@ -1,51 +1,16 @@
 /**
  * @file
- * Figure 12 reproduction: performance of the basic fence defense
- * (§5.2) on the synthetic SPEC CPU2017-archetype suite, under the
- * Spectre and Futuristic threat models, normalised to the unsafe
- * baseline.
- *
- * Shape targets (paper): Spectre-model geomean ~1.58x, Futuristic
- * ~5.38x; memory-bound, low-ILP workloads (mcf, omnetpp) suffer most
- * under Futuristic; compute-bound ones (exchange2, imagick) least
- * under Spectre.
+ * Thin wrapper: the Fig. 12 defense-overhead suite as a standalone
+ * binary. Equivalent to `specsim_bench fig12`; the scenario lives in
+ * bench/scenarios/fig12.cc.
  */
 
-#include <cstdio>
-
-#include "sim/stats.hh"
-#include "workload/suite.hh"
-
-using namespace specint;
+#include "scenarios/scenarios.hh"
+#include "sim/experiment/driver.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("=== Fig. 12: basic defense overhead on SPEC2017 "
-                "archetypes ===\n\n");
-
-    const std::vector<SchemeKind> schemes = {SchemeKind::Unsafe,
-                                             SchemeKind::FenceSpectre,
-                                             SchemeKind::FenceFuturistic};
-    const OverheadReport report =
-        runDefenseOverhead(schemes, spec2017Archetypes(8000));
-
-    TextTable table({"workload", "baseline cyc", "Spectre x",
-                     "Futuristic x"});
-    for (const auto &row : report.rows) {
-        table.addRow({row.workload, std::to_string(row.cycles[0]),
-                      fmtDouble(row.slowdown[1]),
-                      fmtDouble(row.slowdown[2])});
-    }
-    table.addRow({"GEOMEAN", "-", fmtDouble(report.geomean[1]),
-                  fmtDouble(report.geomean[2])});
-    std::printf("%s\n", table.render().c_str());
-
-    std::printf("paper reports: Spectre 1.58x, Futuristic 5.38x "
-                "(gem5, SPEC CPU2017 SimPoints)\n");
-    const bool shape = report.geomean[1] > 1.05 &&
-                       report.geomean[2] > report.geomean[1] * 1.5;
-    std::printf("shape check: Futuristic >> Spectre >> 1.0: %s\n",
-                shape ? "YES" : "NO");
-    return shape ? 0 : 1;
+    return specint::experiment::runScenarioCli(
+        specint::scenarios::all(), "fig12", argc, argv);
 }

@@ -1,87 +1,16 @@
 /**
  * @file
- * Figure 7 reproduction: histogram of interference-target execution
- * time with and without the G^D_NPEU interference gadget.
- *
- * The paper measures the time from the issue of the first f(z)
- * instruction to the completion of load A on a Kaby Lake core and
- * reports a ~16 clock-tick (80 rdtsc-cycle) separation between the
- * baseline and interference distributions. Here the same sender runs
- * on the simulated core with load-latency jitter enabled so the
- * distributions have width; the separation comes from the gadget's
- * occupancy of the non-pipelined port-0 unit.
+ * Thin wrapper: the Fig. 7 interference histogram as a standalone
+ * binary. Equivalent to `specsim_bench fig7`; the scenario lives in
+ * bench/scenarios/fig7.cc.
  */
 
-#include <cstdio>
-
-#include "attack/sender.hh"
-#include "cpu/core.hh"
-#include "sim/stats.hh"
-
-using namespace specint;
+#include "scenarios/scenarios.hh"
+#include "sim/experiment/driver.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("=== Fig. 7: interference gadget contention histogram "
-                "===\n\n");
-
-    Hierarchy hier(HierarchyConfig::small());
-    MainMemory mem;
-    Core victim(CoreConfig{}, 0, hier, mem);
-    victim.setScheme(makeScheme(SchemeKind::DomNonTso));
-    AttackerAgent attacker(hier, 1);
-    TrialHarness harness(hier, mem, victim, attacker);
-
-    SenderParams params;
-    params.gadget = GadgetKind::Npeu;
-    params.ordering = OrderingKind::VdVd;
-    const SenderProgram sp = buildSender(params, hier);
-
-    NoiseConfig nc;
-    nc.loadJitterProb = 0.35;
-    nc.loadJitterMax = 8;
-    NoiseModel noise(nc, 7);
-    victim.setNoise(&noise);
-
-    const unsigned kTrials = 500;
-    Histogram base(4), interf(4);
-    SampleStat base_s, interf_s;
-
-    for (unsigned t = 0; t < kTrials; ++t) {
-        for (unsigned secret = 0; secret < 2; ++secret) {
-            harness.prepare(sp, secret);
-            harness.run(sp);
-            const InstTraceEntry *z0 = victim.traceEntry("z0");
-            const InstTraceEntry *a = victim.traceEntry("loadA");
-            if (!z0 || !a)
-                continue;
-            // Target latency: start of the address-generation chain to
-            // load A's issue (the paper: "time from the issue of the
-            // first instruction of f(z) to the completion of load A").
-            const Tick lat = a->issuedAt - z0->issuedAt;
-            if (secret) {
-                interf.add(lat);
-                interf_s.add(static_cast<double>(lat));
-            } else {
-                base.add(lat);
-                base_s.add(static_cast<double>(lat));
-            }
-        }
-    }
-
-    std::printf("%s\n", base.render("baseline (no interference)").c_str());
-    std::printf("%s\n", interf.render("interference").c_str());
-    std::printf("baseline:     mean=%.1f sd=%.1f cycles\n",
-                base_s.mean(), base_s.stddev());
-    std::printf("interference: mean=%.1f sd=%.1f cycles\n",
-                interf_s.mean(), interf_s.stddev());
-    std::printf("separation:   %.1f cycles (paper: ~16 clock ticks / "
-                "80 rdtsc cycles on real HW)\n",
-                interf_s.mean() - base_s.mean());
-    const bool separated = interf_s.mean() > base_s.mean() + 5.0;
-    std::printf("shape check:  distributions %s\n",
-                separated ? "SEPARATED (matches Fig. 7)"
-                          : "NOT separated (MISMATCH)");
-    return separated ? 0 : 1;
+    return specint::experiment::runScenarioCli(
+        specint::scenarios::all(), "fig7", argc, argv);
 }

@@ -1,107 +1,16 @@
 /**
  * @file
- * Figure 8 reproduction: QLRU_H11_M1_R0_U0 state of the targeted LLC
- * set after the attacker's prime, after the victim's ordered accesses
- * (both A-B and B-A), and after the probe — showing that exactly one
- * of A/B survives and which one encodes the order.
+ * Thin wrapper: the Fig. 8 QLRU state walk as a standalone binary.
+ * Equivalent to `specsim_bench fig8`; the scenario lives in
+ * bench/scenarios/fig8.cc.
  */
 
-#include <cstdio>
-#include <string>
-
-#include "memory/cache.hh"
-
-using namespace specint;
-
-namespace
-{
-
-constexpr unsigned kSets = 8;
-constexpr unsigned kWays = 16;
-constexpr unsigned kSet = 3;
-
-Addr
-lineInSet(unsigned k)
-{
-    return (static_cast<Addr>(k) * kSets + kSet) << kLineShift;
-}
-
-void
-access(CacheArray &c, Addr a)
-{
-    if (!c.touch(a))
-        c.fill(a);
-}
-
-void
-show(const CacheArray &c, Addr A, Addr B, const char *tag)
-{
-    std::printf("%-18s", tag);
-    for (const auto &w : c.snapshotSet(kSet)) {
-        std::string name = "--";
-        if (w.valid) {
-            if (w.lineAddr == A)
-                name = "A";
-            else if (w.lineAddr == B)
-                name = "B";
-            else
-                name = "EV";
-        }
-        std::printf(" %2s/%u", name.c_str(), w.valid ? w.age : 9);
-    }
-    std::printf("\n");
-}
-
-} // namespace
+#include "scenarios/scenarios.hh"
+#include "sim/experiment/driver.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("=== Fig. 8: QLRU_H11_M1_R0_U0 state walk (16-way set) "
-                "===\n");
-    std::printf("entries are line/age; EV = eviction-set line\n\n");
-
-    const Addr A = lineInSet(0);
-    const Addr B = lineInSet(1);
-
-    bool ok = true;
-    for (const bool order_ab : {true, false}) {
-        CacheGeometry geo{"llc", kSets, kWays, ReplKind::Qlru,
-                          QlruVariant::h11m1r0u0()};
-        CacheArray cache(geo);
-
-        std::printf("--- victim order %s ---\n", order_ab ? "A-B" : "B-A");
-
-        // Prime: EVS1 into ways 0..14, A into way 15, saturate at 0.
-        for (int round = 0; round < 4; ++round) {
-            for (unsigned k = 0; k < kWays - 1; ++k)
-                access(cache, lineInSet(2 + k));
-            access(cache, A);
-        }
-        show(cache, A, B, "after prime");
-
-        if (order_ab) {
-            access(cache, A);
-            access(cache, B);
-        } else {
-            access(cache, B);
-            access(cache, A);
-        }
-        show(cache, A, B, "after victim");
-
-        for (unsigned k = 0; k < kWays - 1; ++k)
-            access(cache, lineInSet(2 + kWays - 1 + k));
-        show(cache, A, B, "after probe");
-
-        const bool a_res = cache.contains(A);
-        const bool b_res = cache.contains(B);
-        std::printf("survivor: %s   (attacker decodes order %s)\n\n",
-                    a_res ? "A" : (b_res ? "B" : "none"),
-                    a_res ? "B-A" : (b_res ? "A-B" : "?"));
-        ok = ok && (order_ab ? (!a_res && b_res) : (a_res && !b_res));
-    }
-
-    std::printf("shape check: second-accessed line survives in both "
-                "orders: %s\n", ok ? "YES (matches Fig. 8)" : "NO");
-    return ok ? 0 : 1;
+    return specint::experiment::runScenarioCli(
+        specint::scenarios::all(), "fig8", argc, argv);
 }

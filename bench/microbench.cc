@@ -1,183 +1,17 @@
 /**
  * @file
- * google-benchmark microbenchmarks of the simulator itself: raw cache
- * array throughput, hierarchy accesses, full-core simulation speed,
- * receiver round cost, and end-to-end trial cost. Useful for keeping
- * the experiment harnesses fast and for spotting regressions.
+ * Thin wrapper: the simulator microbenchmarks as a standalone binary.
+ * Equivalent to `specsim_bench microbench`; the self-timed kernels
+ * live in bench/scenarios/microbench.cc (formerly a google-benchmark
+ * binary — the only bench whose output is wall-clock-dependent).
  */
 
-#include <benchmark/benchmark.h>
+#include "scenarios/scenarios.hh"
+#include "sim/experiment/driver.hh"
 
-#include "attack/receiver.hh"
-#include "attack/sender.hh"
-#include "cpu/core.hh"
-#include "smt/smt_core.hh"
-#include "system/system.hh"
-#include "workload/generator.hh"
-
-using namespace specint;
-
-namespace
+int
+main(int argc, char **argv)
 {
-
-void
-BM_CacheArrayTouchHit(benchmark::State &state)
-{
-    CacheArray cache({"c", 64, 8, ReplKind::Qlru,
-                      QlruVariant::h11m1r0u0()});
-    cache.fill(0x1000);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(cache.touch(0x1000));
+    return specint::experiment::runScenarioCli(
+        specint::scenarios::all(), "microbench", argc, argv);
 }
-BENCHMARK(BM_CacheArrayTouchHit);
-
-void
-BM_CacheArrayFillEvict(benchmark::State &state)
-{
-    CacheArray cache({"c", 64, 8, ReplKind::Qlru,
-                      QlruVariant::h11m1r0u0()});
-    Addr a = 0;
-    for (auto _ : state) {
-        cache.fill(a);
-        a += 64 * 64; // same set, new line
-    }
-}
-BENCHMARK(BM_CacheArrayFillEvict);
-
-void
-BM_HierarchyColdAccess(benchmark::State &state)
-{
-    Hierarchy hier(HierarchyConfig::small());
-    Addr a = 0;
-    Tick now = 0;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            hier.access(0, a, AccessType::Data, now++));
-        a += 64;
-    }
-}
-BENCHMARK(BM_HierarchyColdAccess);
-
-void
-BM_CoreSimulation(benchmark::State &state)
-{
-    WorkloadSpec spec;
-    spec.instructions = static_cast<unsigned>(state.range(0));
-    const GeneratedWorkload wl = generateWorkload(spec);
-    double cycles = 0;
-    for (auto _ : state) {
-        Hierarchy hier(HierarchyConfig::small());
-        MainMemory mem;
-        for (const auto &[a, v] : wl.memInit)
-            mem.write(a, v);
-        Core core(CoreConfig{}, 0, hier, mem);
-        cycles += static_cast<double>(core.run(wl.prog).cycles);
-    }
-    state.counters["cycles_per_sec"] =
-        benchmark::Counter(cycles, benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_CoreSimulation)->Arg(1000)->Arg(4000);
-
-/** Simulated-cycles-per-second of the unified engine running two SMT
- *  threads — the headline speed metric for the pipeline extraction
- *  (per-cycle stage buffers are reused, not reallocated). */
-void
-BM_SmtCoreSimulation(benchmark::State &state)
-{
-    WorkloadSpec spec;
-    spec.instructions = static_cast<unsigned>(state.range(0));
-    const GeneratedWorkload wl0 = generateWorkload(spec);
-    spec.seed = 999;
-    spec.storeFrac = 0.0;
-    const GeneratedWorkload wl1 = generateWorkload(spec);
-    double cycles = 0;
-    for (auto _ : state) {
-        Hierarchy hier(HierarchyConfig::small());
-        MainMemory mem;
-        for (const auto &[a, v] : wl0.memInit)
-            mem.write(a, v);
-        for (const auto &[a, v] : wl1.memInit)
-            mem.write(a, v);
-        SmtCore core(CoreConfig{}, SmtConfig{}, 0, hier, mem);
-        cycles += static_cast<double>(
-            core.run({&wl0.prog, &wl1.prog}).cycles);
-    }
-    state.counters["cycles_per_sec"] =
-        benchmark::Counter(cycles, benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_SmtCoreSimulation)->Arg(1000)->Arg(4000);
-
-/** Simulated-cycles-per-second of a two-core System with the
- *  shared-LLC contention model enabled (core-cycles summed over both
- *  cores: the System's aggregate simulation rate). */
-void
-BM_SystemSimulation(benchmark::State &state)
-{
-    WorkloadSpec spec;
-    spec.instructions = static_cast<unsigned>(state.range(0));
-    spec.dataBase = 0x01000000;
-    spec.codeBase = 0x400000;
-    const GeneratedWorkload wl0 = generateWorkload(spec);
-    spec.seed = 999;
-    spec.dataBase = 0x02000000;
-    spec.codeBase = 0x500000;
-    const GeneratedWorkload wl1 = generateWorkload(spec);
-    double cycles = 0;
-    for (auto _ : state) {
-        SystemConfig cfg;
-        cfg.numCores = 2;
-        cfg.hier.llcPortBusy = 2;
-        cfg.hier.llcMshrs = 8;
-        System sys(cfg);
-        for (const auto &[a, v] : wl0.memInit)
-            sys.memory().write(a, v);
-        for (const auto &[a, v] : wl1.memInit)
-            sys.memory().write(a, v);
-        const SystemRunResult r = sys.run({{&wl0.prog}, {&wl1.prog}});
-        for (const auto &c : r.cores)
-            cycles += static_cast<double>(c.cycles);
-    }
-    state.counters["cycles_per_sec"] =
-        benchmark::Counter(cycles, benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_SystemSimulation)->Arg(1000)->Arg(4000);
-
-void
-BM_ReceiverPrimeDecode(benchmark::State &state)
-{
-    Hierarchy hier(HierarchyConfig::small());
-    AttackerAgent attacker(hier, 1);
-    const Addr a = 0x01000040;
-    const Addr b = findCongruentAddr(hier, a, 0x40000000);
-    QlruReceiver recv(hier, attacker, a, b);
-    for (auto _ : state) {
-        recv.prime();
-        hier.access(0, a, AccessType::Data, 0);
-        hier.access(0, b, AccessType::Data, 0);
-        benchmark::DoNotOptimize(recv.decode());
-    }
-}
-BENCHMARK(BM_ReceiverPrimeDecode);
-
-void
-BM_EndToEndAttackTrial(benchmark::State &state)
-{
-    Hierarchy hier(HierarchyConfig::small());
-    MainMemory mem;
-    Core victim(CoreConfig{}, 0, hier, mem);
-    victim.setScheme(makeScheme(SchemeKind::DomNonTso));
-    AttackerAgent attacker(hier, 1);
-    TrialHarness harness(hier, mem, victim, attacker);
-    SenderParams params;
-    params.gadget = GadgetKind::Npeu;
-    params.ordering = OrderingKind::VdVd;
-    const SenderProgram sp = buildSender(params, hier);
-    unsigned secret = 0;
-    for (auto _ : state) {
-        harness.prepare(sp, secret ^= 1);
-        benchmark::DoNotOptimize(harness.run(sp).orderSignal());
-    }
-}
-BENCHMARK(BM_EndToEndAttackTrial);
-
-} // namespace

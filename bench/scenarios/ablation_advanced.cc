@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Scenario: the §5.4 advanced-defense rule ablation. One point per
+ * rule configuration; each point runs the three gadget attacks plus
+ * the workload-suite slowdown measurement — the heaviest points in
+ * the whole scenario set, which is exactly where work-stealing pays.
+ */
+
+#include "scenarios/scenarios.hh"
+#include "scenarios/util.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+#include "attack/sender.hh"
+#include "cpu/core.hh"
+#include "sim/experiment/report.hh"
+#include "sim/stats.hh"
+#include "spec/advanced.hh"
+#include "workload/suite.hh"
+
+namespace specint::scenarios
+{
+
+namespace
+{
+
+using namespace experiment;
+
+struct RuleConfig
+{
+    const char *name;
+    AdvancedDefenseScheme::Rules rules;
+};
+
+constexpr RuleConfig kConfigs[] = {
+    {"none (plain DoM)", {false, false, false}},
+    {"rule1: hold RS", {true, false, false}},
+    {"rule2a: EU priority", {false, true, false}},
+    {"rule2b: MSHR preempt", {false, false, true}},
+    {"all rules", {true, true, true}},
+};
+
+bool
+attackWorks(GadgetKind g, OrderingKind o,
+            AdvancedDefenseScheme::Rules rules,
+            SpecLoadPolicy base = SpecLoadPolicy::DelayOnMiss)
+{
+    Hierarchy hier(HierarchyConfig::small());
+    MainMemory mem;
+    Core victim(CoreConfig{}, 0, hier, mem);
+    victim.setScheme(
+        std::make_unique<AdvancedDefenseScheme>(rules, base));
+    AttackerAgent attacker(hier, 1);
+    TrialHarness harness(hier, mem, victim, attacker);
+
+    SenderParams params;
+    params.gadget = g;
+    params.ordering = o;
+    const SenderProgram sp = buildSender(params, hier);
+
+    int sig[2] = {-1, -1};
+    bool present[2] = {false, false};
+    for (unsigned secret = 0; secret < 2; ++secret) {
+        harness.prepare(sp, secret);
+        const TrialResult r = harness.run(sp);
+        sig[secret] = r.orderSignal();
+        present[secret] = r.targetPresent;
+    }
+    if (o == OrderingKind::Presence)
+        return present[0] != present[1];
+    return sig[0] >= 0 && sig[1] >= 0 && sig[0] != sig[1];
+}
+
+double
+suiteSlowdown(AdvancedDefenseScheme::Rules rules)
+{
+    // Cycles relative to plain DoM (the cache-protection baseline the
+    // advanced defense builds on), geomean over a reduced suite.
+    double log_sum = 0.0;
+    unsigned n = 0;
+    for (const WorkloadSpec &spec : spec2017Archetypes(2500)) {
+        const GeneratedWorkload wl = generateWorkload(spec);
+        std::uint64_t cyc[2];
+        for (int variant = 0; variant < 2; ++variant) {
+            Hierarchy hier(HierarchyConfig::small());
+            MainMemory mem;
+            for (const auto &[a, v] : wl.memInit)
+                mem.write(a, v);
+            Core core(CoreConfig{}, 0, hier, mem);
+            if (variant == 0)
+                core.setScheme(makeScheme(SchemeKind::DomNonTso));
+            else
+                core.setScheme(
+                    std::make_unique<AdvancedDefenseScheme>(rules));
+            cyc[variant] = core.run(wl.prog).cycles;
+        }
+        log_sum += std::log(static_cast<double>(cyc[1]) /
+                            static_cast<double>(cyc[0]));
+        ++n;
+    }
+    return std::exp(log_sum / n);
+}
+
+PointResult
+runPoint(const PointContext &ctx, const RunOptions &)
+{
+    const std::string &name = ctx.point.at("rules");
+    const RuleConfig *config = nullptr;
+    for (const RuleConfig &c : kConfigs)
+        if (name == c.name)
+            config = &c;
+    if (!config)
+        throw std::out_of_range("unknown rule config '" + name + "'");
+
+    // Rule 2a requires rule 1's held RS entries for re-issue.
+    AdvancedDefenseScheme::Rules rules = config->rules;
+    if (rules.agePriority)
+        rules.holdResources = true;
+    const bool npeu =
+        !attackWorks(GadgetKind::Npeu, OrderingKind::VdVd, rules);
+    // The MSHR column layers the rules on an InvisiSpec-style
+    // substrate: with DoM underneath, speculative misses never issue
+    // and the gadget is moot regardless of the rules.
+    const bool mshr =
+        !attackWorks(GadgetKind::Mshr, OrderingKind::VdVd, rules,
+                     SpecLoadPolicy::InvisibleRequest);
+    const bool rs =
+        !attackWorks(GadgetKind::Rs, OrderingKind::Presence, rules);
+
+    PointResult res;
+    res.rows.push_back({Value::str(name),
+                        Value::str(npeu ? "yes" : "NO"),
+                        Value::str(mshr ? "yes" : "NO"),
+                        Value::str(rs ? "yes" : "NO"),
+                        Value::real(suiteSlowdown(rules), 2)});
+    return res;
+}
+
+int
+renderLegacy(const Report &report, const RunOptions &, std::FILE *out)
+{
+    std::fprintf(out, "=== Ablation: advanced defense rules (§5.4) "
+                      "===\n\n");
+
+    TextTable table({"rules", "NPEU blocked", "MSHR blocked",
+                     "G^I_RS blocked", "slowdown vs DoM"});
+    for (const Row &row : report.allRows())
+        table.addRow({row[0].text(), row[1].text(), row[2].text(),
+                      row[3].text(), row[4].text()});
+    std::fprintf(out, "%s\n", table.render().c_str());
+    std::fprintf(out,
+                 "takeaway (paper §5.4): each rule closes its channel; "
+                 "all three together block every gadget at a modest "
+                 "cost over DoM.\n");
+    return 0;
+}
+
+} // namespace
+
+void
+registerAblationAdvanced(experiment::ScenarioRegistry &r)
+{
+    Scenario sc;
+    sc.name = "ablation_advanced";
+    sc.description = "which §5.4 advanced-defense rule blocks which "
+                     "gadget, and its workload-suite cost";
+    sc.paperRef = "§5.4";
+    sc.defaultTrials = 1;
+    sc.defaultSeed = 0;
+    sc.trialsMeaning = "unused (attacks and suite are deterministic)";
+    sc.columns = {"rules", "npeu_blocked", "mshr_blocked",
+                  "girs_blocked", "slowdown_vs_dom"};
+    sc.sweep = [](const RunOptions &) {
+        std::vector<std::string> names;
+        for (const RuleConfig &c : kConfigs)
+            names.push_back(c.name);
+        SweepSpec spec;
+        spec.axis("rules", std::move(names));
+        return spec;
+    };
+    sc.run = runPoint;
+    sc.renderLegacy = renderLegacy;
+    r.add(std::move(sc));
+}
+
+} // namespace specint::scenarios

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Scenario: the cross-core shared-LLC channels (occupancy vs
+ * eviction) across every defense scheme. One point per combination.
+ */
+
+#include "scenarios/scenarios.hh"
+#include "scenarios/util.hh"
+
+#include <cstdio>
+
+#include "attack/cross_core_probe.hh"
+#include "sim/experiment/report.hh"
+
+namespace specint::scenarios
+{
+
+namespace
+{
+
+using namespace experiment;
+
+PointResult
+runPoint(const PointContext &ctx, const RunOptions &options)
+{
+    const SchemeKind scheme = schemeFromName(ctx.point.at("scheme"));
+    const CrossCoreChannelKind kind =
+        ctx.point.at("channel") == "occupancy"
+            ? CrossCoreChannelKind::Occupancy
+            : CrossCoreChannelKind::Eviction;
+
+    CrossCoreChannelConfig cfg;
+    cfg.scheme = scheme;
+    cfg.attack.kind = kind;
+    cfg.trialsPerBit = ctx.trials;
+
+    const std::vector<std::uint8_t> bits = randomBits(
+        static_cast<unsigned>(options.extraOr("bits", 16)),
+        ctx.baseSeed);
+
+    const CrossCoreChannelResult res = runCrossCoreChannel(bits, cfg);
+    const double err = res.channel.errorRate();
+    const double bps =
+        res.calibration.usable
+            ? res.channel.bitsPerSecond(cfg.clockGhz)
+            : 0.0;
+
+    PointResult out;
+    out.rows.push_back(
+        {Value::str(schemeName(scheme)),
+         Value::str(crossCoreChannelKindName(kind)),
+         Value::uinteger(res.calibration.score0),
+         Value::uinteger(res.calibration.score1),
+         Value::boolean(res.calibration.usable),
+         Value::uinteger(res.channel.bitsSent),
+         Value::uinteger(res.channel.bitErrors), Value::real(err, 4),
+         Value::real(bps, 0)});
+    out.legacy = strf(
+        "%-24s %-10s %8llu %8llu %-7s %8.1f%% %10.0f\n",
+        schemeName(scheme).c_str(),
+        crossCoreChannelKindName(kind).c_str(),
+        static_cast<unsigned long long>(res.calibration.score0),
+        static_cast<unsigned long long>(res.calibration.score1),
+        res.calibration.usable ? "OPEN" : "closed", err * 100.0, bps);
+    return out;
+}
+
+int
+renderLegacy(const Report &report, const RunOptions &, std::FILE *out)
+{
+    std::fprintf(out, "=== Cross-core shared-LLC channel: "
+                      "defense x channel-kind ablation ===\n\n");
+    std::fprintf(out, "%-24s %-10s %8s %8s %-7s %9s %10s\n", "scheme",
+                 "channel", "score0", "score1", "state", "err-rate",
+                 "bps");
+
+    std::string current_scheme;
+    for (const ReportPoint &p : report.points) {
+        const std::string &scheme = p.point.at("scheme");
+        if (!current_scheme.empty() && scheme != current_scheme)
+            std::fprintf(out, "\n");
+        current_scheme = scheme;
+        std::fputs(p.legacy.c_str(), out);
+    }
+    std::fprintf(out, "\n");
+
+    std::fprintf(
+        out,
+        "Reading: OPEN means probe calibration found a decodable "
+        "timing gap.\nEviction (Prime+Probe) is closed by every "
+        "invisible-speculation scheme;\noccupancy (shared LLC "
+        "MSHR/port bandwidth) pierces them all — invisibility\n"
+        "hides cache state, not bandwidth. DoM-style and fence "
+        "defenses close both.\n");
+    return 0;
+}
+
+} // namespace
+
+void
+registerAblationCrossCore(experiment::ScenarioRegistry &r)
+{
+    Scenario sc;
+    sc.name = "ablation_cross_core";
+    sc.description = "cross-core shared-LLC occupancy/eviction "
+                     "channels vs every scheme";
+    sc.paperRef = "§2.1 (CrossCore)";
+    sc.defaultTrials = 1;
+    sc.defaultSeed = 2021;
+    sc.trialsMeaning = "trials per transmitted bit (majority vote)";
+    sc.extraFlags = {{"bits", "bits per channel run", 16}};
+    sc.columns = {"scheme", "channel", "score0", "score1", "open",
+                  "bits", "errors", "error_rate", "bps"};
+    sc.sweep = [](const RunOptions &) {
+        SweepSpec spec;
+        spec.axis("scheme", allSchemeNames())
+            .axis("channel", {"occupancy", "eviction"});
+        return spec;
+    };
+    sc.run = runPoint;
+    sc.renderLegacy = renderLegacy;
+    r.add(std::move(sc));
+}
+
+} // namespace specint::scenarios

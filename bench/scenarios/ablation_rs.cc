@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Scenario: G^I_RS sensitivity to the reservation-station size. One
+ * point per RS size.
+ */
+
+#include "scenarios/scenarios.hh"
+#include "scenarios/util.hh"
+
+#include <cstdio>
+#include <string>
+
+#include "attack/sender.hh"
+#include "cpu/core.hh"
+#include "sim/experiment/report.hh"
+#include "sim/stats.hh"
+
+namespace specint::scenarios
+{
+
+namespace
+{
+
+using namespace experiment;
+
+constexpr unsigned kRsSizes[] = {32u, 64u, 97u, 128u, 160u, 224u};
+constexpr unsigned kGadgetAdds = 160;
+
+PointResult
+runPoint(const PointContext &ctx, const RunOptions &)
+{
+    const unsigned rs =
+        static_cast<unsigned>(std::stoul(ctx.point.at("rs_size")));
+
+    CoreConfig cfg;
+    cfg.rsSize = rs;
+    Hierarchy hier(HierarchyConfig::small());
+    MainMemory mem;
+    Core victim(cfg, 0, hier, mem);
+    victim.setScheme(makeScheme(SchemeKind::DomNonTso));
+    AttackerAgent attacker(hier, 1);
+    TrialHarness harness(hier, mem, victim, attacker);
+
+    SenderParams params;
+    params.gadget = GadgetKind::Rs;
+    params.ordering = OrderingKind::Presence;
+    params.rsAdds = kGadgetAdds;
+    const SenderProgram sp = buildSender(params, hier);
+
+    bool present[2];
+    for (unsigned secret = 0; secret < 2; ++secret) {
+        harness.prepare(sp, secret);
+        present[secret] = harness.run(sp).targetPresent;
+    }
+    const bool works = present[0] != present[1];
+
+    PointResult res;
+    res.rows.push_back({Value::uinteger(rs),
+                        Value::str(present[0] ? "yes" : "no"),
+                        Value::str(present[1] ? "yes" : "no"),
+                        Value::str(works ? "yes" : "no")});
+    return res;
+}
+
+int
+renderLegacy(const Report &report, const RunOptions &, std::FILE *out)
+{
+    std::fprintf(out,
+                 "=== Ablation: RS size vs G^I_RS back-throttling "
+                 "(DoM, gadget = 160 ADDs) ===\n\n");
+
+    TextTable table({"RS size", "present(s=0)", "present(s=1)",
+                     "channel works"});
+    bool shape = true;
+    for (const Row &row : report.allRows()) {
+        table.addRow({row[0].text(), row[1].text(), row[2].text(),
+                      row[3].text()});
+        const unsigned rs = static_cast<unsigned>(row[0].numU64());
+        const bool works = row[3].strValue() == "yes";
+        if (rs <= 128 && !works)
+            shape = false;
+        if (rs >= 224 && works)
+            shape = false;
+    }
+    std::fprintf(out, "%s\n", table.render().c_str());
+    std::fprintf(out,
+                 "shape check: channel works iff RS (plus queue) fits "
+                 "inside the gadget: %s\n",
+                 shape ? "YES" : "NO");
+    return shape ? 0 : 1;
+}
+
+} // namespace
+
+void
+registerAblationRs(experiment::ScenarioRegistry &r)
+{
+    Scenario sc;
+    sc.name = "ablation_rs";
+    sc.description = "G^I_RS back-throttling signal vs reservation-"
+                     "station size (fixed gadget, 160 ADDs)";
+    sc.paperRef = "§3.2.2";
+    sc.defaultTrials = 1;
+    sc.defaultSeed = 0;
+    sc.trialsMeaning = "unused (each point is a deterministic "
+                       "two-secret run)";
+    sc.columns = {"rs_size", "present_s0", "present_s1",
+                  "channel_works"};
+    sc.sweep = [](const RunOptions &) {
+        std::vector<std::string> sizes;
+        for (unsigned s : kRsSizes)
+            sizes.push_back(std::to_string(s));
+        SweepSpec spec;
+        spec.axis("rs_size", std::move(sizes));
+        return spec;
+    };
+    sc.run = runPoint;
+    sc.renderLegacy = renderLegacy;
+    r.add(std::move(sc));
+}
+
+} // namespace specint::scenarios

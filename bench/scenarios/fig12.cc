@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Scenario: Fig. 12, basic fence-defense overhead on the synthetic
+ * SPEC CPU2017-archetype suite. One point per workload; each point
+ * runs the three schemes (unsafe baseline, Spectre fence, Futuristic
+ * fence) on a fresh system, so the suite fans out across workers. The
+ * geomean row is recomputed from the assembled raw slowdowns in grid
+ * order, reproducing the serial accumulation bit-for-bit.
+ */
+
+#include "scenarios/scenarios.hh"
+#include "scenarios/util.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "sim/experiment/report.hh"
+#include "sim/stats.hh"
+#include "workload/suite.hh"
+
+namespace specint::scenarios
+{
+
+namespace
+{
+
+using namespace experiment;
+
+constexpr unsigned kSuiteInstructions = 8000;
+
+const std::vector<SchemeKind> &
+schemes()
+{
+    static const std::vector<SchemeKind> s = {
+        SchemeKind::Unsafe, SchemeKind::FenceSpectre,
+        SchemeKind::FenceFuturistic};
+    return s;
+}
+
+PointResult
+runPoint(const PointContext &ctx, const RunOptions &)
+{
+    const std::string &name = ctx.point.at("workload");
+    WorkloadSpec spec;
+    bool found = false;
+    for (const WorkloadSpec &w : spec2017Archetypes(kSuiteInstructions)) {
+        if (w.name == name) {
+            spec = w;
+            found = true;
+            break;
+        }
+    }
+    if (!found)
+        throw std::out_of_range("unknown workload '" + name + "'");
+
+    const OverheadReport rep = runDefenseOverhead(schemes(), {spec});
+    const OverheadRow &row = rep.rows.at(0);
+
+    PointResult res;
+    res.rows.push_back({Value::str(row.workload),
+                        Value::uinteger(row.cycles.at(0)),
+                        Value::real(row.slowdown.at(1), 2),
+                        Value::real(row.slowdown.at(2), 2)});
+    return res;
+}
+
+int
+renderLegacy(const Report &report, const RunOptions &, std::FILE *out)
+{
+    std::fprintf(out, "=== Fig. 12: basic defense overhead on SPEC2017 "
+                      "archetypes ===\n\n");
+
+    const std::vector<Row> rows = report.allRows();
+    double log_sum1 = 0.0, log_sum2 = 0.0;
+    TextTable table({"workload", "baseline cyc", "Spectre x",
+                     "Futuristic x"});
+    for (const Row &row : rows) {
+        table.addRow({row[0].text(), row[1].text(), row[2].text(),
+                      row[3].text()});
+        log_sum1 += std::log(row[2].num());
+        log_sum2 += std::log(row[3].num());
+    }
+    const double n = static_cast<double>(rows.size());
+    const double geomean1 =
+        rows.empty() ? 1.0 : std::exp(log_sum1 / n);
+    const double geomean2 =
+        rows.empty() ? 1.0 : std::exp(log_sum2 / n);
+    table.addRow({"GEOMEAN", "-", fmtDouble(geomean1),
+                  fmtDouble(geomean2)});
+    std::fprintf(out, "%s\n", table.render().c_str());
+
+    std::fprintf(out,
+                 "paper reports: Spectre 1.58x, Futuristic 5.38x "
+                 "(gem5, SPEC CPU2017 SimPoints)\n");
+    const bool shape = geomean1 > 1.05 && geomean2 > geomean1 * 1.5;
+    std::fprintf(out, "shape check: Futuristic >> Spectre >> 1.0: %s\n",
+                 shape ? "YES" : "NO");
+    return shape ? 0 : 1;
+}
+
+} // namespace
+
+void
+registerFig12(experiment::ScenarioRegistry &r)
+{
+    Scenario sc;
+    sc.name = "fig12";
+    sc.description = "fence-defense slowdown (Spectre & Futuristic) "
+                     "on the synthetic SPEC2017-archetype suite";
+    sc.paperRef = "Fig. 12";
+    sc.defaultTrials = 1;
+    sc.defaultSeed = 0;
+    sc.trialsMeaning =
+        "unused (workload generation is seeded per spec)";
+    sc.columns = {"workload", "baseline_cycles", "spectre_x",
+                  "futuristic_x"};
+    sc.sweep = [](const RunOptions &) {
+        std::vector<std::string> names;
+        for (const WorkloadSpec &w :
+             spec2017Archetypes(kSuiteInstructions))
+            names.push_back(w.name);
+        SweepSpec spec;
+        spec.axis("workload", std::move(names));
+        return spec;
+    };
+    sc.run = runPoint;
+    sc.renderLegacy = renderLegacy;
+    r.add(std::move(sc));
+}
+
+} // namespace specint::scenarios

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Scenario helper implementations.
+ */
+
+#include "scenarios/util.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <stdexcept>
+
+namespace specint::scenarios
+{
+
+std::string
+strf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list copy;
+    va_copy(copy, args);
+    const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    std::string out;
+    if (n > 0) {
+        out.resize(static_cast<std::size_t>(n) + 1);
+        std::vsnprintf(&out[0], out.size(), fmt, args);
+        out.resize(static_cast<std::size_t>(n));
+    }
+    va_end(args);
+    return out;
+}
+
+std::vector<std::string>
+allSchemeNames()
+{
+    std::vector<std::string> names;
+    for (SchemeKind s : allSchemes())
+        names.push_back(schemeName(s));
+    return names;
+}
+
+SchemeKind
+schemeFromName(const std::string &name)
+{
+    for (SchemeKind s : allSchemes())
+        if (schemeName(s) == name)
+            return s;
+    throw std::out_of_range("unknown scheme name '" + name + "'");
+}
+
+} // namespace specint::scenarios

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Shared helpers for scenario definitions: printf-style string
+ * building (legacy fragments are exact reproductions of the old printf
+ * output) and name -> enum lookups for sweep-axis values.
+ */
+
+#ifndef SPECINT_BENCH_SCENARIOS_UTIL_HH
+#define SPECINT_BENCH_SCENARIOS_UTIL_HH
+
+#include <string>
+#include <vector>
+
+#include "attack/gadget.hh"
+#include "spec/scheme.hh"
+
+namespace specint::scenarios
+{
+
+/** printf into a std::string. */
+std::string strf(const char *fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 1, 2)))
+#endif
+    ;
+
+/** Scheme display names in allSchemes() order (the sweep axis). */
+std::vector<std::string> allSchemeNames();
+
+/** Inverse of schemeName over allSchemes().
+ *  @throws std::out_of_range on an unknown name. */
+SchemeKind schemeFromName(const std::string &name);
+
+} // namespace specint::scenarios
+
+#endif // SPECINT_BENCH_SCENARIOS_UTIL_HH

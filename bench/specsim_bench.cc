@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Unified experiment driver: `specsim_bench <scenario> [flags...]`
+ * runs any registered scenario (every figure/table reproduction and
+ * ablation); `specsim_bench --list` enumerates them. The per-scenario
+ * executables are thin wrappers over the same registry.
+ */
+
+#include "scenarios/scenarios.hh"
+#include "sim/experiment/driver.hh"
+
+int
+main(int argc, char **argv)
+{
+    return specint::experiment::experimentMain(
+        specint::scenarios::all(), argc, argv);
+}

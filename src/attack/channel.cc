@@ -55,8 +55,8 @@ struct ChannelSystem
     NoiseModel noise;
 
     ChannelSystem(const ChannelConfig &cfg, SenderParams params)
-        : hier(HierarchyConfig::small()),
-          victim(CoreConfig{}, 0, hier, mem), attacker(hier, 1),
+        : hier(cfg.hier),
+          victim(cfg.core, 0, hier, mem), attacker(hier, 1),
           harness(hier, mem, victim, attacker),
           noise(cfg.noise, cfg.seed)
     {

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "attack/gadget.hh"
+#include "cpu/core_types.hh"
 #include "sim/noise.hh"
 #include "spec/scheme.hh"
 
@@ -54,6 +55,10 @@ struct ChannelConfig
     std::uint64_t perTrialOverheadCycles = 0;
     /** Sender tuning. */
     SenderParams sender;
+    /** Victim-core structural configuration. */
+    CoreConfig core;
+    /** Cache-hierarchy configuration. */
+    HierarchyConfig hier = HierarchyConfig::small();
 };
 
 /** Channel measurement. */

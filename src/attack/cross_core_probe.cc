@@ -319,7 +319,8 @@ CrossCoreChannelResult
 runCrossCoreChannel(const std::vector<std::uint8_t> &bits,
                     const CrossCoreChannelConfig &cfg)
 {
-    CrossCoreHarness harness(cfg.attack, cfg.scheme);
+    CrossCoreHarness harness(cfg.attack, cfg.scheme, cfg.core,
+                             cfg.hier);
     NoiseModel noise(cfg.noise, cfg.seed);
     harness.system().core(0).setNoise(&noise);
 

@@ -194,6 +194,11 @@ struct CrossCoreChannelConfig
     std::uint64_t perTrialOverheadCycles = 5000;
     /** Minimum calibration gap for the channel to count as open. */
     std::uint64_t minCalibrationGap = 16;
+    /** Per-core structural configuration (both cores). */
+    CoreConfig core;
+    /** Cache-hierarchy configuration (the Occupancy kind fills in the
+     *  shared-LLC contention defaults if the knobs are unset). */
+    HierarchyConfig hier = HierarchyConfig::small();
 };
 
 /** Channel measurement plus the calibration it decoded with. */

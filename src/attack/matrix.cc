@@ -104,7 +104,7 @@ knownDeviation(GadgetKind g, OrderingKind o, SchemeKind s)
 
 MatrixCell
 evaluateCell(GadgetKind g, OrderingKind o, SchemeKind s,
-             const SenderParams &base_params)
+             const SenderParams &base_params, const MatrixEnv &env)
 {
     MatrixCell cell{g, o, s, false, -1, -1};
 
@@ -112,9 +112,9 @@ evaluateCell(GadgetKind g, OrderingKind o, SchemeKind s,
     params.gadget = g;
     params.ordering = o;
 
-    Hierarchy hier(HierarchyConfig::small());
+    Hierarchy hier(env.hier);
     MainMemory mem;
-    Core victim(CoreConfig{}, 0, hier, mem);
+    Core victim(env.core, 0, hier, mem);
     victim.setScheme(makeScheme(s));
     AttackerAgent attacker(hier, 1);
     TrialHarness harness(hier, mem, victim, attacker);
@@ -154,12 +154,12 @@ evaluateCell(GadgetKind g, OrderingKind o, SchemeKind s,
 
 std::vector<MatrixCell>
 evaluateMatrix(const std::vector<SchemeKind> &schemes,
-               const SenderParams &params)
+               const SenderParams &params, const MatrixEnv &env)
 {
     std::vector<MatrixCell> out;
     for (const auto &[g, o] : tableOneCombos())
         for (SchemeKind s : schemes)
-            out.push_back(evaluateCell(g, o, s, params));
+            out.push_back(evaluateCell(g, o, s, params, env));
     return out;
 }
 

@@ -17,10 +17,25 @@
 #include <vector>
 
 #include "attack/gadget.hh"
+#include "cpu/core_types.hh"
 #include "spec/scheme.hh"
 
 namespace specint
 {
+
+/**
+ * Injected environment for matrix evaluation: the victim core and
+ * hierarchy configurations a cell is evaluated on. Defaults reproduce
+ * the paper's Kaby Lake-flavoured setup (the historical hardcoded
+ * values), so existing callers are unchanged; sweeps inject modified
+ * configs (e.g. MSHR or RS sizes) instead of rebuilding the harness
+ * by hand.
+ */
+struct MatrixEnv
+{
+    CoreConfig core;
+    HierarchyConfig hier = HierarchyConfig::small();
+};
 
 /** One evaluated matrix cell. */
 struct MatrixCell
@@ -62,14 +77,17 @@ bool knownDeviation(GadgetKind g, OrderingKind o, SchemeKind s);
 /**
  * Evaluate one cell on a fresh system.
  * @param params sender tuning (gadget/ordering fields are overridden)
+ * @param env victim core/hierarchy configuration to evaluate on
  */
 MatrixCell evaluateCell(GadgetKind g, OrderingKind o, SchemeKind s,
-                        const SenderParams &params = SenderParams());
+                        const SenderParams &params = SenderParams(),
+                        const MatrixEnv &env = MatrixEnv());
 
 /** Evaluate the full matrix over @p schemes. */
 std::vector<MatrixCell>
 evaluateMatrix(const std::vector<SchemeKind> &schemes,
-               const SenderParams &params = SenderParams());
+               const SenderParams &params = SenderParams(),
+               const MatrixEnv &env = MatrixEnv());
 
 } // namespace specint
 

@@ -187,8 +187,9 @@ probeSmtConfig(SmtConfig smt)
 
 SmtProbeHarness::SmtProbeHarness(SmtAttack attack,
                                  SchemeKind victim_scheme,
-                                 CoreConfig core, SmtConfig smt)
-    : atk_(std::move(attack)), hier_(HierarchyConfig::small()),
+                                 CoreConfig core, SmtConfig smt,
+                                 HierarchyConfig hier)
+    : atk_(std::move(attack)), hier_(hier),
       smt_(core, probeSmtConfig(smt), 0, hier_, mem_)
 {
     smt_.setScheme(0, makeScheme(victim_scheme));
@@ -278,7 +279,7 @@ runSmtContentionChannel(const std::vector<std::uint8_t> &bits,
                         const SmtChannelConfig &cfg)
 {
     SmtProbeHarness harness(buildSmtAttack(cfg.attack), cfg.scheme,
-                            CoreConfig{}, cfg.smt);
+                            cfg.core, cfg.smt, cfg.hier);
     NoiseModel noise(cfg.noise, cfg.seed);
     harness.core().setNoise(&noise);
 

@@ -141,7 +141,8 @@ class SmtProbeHarness
      *  recording is enabled; sharing policies are honoured. */
     SmtProbeHarness(SmtAttack attack, SchemeKind victim_scheme,
                     CoreConfig core = CoreConfig{},
-                    SmtConfig smt = SmtConfig{});
+                    SmtConfig smt = SmtConfig{},
+                    HierarchyConfig hier = HierarchyConfig::small());
 
     /** Set up memory/cache/predictor state for one trial. */
     void prepare(unsigned secret, NoiseModel *noise = nullptr);
@@ -180,6 +181,10 @@ struct SmtChannelConfig
     std::uint64_t perTrialOverheadCycles = 2000;
     /** Minimum calibration gap for the channel to count as open. */
     std::uint64_t minCalibrationGap = 8;
+    /** Core structural configuration (both SMT threads). */
+    CoreConfig core;
+    /** Cache-hierarchy configuration. */
+    HierarchyConfig hier = HierarchyConfig::small();
 };
 
 /** Channel measurement plus the calibration it decoded with. */

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Driver implementation: flag parsing, sweep execution, emission and
+ * the `specsim_bench` scenario dispatcher.
+ */
+
+#include "sim/experiment/driver.hh"
+
+#include <cstdio>
+
+#include "sim/experiment/runner.hh"
+#include "sim/stats.hh"
+
+namespace specint::experiment
+{
+
+namespace
+{
+
+/**
+ * Render the scenario's legacy output into a buffer and return its
+ * exit code. (Scenarios render to a FILE*, so a pipe-less tmpfile is
+ * the capture mechanism.) @p text may be null when only the verdict
+ * is wanted. Returns 1 on I/O failure.
+ */
+int
+renderLegacyToString(const Scenario &scenario, const Report &report,
+                     const RunOptions &options, std::string *text)
+{
+    std::FILE *tmp = std::tmpfile();
+    if (!tmp) {
+        std::fprintf(stderr, "error: tmpfile failed\n");
+        return 1;
+    }
+    const int code =
+        scenario.renderLegacy
+            ? scenario.renderLegacy(report, options, tmp)
+            : (std::fputs(report.renderTable().c_str(), tmp), 0);
+    if (text) {
+        std::fflush(tmp);
+        std::rewind(tmp);
+        char buf[4096];
+        std::size_t n;
+        while ((n = std::fread(buf, 1, sizeof(buf), tmp)) > 0)
+            text->append(buf, n);
+    }
+    std::fclose(tmp);
+    return code;
+}
+
+/** Emit the report in the requested format; returns the exit code. */
+int
+emitReport(const Scenario &scenario, const Report &report,
+           const RunOptions &options)
+{
+    if (options.format != OutputFormat::Legacy) {
+        const std::string out = options.format == OutputFormat::Csv
+                                    ? report.renderCsv()
+                                    : report.renderJson();
+        if (!writeOut(options.outPath, out))
+            return 1;
+        // The scenario's verdict (shape checks, paper agreement) is
+        // still the exit code: a CI job collecting CSV artifacts must
+        // not mask a broken reproduction.
+        return renderLegacyToString(scenario, report, options,
+                                    nullptr);
+    }
+
+    if (!options.outPath.empty()) {
+        std::string text;
+        const int code =
+            renderLegacyToString(scenario, report, options, &text);
+        if (!writeOut(options.outPath, text))
+            return 1;
+        return code;
+    }
+
+    if (scenario.renderLegacy)
+        return scenario.renderLegacy(report, options, stdout);
+    std::fputs(report.renderTable().c_str(), stdout);
+    return 0;
+}
+
+int
+runResolved(const Scenario &scenario, const RunOptions &options)
+{
+    const ExperimentRunner runner(options.jobs);
+    const Report report = runner.run(scenario, options);
+
+    if (report.jobs > 1) {
+        // Sweep accounting goes to stderr so machine-readable stdout
+        // stays clean. cpu = summed point time ~ the serial cost.
+        const double wall_ms =
+            static_cast<double>(report.wallUs) / 1000.0;
+        const double cpu_ms =
+            static_cast<double>(report.cpuUs()) / 1000.0;
+        std::fprintf(stderr,
+                     "[experiment] %s: %zu points on %u jobs, wall "
+                     "%.1f ms, cpu %.1f ms, speedup %.2fx\n",
+                     scenario.name.c_str(), report.points.size(),
+                     report.jobs, wall_ms, cpu_ms,
+                     wall_ms > 0.0 ? cpu_ms / wall_ms : 0.0);
+    }
+
+    return emitReport(scenario, report, options);
+}
+
+} // namespace
+
+int
+runScenarioCli(const ScenarioRegistry &registry,
+               const std::string &scenario_name, int argc, char **argv)
+{
+    const Scenario *scenario = registry.find(scenario_name);
+    if (!scenario) {
+        std::fprintf(stderr, "error: unknown scenario '%s'\n",
+                     scenario_name.c_str());
+        return 2;
+    }
+
+    const CliArgs cli(argv && argc > 0 ? argv[0] : scenario_name,
+                      scenario->defaultTrials, scenario->defaultSeed,
+                      scenario->extraFlags);
+    const CliParse parse = cli.parse(argc, argv);
+    if (!parse.ok) {
+        std::fprintf(stderr, "error: %s\n%s", parse.error.c_str(),
+                     cli.usage().c_str());
+        return 2;
+    }
+    if (parse.helpRequested) {
+        std::printf("%s — %s%s%s\n%s  --trials here: %s\n",
+                    scenario->name.c_str(),
+                    scenario->description.c_str(),
+                    scenario->paperRef.empty() ? "" : " [",
+                    scenario->paperRef.empty()
+                        ? ""
+                        : (scenario->paperRef + "]").c_str(),
+                    cli.usage().c_str(),
+                    scenario->trialsMeaning.c_str());
+        return 0;
+    }
+
+    return runResolved(*scenario, parse.options);
+}
+
+int
+experimentMain(const ScenarioRegistry &registry, int argc, char **argv)
+{
+    const char *prog = argc > 0 ? argv[0] : "specsim_bench";
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: %s <scenario> [flags...] | --list\n"
+                     "run '%s --list' to see the registered "
+                     "scenarios\n",
+                     prog, prog);
+        return 2;
+    }
+
+    const std::string first = argv[1];
+    if (first == "--list" || first == "list") {
+        TextTable table({"scenario", "paper", "points", "description"});
+        for (const std::string &name : registry.names()) {
+            const Scenario *sc = registry.find(name);
+            RunOptions defaults;
+            defaults.trials = sc->defaultTrials;
+            defaults.seed = sc->defaultSeed;
+            for (const ExtraFlag &f : sc->extraFlags)
+                defaults.extra[f.name] = f.defaultValue;
+            const std::size_t n =
+                sc->sweep ? sc->sweep(defaults).size() : 1;
+            table.addRow({name, sc->paperRef, std::to_string(n),
+                          sc->description});
+        }
+        std::printf("%s", table.render().c_str());
+        return 0;
+    }
+    if (first == "--help" || first == "-h") {
+        std::printf("usage: %s <scenario> [flags...] | --list\n"
+                    "per-scenario flags: %s <scenario> --help\n",
+                    prog, prog);
+        return 0;
+    }
+
+    // Shift argv so the scenario's parser sees its own flags only.
+    return runScenarioCli(registry, first, argc - 1, argv + 1);
+}
+
+} // namespace specint::experiment

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * ScenarioRegistry implementation.
+ */
+
+#include "sim/experiment/registry.hh"
+
+#include <stdexcept>
+
+namespace specint::experiment
+{
+
+void
+ScenarioRegistry::add(Scenario scenario)
+{
+    if (scenario.name.empty())
+        throw std::invalid_argument(
+            "ScenarioRegistry: scenario name must not be empty");
+    if (!scenario.run)
+        throw std::invalid_argument("ScenarioRegistry: scenario '" +
+                                    scenario.name +
+                                    "' has no run function");
+    const std::string name = scenario.name;
+    if (!scenarios_.emplace(name, std::move(scenario)).second)
+        throw std::invalid_argument(
+            "ScenarioRegistry: duplicate scenario name '" + name + "'");
+}
+
+const Scenario *
+ScenarioRegistry::find(const std::string &name) const
+{
+    auto it = scenarios_.find(name);
+    return it == scenarios_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string>
+ScenarioRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(scenarios_.size());
+    for (const auto &[name, sc] : scenarios_)
+        out.push_back(name);
+    return out;
+}
+
+} // namespace specint::experiment

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * ScenarioRegistry: name -> Scenario lookup for the unified driver.
+ */
+
+#ifndef SPECINT_SIM_EXPERIMENT_REGISTRY_HH
+#define SPECINT_SIM_EXPERIMENT_REGISTRY_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/experiment/scenario.hh"
+
+namespace specint::experiment
+{
+
+/** Registry of named scenarios. */
+class ScenarioRegistry
+{
+  public:
+    /** Register @p scenario.
+     *  @throws std::invalid_argument on an empty or duplicate name. */
+    void add(Scenario scenario);
+
+    /** Look up by name; nullptr if absent. */
+    const Scenario *find(const std::string &name) const;
+
+    /** All registered names, sorted. */
+    std::vector<std::string> names() const;
+
+    std::size_t size() const { return scenarios_.size(); }
+
+  private:
+    std::map<std::string, Scenario> scenarios_;
+};
+
+} // namespace specint::experiment
+
+#endif // SPECINT_SIM_EXPERIMENT_REGISTRY_HH

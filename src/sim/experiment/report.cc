@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Report emitters: aligned table, CSV, JSON, and file output.
+ */
+
+#include "sim/experiment/report.hh"
+
+#include <cstdio>
+
+#include "sim/stats.hh"
+
+namespace specint::experiment
+{
+
+std::vector<Row>
+Report::allRows() const
+{
+    std::vector<Row> rows;
+    for (const ReportPoint &p : points)
+        rows.insert(rows.end(), p.rows.begin(), p.rows.end());
+    return rows;
+}
+
+std::uint64_t
+Report::cpuUs() const
+{
+    std::uint64_t sum = 0;
+    for (const ReportPoint &p : points)
+        sum += p.durationUs;
+    return sum;
+}
+
+std::string
+Report::renderTable() const
+{
+    TextTable table(columns);
+    for (const ReportPoint &p : points) {
+        for (const Row &row : p.rows) {
+            std::vector<std::string> cells;
+            cells.reserve(row.size());
+            for (const Value &v : row)
+                cells.push_back(v.text());
+            table.addRow(std::move(cells));
+        }
+    }
+    return table.render();
+}
+
+std::string
+Report::renderCsv() const
+{
+    std::string out;
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+        if (i)
+            out += ',';
+        out += columns[i];
+    }
+    out += '\n';
+    for (const ReportPoint &p : points) {
+        for (const Row &row : p.rows) {
+            for (std::size_t i = 0; i < row.size(); ++i) {
+                if (i)
+                    out += ',';
+                out += row[i].text();
+            }
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+std::string
+Report::renderJson() const
+{
+    std::string out = "{\n";
+    out += "  \"scenario\": " + jsonEscape(scenario) + ",\n";
+    out += "  \"trials\": " + std::to_string(trials) + ",\n";
+    out += "  \"seed\": " + std::to_string(seed) + ",\n";
+    out += "  \"jobs\": " + std::to_string(jobs) + ",\n";
+    out += "  \"points\": " + std::to_string(points.size()) + ",\n";
+    out += "  \"wall_us\": " + std::to_string(wallUs) + ",\n";
+    out += "  \"cpu_us\": " + std::to_string(cpuUs()) + ",\n";
+    out += "  \"columns\": [";
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += jsonEscape(columns[i]);
+    }
+    out += "],\n  \"rows\": [\n";
+    bool first = true;
+    for (const ReportPoint &p : points) {
+        for (const Row &row : p.rows) {
+            if (!first)
+                out += ",\n";
+            first = false;
+            out += "    {";
+            for (std::size_t i = 0;
+                 i < row.size() && i < columns.size(); ++i) {
+                if (i)
+                    out += ", ";
+                out += jsonEscape(columns[i]) + ": " + row[i].json();
+            }
+            out += "}";
+        }
+    }
+    out += "\n  ]\n}\n";
+    return out;
+}
+
+bool
+writeOut(const std::string &path, const std::string &text)
+{
+    if (path.empty() || path == "-") {
+        std::fwrite(text.data(), 1, text.size(), stdout);
+        return true;
+    }
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "error: cannot open '%s' for writing\n",
+                     path.c_str());
+        return false;
+    }
+    const bool ok =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    std::fclose(f);
+    if (!ok)
+        std::fprintf(stderr, "error: short write to '%s'\n",
+                     path.c_str());
+    return ok;
+}
+
+} // namespace specint::experiment

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * ExperimentRunner implementation: inline serial path plus the
+ * work-stealing pool, with order-independent result assembly.
+ */
+
+#include "sim/experiment/runner.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <ctime>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace specint::experiment
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t
+elapsedUs(Clock::time_point start)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - start)
+            .count());
+}
+
+/** CPU time consumed by the calling thread, microseconds. Unlike wall
+ *  time this excludes time spent descheduled, so summed point costs
+ *  estimate the true serial cost even when workers oversubscribe the
+ *  machine (otherwise cpu/wall would report a phantom speedup). */
+std::uint64_t
+threadCpuUs()
+{
+#if defined(__linux__) || defined(__unix__) || defined(__APPLE__)
+    timespec ts;
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+        return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000 +
+               static_cast<std::uint64_t>(ts.tv_nsec) / 1'000;
+#endif
+    return elapsedUs(Clock::time_point{});
+}
+
+/** One worker's stealable run queue of point indices. */
+struct WorkerQueue
+{
+    std::mutex mutex;
+    std::deque<std::size_t> tasks;
+
+    bool popBack(std::size_t &out)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (tasks.empty())
+            return false;
+        out = tasks.back();
+        tasks.pop_back();
+        return true;
+    }
+
+    bool stealFront(std::size_t &out)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (tasks.empty())
+            return false;
+        out = tasks.front();
+        tasks.pop_front();
+        return true;
+    }
+};
+
+} // namespace
+
+ExperimentRunner::ExperimentRunner(unsigned jobs)
+    : jobs_(jobs == 0 ? std::max(
+                            1u, std::thread::hardware_concurrency())
+                      : jobs)
+{}
+
+Report
+ExperimentRunner::run(const Scenario &scenario,
+                      const RunOptions &options) const
+{
+    const SweepSpec spec =
+        scenario.sweep ? scenario.sweep(options) : SweepSpec{};
+    const std::vector<SweepPoint> points = spec.expand();
+
+    Report report;
+    report.scenario = scenario.name;
+    report.columns = scenario.columns;
+    report.jobs = jobs_;
+    report.trials = options.trials;
+    report.seed = options.seed;
+    report.points.resize(points.size());
+
+    auto makeContext = [&](std::size_t i) {
+        PointContext ctx;
+        ctx.point = points[i];
+        ctx.pointIndex = i;
+        ctx.trials = options.trials;
+        ctx.baseSeed = options.seed;
+        ctx.pointSeed = splitSeed(options.seed, i);
+        return ctx;
+    };
+
+    // Execute point i and deposit the result into its grid slot: the
+    // only write is to a distinct pre-sized element, so no worker ever
+    // contends with another and assembly order cannot leak into the
+    // output.
+    auto executePoint = [&](std::size_t i) {
+        const std::uint64_t cpu_start = threadCpuUs();
+        const PointContext ctx = makeContext(i);
+        PointResult res = scenario.run(ctx, options);
+        ReportPoint &slot = report.points[i];
+        slot.point = points[i];
+        slot.rows = std::move(res.rows);
+        slot.legacy = std::move(res.legacy);
+        slot.durationUs = threadCpuUs() - cpu_start;
+    };
+
+    const Clock::time_point wall_start = Clock::now();
+
+    const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
+        jobs_, points.empty() ? 1 : points.size()));
+
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < points.size(); ++i)
+            executePoint(i);
+        report.wallUs = elapsedUs(wall_start);
+        return report;
+    }
+
+    // Deal the grid round-robin so every worker starts with a spread
+    // of the sweep; imbalance (one heavyweight point) is absorbed by
+    // stealing below.
+    std::vector<WorkerQueue> queues(workers);
+    for (std::size_t i = 0; i < points.size(); ++i)
+        queues[i % workers].tasks.push_back(i);
+
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    auto workerLoop = [&](unsigned self) {
+        std::size_t task;
+        while (!failed.load(std::memory_order_relaxed)) {
+            bool got = queues[self].popBack(task);
+            for (unsigned v = 1; !got && v < workers; ++v)
+                got = queues[(self + v) % workers].stealFront(task);
+            if (!got)
+                return; // every queue drained
+            try {
+                executePoint(task);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        pool.emplace_back(workerLoop, w);
+    for (std::thread &t : pool)
+        t.join();
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+
+    report.wallUs = elapsedUs(wall_start);
+    return report;
+}
+
+} // namespace specint::experiment

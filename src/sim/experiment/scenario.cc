@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Seed-splitting helper for the experiment subsystem.
+ */
+
+#include "sim/experiment/scenario.hh"
+
+namespace specint::experiment
+{
+
+std::uint64_t
+splitSeed(std::uint64_t base, std::uint64_t index)
+{
+    // SplitMix64 step + finalizer: the base seed advanced by the
+    // golden-gamma once per index, then mixed. Matches the generator
+    // the Rng class seeds itself with, so child streams are as
+    // independent as the Rng's own state expansion.
+    std::uint64_t z = base + (index + 1) * 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace specint::experiment

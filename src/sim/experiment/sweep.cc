@@ -1,0 +1,75 @@
+/**
+ * @file
+ * SweepSpec cartesian expansion.
+ */
+
+#include "sim/experiment/sweep.hh"
+
+#include <stdexcept>
+
+namespace specint::experiment
+{
+
+const std::string &
+SweepPoint::at(const std::string &axis) const
+{
+    for (std::size_t i = 0; i < names_.size(); ++i)
+        if (names_[i] == axis)
+            return values_[i];
+    throw std::out_of_range("SweepPoint: unknown axis '" + axis + "'");
+}
+
+SweepSpec &
+SweepSpec::axis(std::string name, std::vector<std::string> values)
+{
+    axes.push_back({std::move(name), std::move(values)});
+    return *this;
+}
+
+std::size_t
+SweepSpec::size() const
+{
+    std::size_t n = 1;
+    for (const SweepAxis &a : axes)
+        n *= a.values.size();
+    return n;
+}
+
+std::vector<SweepPoint>
+SweepSpec::expand() const
+{
+    std::vector<std::string> names;
+    names.reserve(axes.size());
+    for (const SweepAxis &a : axes) {
+        if (a.values.empty())
+            throw std::invalid_argument("SweepSpec: axis '" + a.name +
+                                        "' has no values");
+        names.push_back(a.name);
+    }
+
+    std::vector<SweepPoint> points;
+    points.reserve(size());
+    std::vector<std::size_t> idx(axes.size(), 0);
+    while (true) {
+        std::vector<std::string> values;
+        values.reserve(axes.size());
+        for (std::size_t i = 0; i < axes.size(); ++i)
+            values.push_back(axes[i].values[idx[i]]);
+        points.emplace_back(names, std::move(values));
+
+        // Row-major increment: last axis fastest.
+        std::size_t i = axes.size();
+        while (i > 0) {
+            --i;
+            if (++idx[i] < axes[i].values.size())
+                break;
+            idx[i] = 0;
+            if (i == 0)
+                return points;
+        }
+        if (axes.empty())
+            return points;
+    }
+}
+
+} // namespace specint::experiment

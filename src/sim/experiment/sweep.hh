@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Declarative sweep grids.
+ *
+ * A SweepSpec is an ordered list of named axes (scheme, gadget, policy,
+ * structure sizes, ...), each with a finite value list. expand()
+ * produces the cartesian product in row-major order (first axis
+ * slowest, matching the nesting order of the hand-rolled loops the
+ * spec replaces), so a scenario's point order — and therefore its
+ * assembled output — is independent of how the runner schedules the
+ * points.
+ */
+
+#ifndef SPECINT_SIM_EXPERIMENT_SWEEP_HH
+#define SPECINT_SIM_EXPERIMENT_SWEEP_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace specint::experiment
+{
+
+/** One sweep axis: a name and its value list. */
+struct SweepAxis
+{
+    std::string name;
+    std::vector<std::string> values;
+};
+
+/** One expanded grid point: the chosen value per axis. */
+class SweepPoint
+{
+  public:
+    SweepPoint() = default;
+    SweepPoint(std::vector<std::string> names,
+               std::vector<std::string> values)
+        : names_(std::move(names)), values_(std::move(values))
+    {}
+
+    /** Value of axis @p axis; throws std::out_of_range if unknown. */
+    const std::string &at(const std::string &axis) const;
+
+    const std::vector<std::string> &axisNames() const { return names_; }
+    const std::vector<std::string> &values() const { return values_; }
+
+  private:
+    std::vector<std::string> names_;
+    std::vector<std::string> values_;
+};
+
+/** A declarative cartesian sweep over named axes. */
+struct SweepSpec
+{
+    std::vector<SweepAxis> axes;
+
+    /** Add an axis (returns *this for chaining). */
+    SweepSpec &axis(std::string name, std::vector<std::string> values);
+
+    /** Number of grid points (product of axis sizes; 1 if no axes —
+     *  every scenario has at least the single trivial point). */
+    std::size_t size() const;
+
+    /** Expand to the full grid, row-major (first axis slowest). */
+    std::vector<SweepPoint> expand() const;
+};
+
+} // namespace specint::experiment
+
+#endif // SPECINT_SIM_EXPERIMENT_SWEEP_HH

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Value cell implementation: text/CSV/JSON renderings of typed cells.
+ */
+
+#include "sim/experiment/value.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace specint::experiment
+{
+
+Value
+Value::str(std::string s)
+{
+    Value v;
+    v.kind_ = Kind::Str;
+    v.s_ = std::move(s);
+    return v;
+}
+
+Value
+Value::integer(std::int64_t x)
+{
+    Value v;
+    v.kind_ = Kind::Int;
+    v.i_ = x;
+    return v;
+}
+
+Value
+Value::uinteger(std::uint64_t x)
+{
+    Value v;
+    v.kind_ = Kind::UInt;
+    v.u_ = x;
+    return v;
+}
+
+Value
+Value::real(double x, int precision)
+{
+    Value v;
+    v.kind_ = Kind::Real;
+    v.d_ = x;
+    v.precision_ = precision;
+    return v;
+}
+
+Value
+Value::boolean(bool x)
+{
+    Value v;
+    v.kind_ = Kind::Bool;
+    v.b_ = x;
+    return v;
+}
+
+std::string
+Value::text() const
+{
+    switch (kind_) {
+      case Kind::Str:
+        return s_;
+      case Kind::Int:
+        return std::to_string(i_);
+      case Kind::UInt:
+        return std::to_string(u_);
+      case Kind::Real: {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.*f", precision_, d_);
+        return buf;
+      }
+      case Kind::Bool:
+        return b_ ? "1" : "0";
+    }
+    return {};
+}
+
+std::string
+Value::json() const
+{
+    switch (kind_) {
+      case Kind::Str:
+        return jsonEscape(s_);
+      case Kind::Int:
+      case Kind::UInt:
+        return text();
+      case Kind::Real:
+        if (!std::isfinite(d_))
+            return "null";
+        return text();
+      case Kind::Bool:
+        return b_ ? "true" : "false";
+    }
+    return "null";
+}
+
+double
+Value::num() const
+{
+    switch (kind_) {
+      case Kind::Str:
+        return 0.0;
+      case Kind::Int:
+        return static_cast<double>(i_);
+      case Kind::UInt:
+        return static_cast<double>(u_);
+      case Kind::Real:
+        return d_;
+      case Kind::Bool:
+        return b_ ? 1.0 : 0.0;
+    }
+    return 0.0;
+}
+
+std::uint64_t
+Value::numU64() const
+{
+    switch (kind_) {
+      case Kind::Str:
+        return 0;
+      case Kind::Int:
+        return static_cast<std::uint64_t>(i_);
+      case Kind::UInt:
+        return u_;
+      case Kind::Real:
+        return static_cast<std::uint64_t>(d_);
+      case Kind::Bool:
+        return b_ ? 1 : 0;
+    }
+    return 0;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace specint::experiment
