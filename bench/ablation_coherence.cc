@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Thin wrapper: the coherence/prefetch channel ablation as a
+ * standalone binary. Equivalent to `specsim_bench ablation_coherence`;
+ * the scenario lives in bench/scenarios/ablation_coherence.cc.
+ */
+
+#include "scenarios/scenarios.hh"
+#include "sim/experiment/driver.hh"
+
+int
+main(int argc, char **argv)
+{
+    return specint::experiment::runScenarioCli(
+        specint::scenarios::all(), "ablation_coherence", argc, argv);
+}

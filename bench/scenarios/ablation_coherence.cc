@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Scenario: the four cross-core channels — eviction and occupancy
+ * (shared-LLC state/bandwidth, cross_core_probe.hh) next to the two
+ * opened by the transaction-based memory model: coherence
+ * invalidation and prefetcher training (coherence_probe.hh) — across
+ * every defense scheme. One point per combination; the per-scheme
+ * verdict (LEAKS/closed) propagates through the experiment harness.
+ */
+
+#include "scenarios/scenarios.hh"
+#include "scenarios/util.hh"
+
+#include <cstdio>
+
+#include "attack/coherence_probe.hh"
+#include "attack/cross_core_probe.hh"
+#include "sim/experiment/report.hh"
+
+namespace specint::scenarios
+{
+
+namespace
+{
+
+using namespace experiment;
+
+struct ChannelOutcome
+{
+    std::uint64_t score0 = 0;
+    std::uint64_t score1 = 0;
+    bool usable = false;
+    ChannelResult channel;
+    double clockGhz = 3.6;
+};
+
+ChannelOutcome
+runOne(SchemeKind scheme, const std::string &channel,
+       unsigned trials, const std::vector<std::uint8_t> &bits)
+{
+    ChannelOutcome out;
+    if (channel == "eviction" || channel == "occupancy") {
+        CrossCoreChannelConfig cfg;
+        cfg.scheme = scheme;
+        cfg.attack.kind = channel == "occupancy"
+                              ? CrossCoreChannelKind::Occupancy
+                              : CrossCoreChannelKind::Eviction;
+        cfg.trialsPerBit = trials;
+        const CrossCoreChannelResult res =
+            runCrossCoreChannel(bits, cfg);
+        out.score0 = res.calibration.score0;
+        out.score1 = res.calibration.score1;
+        out.usable = res.calibration.usable;
+        out.channel = res.channel;
+        out.clockGhz = cfg.clockGhz;
+    } else {
+        CoherenceChannelConfig cfg;
+        cfg.scheme = scheme;
+        cfg.attack.kind = channel == "coherence"
+                              ? CoherenceChannelKind::Invalidation
+                              : CoherenceChannelKind::PrefetchTraining;
+        cfg.trialsPerBit = trials;
+        const CoherenceChannelResult res =
+            runCoherenceChannel(bits, cfg);
+        out.score0 = res.calibration.score0;
+        out.score1 = res.calibration.score1;
+        out.usable = res.calibration.usable;
+        out.channel = res.channel;
+        out.clockGhz = cfg.clockGhz;
+    }
+    return out;
+}
+
+PointResult
+runPoint(const PointContext &ctx, const RunOptions &options)
+{
+    const SchemeKind scheme = schemeFromName(ctx.point.at("scheme"));
+    const std::string &channel = ctx.point.at("channel");
+
+    const std::vector<std::uint8_t> bits = randomBits(
+        static_cast<unsigned>(options.extraOr("bits", 12)),
+        ctx.baseSeed);
+
+    const ChannelOutcome res =
+        runOne(scheme, channel, ctx.trials, bits);
+    const double err = res.channel.errorRate();
+    const double bps =
+        res.usable ? res.channel.bitsPerSecond(res.clockGhz) : 0.0;
+    const char *verdict = res.usable ? "LEAKS" : "closed";
+
+    PointResult out;
+    out.rows.push_back(
+        {Value::str(schemeName(scheme)), Value::str(channel),
+         Value::uinteger(res.score0), Value::uinteger(res.score1),
+         Value::boolean(res.usable),
+         Value::uinteger(res.channel.bitsSent),
+         Value::uinteger(res.channel.bitErrors), Value::real(err, 4),
+         Value::real(bps, 0), Value::str(verdict)});
+    out.legacy = strf(
+        "%-24s %-10s %8llu %8llu %-7s %8.1f%% %10.0f\n",
+        schemeName(scheme).c_str(), channel.c_str(),
+        static_cast<unsigned long long>(res.score0),
+        static_cast<unsigned long long>(res.score1), verdict,
+        err * 100.0, bps);
+    return out;
+}
+
+int
+renderLegacy(const Report &report, const RunOptions &, std::FILE *out)
+{
+    std::fprintf(out, "=== Cross-core interference: defense x channel "
+                      "ablation (eviction/occupancy/coherence/"
+                      "prefetch) ===\n\n");
+    std::fprintf(out, "%-24s %-10s %8s %8s %-7s %9s %10s\n", "scheme",
+                 "channel", "score0", "score1", "verdict", "err-rate",
+                 "bps");
+
+    std::string current_scheme;
+    for (const ReportPoint &p : report.points) {
+        const std::string &scheme = p.point.at("scheme");
+        if (!current_scheme.empty() && scheme != current_scheme)
+            std::fprintf(out, "\n");
+        current_scheme = scheme;
+        std::fputs(p.legacy.c_str(), out);
+    }
+    std::fprintf(out, "\n");
+
+    std::fprintf(
+        out,
+        "Reading: LEAKS means probe calibration found a decodable "
+        "timing gap.\nEviction (cache state) is closed by every "
+        "invisible-speculation scheme; occupancy\n(shared bandwidth), "
+        "coherence (a speculative store's RFO invalidates the\n"
+        "probe's Shared copy before the squash) and prefetch (a "
+        "speculative load\ntrains a visible next-line prefetch) all "
+        "pierce them — invisibility hides\ncache state, not the "
+        "request's side effects. DoM-style and fence defenses,\n"
+        "whose speculative requests never leave the core, close all "
+        "four.\n");
+    return 0;
+}
+
+} // namespace
+
+void
+registerAblationCoherence(experiment::ScenarioRegistry &r)
+{
+    Scenario sc;
+    sc.name = "ablation_coherence";
+    sc.description = "cross-core eviction/occupancy/coherence/prefetch "
+                     "channels vs every scheme";
+    sc.paperRef = "§2.1 (CrossCore), coherence/prefetch extension";
+    sc.defaultTrials = 1;
+    sc.defaultSeed = 2021;
+    sc.trialsMeaning = "trials per transmitted bit (majority vote)";
+    sc.extraFlags = {{"bits", "bits per channel run", 12}};
+    sc.columns = {"scheme", "channel", "score0", "score1", "open",
+                  "bits", "errors", "error_rate", "bps", "verdict"};
+    sc.sweep = [](const RunOptions &) {
+        SweepSpec spec;
+        spec.axis("scheme", allSchemeNames())
+            .axis("channel",
+                  {"eviction", "occupancy", "coherence", "prefetch"});
+        return spec;
+    };
+    sc.run = runPoint;
+    sc.renderLegacy = renderLegacy;
+    r.add(std::move(sc));
+}
+
+} // namespace specint::scenarios

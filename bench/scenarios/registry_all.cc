@@ -21,6 +21,7 @@ registerAllScenarios(experiment::ScenarioRegistry &r)
     registerAblationRs(r);
     registerAblationSmt(r);
     registerAblationCrossCore(r);
+    registerAblationCoherence(r);
     registerMicrobench(r);
 }
 

@@ -26,6 +26,7 @@ void registerAblationMshr(experiment::ScenarioRegistry &r);
 void registerAblationRs(experiment::ScenarioRegistry &r);
 void registerAblationSmt(experiment::ScenarioRegistry &r);
 void registerAblationCrossCore(experiment::ScenarioRegistry &r);
+void registerAblationCoherence(experiment::ScenarioRegistry &r);
 void registerMicrobench(experiment::ScenarioRegistry &r);
 /// @}
 

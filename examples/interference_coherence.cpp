@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Coherence/prefetch interference PoC: leaking a message between two
+ * physical cores through the *side effects of making a request* —
+ * without the victim's fills ever being visible.
+ *
+ * The victim runs on core 0 of a two-core System; the attacker is an
+ * ordinary program on core 1. Per bit, the victim's mis-trained branch
+ * transiently runs a gadget whose request stream is secret-dependent:
+ *
+ *   coherence: the gadget's store targets a line the attacker holds in
+ *     Shared iff secret=1. The store's read-for-ownership invalidates
+ *     the attacker's copy the moment the store *issues* — before the
+ *     squash, irrevocably. InvisiSpec-style schemes defer the store's
+ *     own M-state upgrade but the invalidation request still goes out,
+ *     so the attacker's timed reload of its copy recovers the secret.
+ *
+ *   prefetch: the gadget's load touches a trigger line iff secret=1.
+ *     The demand request may be invisible, but it trains the core's
+ *     next-line prefetcher, whose prefetch of trigger+1 is an ordinary
+ *     *visible* transaction landing in an LLC set the attacker primed
+ *     (Prime+Probe over the prefetch target).
+ *
+ * Both leak through every invisible-speculation scheme and are closed
+ * by DoM-style and fence defenses, whose speculative requests never
+ * leave the core — the paper's thesis, one layer below the caches.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "attack/coherence_probe.hh"
+
+using namespace specint;
+
+namespace
+{
+
+bool
+leak(const std::string &message, SchemeKind scheme,
+     CoherenceChannelKind kind)
+{
+    std::vector<std::uint8_t> bits;
+    for (char ch : message)
+        for (int b = 7; b >= 0; --b)
+            bits.push_back((static_cast<unsigned char>(ch) >> b) & 1);
+
+    CoherenceChannelConfig cfg;
+    cfg.scheme = scheme;
+    cfg.attack.kind = kind;
+    cfg.trialsPerBit = 1;
+
+    const CoherenceChannelResult res = runCoherenceChannel(bits, cfg);
+
+    std::string recovered;
+    if (res.channel.bitErrors == 0 && res.calibration.usable) {
+        for (std::size_t i = 0; i < message.size(); ++i) {
+            unsigned byte = 0;
+            for (unsigned b = 0; b < 8; ++b)
+                byte = (byte << 1) | bits[i * 8 + b];
+            recovered += static_cast<char>(byte);
+        }
+    }
+
+    std::printf("  %-24s %-10s calib %5llu vs %5llu  %s",
+                schemeName(scheme).c_str(),
+                coherenceChannelKindName(kind).c_str(),
+                static_cast<unsigned long long>(res.calibration.score0),
+                static_cast<unsigned long long>(res.calibration.score1),
+                res.calibration.usable ? "open  " : "closed");
+    if (res.calibration.usable) {
+        std::printf("  %2u/%2u bits correct  recovered: \"%s\"",
+                    res.channel.bitsSent - res.channel.bitErrors,
+                    res.channel.bitsSent, recovered.c_str());
+    }
+    std::printf("\n");
+    return res.calibration.usable && res.channel.bitErrors == 0 &&
+           recovered == message;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::string message = "MESI";
+
+    std::printf("Coherence-invalidation channel (speculative store "
+                "RFO):\n");
+    bool inv_open =
+        leak(message, SchemeKind::Unsafe,
+             CoherenceChannelKind::Invalidation);
+    inv_open &= leak(message, SchemeKind::InvisiSpecSpectre,
+                     CoherenceChannelKind::Invalidation);
+    const bool inv_closed =
+        !leak(message, SchemeKind::DomNonTso,
+              CoherenceChannelKind::Invalidation) &&
+        !leak(message, SchemeKind::FenceSpectre,
+              CoherenceChannelKind::Invalidation);
+
+    std::printf("\nPrefetcher-training channel (speculative load -> "
+                "visible prefetch):\n");
+    bool pf_open = leak(message, SchemeKind::SafeSpecWfb,
+                        CoherenceChannelKind::PrefetchTraining);
+    pf_open &= leak(message, SchemeKind::MuonTrap,
+                    CoherenceChannelKind::PrefetchTraining);
+    const bool pf_closed =
+        !leak(message, SchemeKind::AdvancedDefense,
+              CoherenceChannelKind::PrefetchTraining) &&
+        !leak(message, SchemeKind::FenceFuturistic,
+              CoherenceChannelKind::PrefetchTraining);
+
+    if (inv_open && inv_closed && pf_open && pf_closed) {
+        std::printf("\nBoth request-side-effect channels behave as "
+                    "expected: open through invisible\nspeculation, "
+                    "closed once speculative requests stay "
+                    "core-local.\n");
+        return 0;
+    }
+    std::printf("\nUnexpected channel behaviour — see rows above.\n");
+    return 1;
+}

@@ -30,13 +30,20 @@ CommitUnit::retire(std::vector<std::unique_ptr<ThreadContext>> &threads,
             if (h.isStore()) {
                 // Stores update memory and the cache at retirement:
                 // they are never speculative when they reach this
-                // point.
+                // point. Write intent acquires Modified ownership
+                // under the coherence model (the deferred upgrade of
+                // schemes that held it back at issue).
                 mem_.write(h.effAddr, h.result);
-                hier_.access(id_, h.effAddr, AccessType::Data, now);
+                hier_.access(id_, h.effAddr, AccessType::Data, now,
+                             MemIntent::Write, /*train=*/false);
             }
             if (h.isLoad()) {
                 if (h.exposurePending) {
-                    hier_.access(id_, h.effAddr, AccessType::Data, now);
+                    // The prefetcher trained (scheme permitting) when
+                    // the invisible request was issued; the exposure
+                    // replay must not train it a second time.
+                    hier_.access(id_, h.effAddr, AccessType::Data, now,
+                                 MemIntent::Read, /*train=*/false);
                     h.exposurePending = false;
                 }
                 if (h.deferredTouchPending) {

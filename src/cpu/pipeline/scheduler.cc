@@ -40,7 +40,10 @@ Scheduler::safety(std::vector<std::unique_ptr<ThreadContext>> &threads,
             if (inst.exposurePending) {
                 // InvisiSpec-style exposure: the load's visible cache
                 // fill happens now, when it ceases to be speculative.
-                hier_.access(id_, inst.effAddr, AccessType::Data, now);
+                // The prefetcher saw this load when its request went
+                // out; the exposure replay must not train it again.
+                hier_.access(id_, inst.effAddr, AccessType::Data, now,
+                             MemIntent::Read, /*train=*/false);
                 inst.exposurePending = false;
             }
             if (inst.deferredTouchPending) {
@@ -191,6 +194,21 @@ Scheduler::tryIssue(ThreadContext &th, DynInst &inst,
                        static_cast<std::uint64_t>(inst.si.imm);
         inst.result = inst.src2Val;
         inst.completeAt = now + traits.latency;
+        // A speculative store's coherence transition (RFO) happens at
+        // issue, per the scheme's declared policy: the invalidations
+        // it sends to remote sharers are not undone by a squash — the
+        // side effect attack/coherence_probe.hh times. DeferAll
+        // schemes keep the request core-local until the store is safe
+        // (it then upgrades via the retirement-time write access).
+        if (speculative && hier_.coherenceEnabled()) {
+            const SpecCoherencePolicy cp =
+                th.scheme->specCoherencePolicy();
+            if (cp != SpecCoherencePolicy::DeferAll) {
+                inst.completeAt += hier_.specStoreUpgrade(
+                    id_, inst.effAddr, now,
+                    cp == SpecCoherencePolicy::EagerUpgrade);
+            }
+        }
     } else {
         inst.result = execute(inst);
         inst.completeAt = now + traits.latency;
@@ -276,11 +294,14 @@ Scheduler::issueLoad(ThreadContext &th, DynInst &inst, bool safe,
                 return false;
             }
         }
-        const MemAccessResult res =
-            hier_.access(id_, inst.effAddr, AccessType::Data, now);
+        // A safe load always trains the prefetcher; a speculative one
+        // only under schemes whose requests leave the core.
+        const MemAccessResult res = hier_.access(
+            id_, inst.effAddr, AccessType::Data, now, MemIntent::Read,
+            safe || th.scheme->trainsPrefetcher());
         if (res.l1Hit)
             ++th.stats.loadL1Hits;
-        inst.servedLevel = res.level;
+        inst.servedBy = res.servedBy;
         inst.completeAt = now + res.latency + jitter;
         inst.result = mem_.read(inst.effAddr);
         inst.loadPhase = LoadPhase::InFlight;
@@ -291,7 +312,7 @@ Scheduler::issueLoad(ThreadContext &th, DynInst &inst, bool safe,
         if (hier_.l1Probe(id_, inst.effAddr, AccessType::Data)) {
             // Speculative L1 hit: serve the data, defer the
             // replacement-state update until the load is safe.
-            inst.servedLevel = 1;
+            inst.servedBy = ServedBy::L1;
             ++th.stats.loadL1Hits;
             inst.completeAt =
                 now + hier_.config().l1Latency + jitter;
@@ -311,7 +332,7 @@ Scheduler::issueLoad(ThreadContext &th, DynInst &inst, bool safe,
         if (policy == SpecLoadPolicy::InvisibleFilter &&
             th.scheme->filterProbe(line)) {
             // MuonTrap filter-cache hit: core-local, fast.
-            inst.servedLevel = 1;
+            inst.servedBy = ServedBy::L1;
             inst.completeAt =
                 now + hier_.config().l1Latency + jitter;
             inst.result = mem_.read(inst.effAddr);
@@ -338,11 +359,16 @@ Scheduler::issueLoad(ThreadContext &th, DynInst &inst, bool safe,
                 return false;
             }
         }
+        // The invisible request leaves the core: whether it trains
+        // the prefetcher is the scheme's declaration (it does for
+        // InvisiSpec-style designs — the leak the PrefetchTraining
+        // channel exploits).
         const MemAccessResult res = hier_.accessInvisible(
-            id_, inst.effAddr, AccessType::Data, now);
+            id_, inst.effAddr, AccessType::Data, now,
+            th.scheme->trainsPrefetcher());
         if (res.l1Hit)
             ++th.stats.loadL1Hits;
-        inst.servedLevel = res.level;
+        inst.servedBy = res.servedBy;
         inst.completeAt = now + res.latency + jitter;
         inst.result = mem_.read(inst.effAddr);
         inst.exposurePending = true;

@@ -19,6 +19,7 @@
 #include <deque>
 
 #include "cpu/isa.hh"
+#include "memory/transaction.hh"
 #include "sim/types.hh"
 
 namespace specint
@@ -89,7 +90,8 @@ struct DynInst
     /** @name Memory */
     /// @{
     Addr effAddr = kAddrInvalid;
-    int servedLevel = 0;
+    /** Level that served this load's data (L1 until known). */
+    ServedBy servedBy = ServedBy::L1;
     LoadPhase loadPhase = LoadPhase::None;
     /** DoM: speculative L1 hit whose replacement update is deferred. */
     bool deferredTouchPending = false;

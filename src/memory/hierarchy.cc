@@ -1,8 +1,9 @@
 /**
  * @file
- * Cache hierarchy implementation: per-core L1-I/L1-D/L2 and the
- * sliced inclusive LLC, visible access tracing, invisible accesses, and
- * the flush/warm helpers the attack harness uses.
+ * Cache hierarchy implementation: the transaction walk over per-core
+ * L1-I/L1-D/L2 and the sliced inclusive LLC, visible access tracing,
+ * invisible transactions, the MESI coherence hooks, the prefetcher
+ * layer and the flush/warm helpers the attack harness uses.
  */
 
 #include "memory/hierarchy.hh"
@@ -14,6 +15,47 @@
 
 namespace specint
 {
+
+const char *
+servedByName(ServedBy s)
+{
+    switch (s) {
+      case ServedBy::L1: return "L1";
+      case ServedBy::L2: return "L2";
+      case ServedBy::Llc: return "LLC";
+      case ServedBy::Mem: return "mem";
+    }
+    return "?";
+}
+
+std::string
+HierarchyConfig::validate() const
+{
+    if (cores == 0)
+        return "cores must be nonzero";
+    for (const CacheGeometry *g : {&l1i, &l1d, &l2, &llcSlice}) {
+        if (g->sets == 0 || g->ways == 0) {
+            return g->name +
+                   " geometry must have nonzero sets and ways";
+        }
+    }
+    if (llcSlices == 0 || (llcSlices & (llcSlices - 1)) != 0)
+        return "llcSlices must be a nonzero power of two";
+    if (!(l1Latency < l2Latency && l2Latency < llcLatency &&
+          llcLatency < memLatency)) {
+        return "latencies must be ordered "
+               "l1Latency < l2Latency < llcLatency < memLatency";
+    }
+    if (prefetch.kind != PrefetchKind::None && prefetch.degree == 0)
+        return "prefetch.degree must be nonzero when a prefetcher is "
+               "enabled";
+    if (prefetch.kind == PrefetchKind::Stride &&
+        prefetch.streamTableSize == 0) {
+        return "prefetch.streamTableSize must be nonzero for the "
+               "stride prefetcher";
+    }
+    return "";
+}
 
 HierarchyConfig
 HierarchyConfig::small()
@@ -58,15 +100,24 @@ MainMemory::write(Addr addr, std::uint64_t value)
 }
 
 Hierarchy::Hierarchy(HierarchyConfig cfg)
-    : cfg_(std::move(cfg))
+    : cfg_(std::move(cfg)),
+      directory_(
+          [this] {
+              const std::string err = cfg_.validate();
+              if (!err.empty())
+                  fatal("HierarchyConfig: " + err);
+              // One client per core plus the spare direct-LLC id the
+              // attack harnesses use (accessDirect with id == cores),
+              // so a standalone Hierarchy honours that convention too.
+              return CoherenceDirectory(cfg_.cores + 1,
+                                        cfg_.coherence);
+          }())
 {
-    assert(cfg_.cores >= 1);
-    assert((cfg_.llcSlices & (cfg_.llcSlices - 1)) == 0 &&
-           "llcSlices must be a power of two");
     for (unsigned c = 0; c < cfg_.cores; ++c) {
         l1i_.emplace_back(cfg_.l1i);
         l1d_.emplace_back(cfg_.l1d);
         l2_.emplace_back(cfg_.l2);
+        prefetchers_.emplace_back(cfg_.prefetch);
     }
     for (unsigned s = 0; s < cfg_.llcSlices; ++s)
         llc_.emplace_back(cfg_.llcSlice);
@@ -137,6 +188,14 @@ Hierarchy::sharedLevelDelay(CoreId core, Addr addr, Tick now,
     return extra;
 }
 
+void
+Hierarchy::applyQueueDelay(MemTransaction &txn, std::int64_t extra)
+{
+    txn.result.queueDelay = static_cast<Tick>(extra > 0 ? extra : 0);
+    txn.result.latency = static_cast<Tick>(
+        static_cast<std::int64_t>(txn.result.latency) + extra);
+}
+
 unsigned
 Hierarchy::llcSliceIndex(Addr addr) const
 {
@@ -163,6 +222,13 @@ Hierarchy::llcContains(Addr addr) const
 }
 
 void
+Hierarchy::invalidatePrivate(CoreId core, Addr line_addr)
+{
+    l1d_[core].invalidate(line_addr);
+    l2_[core].invalidate(line_addr);
+}
+
+void
 Hierarchy::backInvalidate(Addr line_addr)
 {
     for (unsigned c = 0; c < cfg_.cores; ++c) {
@@ -170,6 +236,8 @@ Hierarchy::backInvalidate(Addr line_addr)
         l1d_[c].invalidate(line_addr);
         l2_[c].invalidate(line_addr);
     }
+    if (cfg_.coherence.enabled)
+        directory_.dropLine(line_addr);
 }
 
 void
@@ -181,72 +249,240 @@ Hierarchy::llcFill(Addr addr)
 }
 
 MemAccessResult
-Hierarchy::access(CoreId core, Addr addr, AccessType type, Tick now)
+Hierarchy::execute(MemTransaction &txn)
 {
-    assert(core < cfg_.cores);
-    MemAccessResult res;
-    CacheArray &l1 = (type == AccessType::Instr) ? l1i_[core] : l1d_[core];
-
-    res.latency = cfg_.l1Latency;
-    if (l1.touch(addr)) {
-        res.level = 1;
-        res.l1Hit = true;
-        return res;
+    switch (txn.source) {
+      case TxnSource::Direct:
+        walkDirect(txn);
+        break;
+      case TxnSource::Demand:
+      case TxnSource::Prefetch:
+        if (txn.visibility == TxnVisibility::Visible)
+            walkVisible(txn);
+        else
+            walkInvisible(txn);
+        break;
     }
-
-    res.latency += cfg_.l2Latency;
-    if (l2_[core].touch(addr)) {
-        res.level = 2;
-        l1.fill(addr);
-        return res;
+    if (txn.train && txn.source == TxnSource::Demand &&
+        txn.type == AccessType::Data && prefetchEnabled()) {
+        trainPrefetcher(txn);
     }
+    return txn.result;
+}
 
-    // The request reaches the shared LLC: this is a visible access and
-    // enters the C(E) trace regardless of hit/miss (both change LLC
-    // replacement state).
-    trace_.push_back({core, lineAlign(addr), now, type});
+void
+Hierarchy::walkVisible(MemTransaction &txn)
+{
+    assert(txn.core < cfg_.cores);
+    MemAccessResult &res = txn.result;
+    const CoreId core = txn.core;
+    const Addr addr = txn.addr;
+    const Tick now = txn.issuedAt;
+
+    CacheArray *l1 = nullptr;
+    if (txn.source == TxnSource::Demand) {
+        // L1 stage.
+        l1 = (txn.type == AccessType::Instr) ? &l1i_[core]
+                                             : &l1d_[core];
+        res.latency = cfg_.l1Latency;
+        if (l1->touch(addr)) {
+            res.servedBy = ServedBy::L1;
+            res.l1Hit = true;
+            coherenceWriteFinish(txn);
+            return;
+        }
+
+        // L2 stage.
+        res.latency += cfg_.l2Latency;
+        if (l2_[core].touch(addr)) {
+            res.servedBy = ServedBy::L2;
+            l1->fill(addr);
+            coherenceWriteFinish(txn);
+            return;
+        }
+    }
+    // Prefetch transactions start here: the prefetcher sits beside L2
+    // and fills L2/LLC, never L1.
+
+    // LLC stage. The transaction reaches the shared level: this is a
+    // visible access and enters the C(E) trace regardless of hit/miss
+    // (both change LLC replacement state).
+    trace_.push_back({core, lineAlign(addr), now, txn.type, txn.source});
+
+    // Coherence: a read arriving at the shared level may have to
+    // demote a remote owner (Modified owners add the writeback
+    // latency) and joins the sharer set. Write-intent transactions
+    // settle ownership in coherenceWriteFinish() instead.
+    if (cfg_.coherence.enabled && txn.type == AccessType::Data &&
+        txn.intent == MemIntent::Read) {
+        const CoherenceDirectory::ReadOutcome coh =
+            directory_.read(core, addr, now, /*join=*/true);
+        res.latency += coh.extraLatency;
+        res.coherenceDelay += coh.extraLatency;
+    }
 
     res.latency += cfg_.llcLatency;
     CacheArray &slice = llc_[llcSliceIndex(addr)];
     if (slice.touch(addr)) {
-        res.level = 3;
+        res.servedBy = ServedBy::Llc;
         res.llcHit = true;
-        const std::int64_t q = sharedLevelDelay(core, addr, now, false);
-        res.queueDelay = static_cast<Tick>(q > 0 ? q : 0);
-        res.latency = static_cast<Tick>(
-            static_cast<std::int64_t>(res.latency) + q);
+        applyQueueDelay(txn, sharedLevelDelay(core, addr, now, false));
         l2_[core].fill(addr);
-        l1.fill(addr);
-        return res;
+        if (l1)
+            l1->fill(addr);
+        coherenceWriteFinish(txn);
+        return;
     }
 
+    // Memory stage.
     res.latency += cfg_.memLatency;
-    res.level = 4;
-    const std::int64_t q = sharedLevelDelay(core, addr, now, true);
-    res.queueDelay = static_cast<Tick>(q > 0 ? q : 0);
-    res.latency = static_cast<Tick>(
-        static_cast<std::int64_t>(res.latency) + q);
+    res.servedBy = ServedBy::Mem;
+    applyQueueDelay(txn, sharedLevelDelay(core, addr, now, true));
     llcFill(addr);
     l2_[core].fill(addr);
-    l1.fill(addr);
-    return res;
+    if (l1)
+        l1->fill(addr);
+    coherenceWriteFinish(txn);
+}
+
+void
+Hierarchy::walkInvisible(MemTransaction &txn)
+{
+    txn.result = peekLatency(txn.core, txn.addr, txn.type);
+    MemAccessResult &res = txn.result;
+    if (res.servedBy >= ServedBy::Llc) {
+        // The invisible request still travelled to the shared level.
+        // It pays a remote Modified owner's writeback (the data has to
+        // be snooped even though no state changes) ...
+        if (cfg_.coherence.enabled && txn.type == AccessType::Data &&
+            directory_.remoteModified(txn.core, txn.addr)) {
+            res.latency += cfg_.coherence.writebackLatency;
+            res.coherenceDelay += cfg_.coherence.writebackLatency;
+        }
+        // ... and its bandwidth/MSHR occupancy is charged (state stays
+        // untouched).
+        applyQueueDelay(txn, sharedLevelDelay(
+                                 txn.core, txn.addr, txn.issuedAt,
+                                 res.servedBy == ServedBy::Mem));
+    }
+}
+
+void
+Hierarchy::walkDirect(MemTransaction &txn)
+{
+    MemAccessResult &res = txn.result;
+    const CoreId core = txn.core;
+    const Addr addr = txn.addr;
+    const Tick now = txn.issuedAt;
+
+    trace_.push_back(
+        {core, lineAlign(addr), now, AccessType::Data, TxnSource::Direct});
+
+    // A direct client has no private caches: it never joins the sharer
+    // set, but it still forces a dirty remote owner to write back.
+    if (cfg_.coherence.enabled) {
+        const CoherenceDirectory::ReadOutcome coh =
+            directory_.read(core, addr, now, /*join=*/false);
+        res.latency += coh.extraLatency;
+        res.coherenceDelay += coh.extraLatency;
+    }
+
+    res.latency += cfg_.llcLatency;
+    CacheArray &slice = llc_[llcSliceIndex(addr)];
+    const bool hit = slice.touch(addr);
+    if (!hit)
+        res.latency += cfg_.memLatency;
+    applyQueueDelay(txn, sharedLevelDelay(core, addr, now, !hit));
+    if (hit) {
+        res.servedBy = ServedBy::Llc;
+        res.llcHit = true;
+        return;
+    }
+    res.servedBy = ServedBy::Mem;
+    llcFill(addr);
+}
+
+void
+Hierarchy::coherenceWriteFinish(MemTransaction &txn)
+{
+    if (!cfg_.coherence.enabled || txn.intent != MemIntent::Write ||
+        txn.type != AccessType::Data) {
+        return;
+    }
+    const CoherenceDirectory::WriteOutcome out = directory_.write(
+        txn.core, txn.addr, txn.issuedAt, /*take_ownership=*/true);
+    for (CoreId victim : out.invalidate)
+        invalidatePrivate(victim, lineAlign(txn.addr));
+    txn.result.latency += out.extraLatency;
+    txn.result.coherenceDelay += out.extraLatency;
+    txn.result.invalidations +=
+        static_cast<unsigned>(out.invalidate.size());
+}
+
+void
+Hierarchy::trainPrefetcher(const MemTransaction &txn)
+{
+    Prefetcher &pf = prefetchers_[txn.core];
+    prefetchCands_.clear();
+    // "Miss" from the prefetcher's point of view: the demand request
+    // left the private levels (served by the LLC or memory).
+    pf.observe(txn.addr, txn.result.servedBy >= ServedBy::Llc,
+               prefetchCands_);
+    for (Addr cand : prefetchCands_) {
+        if (l1d_[txn.core].contains(cand) ||
+            l2_[txn.core].contains(cand)) {
+            ++pf.stats().dropped;
+            continue;
+        }
+        // A real transaction: fills L2/LLC, occupies slice ports and
+        // shared MSHRs, appears in the C(E) trace — and is *visible*
+        // even when the demand access that trained it was invisible.
+        MemTransaction p;
+        p.core = txn.core;
+        p.addr = cand;
+        p.type = AccessType::Data;
+        p.intent = MemIntent::Read;
+        p.source = TxnSource::Prefetch;
+        p.visibility = TxnVisibility::Visible;
+        p.train = false;
+        p.issuedAt = txn.issuedAt;
+        execute(p);
+        ++pf.stats().issued;
+        if (p.result.servedBy == ServedBy::Mem)
+            ++pf.stats().llcFills;
+    }
+}
+
+MemAccessResult
+Hierarchy::access(CoreId core, Addr addr, AccessType type, Tick now,
+                  MemIntent intent, bool train)
+{
+    MemTransaction txn;
+    txn.core = core;
+    txn.addr = addr;
+    txn.type = type;
+    txn.intent = intent;
+    txn.source = TxnSource::Demand;
+    txn.visibility = TxnVisibility::Visible;
+    txn.train = train;
+    txn.issuedAt = now;
+    return execute(txn);
 }
 
 MemAccessResult
 Hierarchy::accessInvisible(CoreId core, Addr addr, AccessType type,
-                           Tick now)
+                           Tick now, bool train)
 {
-    MemAccessResult res = peekLatency(core, addr, type);
-    if (res.level >= 3) {
-        // The invisible request still travelled to the shared LLC:
-        // charge its bandwidth/MSHR occupancy (state stays untouched).
-        const std::int64_t q =
-            sharedLevelDelay(core, addr, now, res.level == 4);
-        res.queueDelay = static_cast<Tick>(q > 0 ? q : 0);
-        res.latency = static_cast<Tick>(
-            static_cast<std::int64_t>(res.latency) + q);
-    }
-    return res;
+    MemTransaction txn;
+    txn.core = core;
+    txn.addr = addr;
+    txn.type = type;
+    txn.intent = MemIntent::Read;
+    txn.source = TxnSource::Demand;
+    txn.visibility = TxnVisibility::Invisible;
+    txn.train = train;
+    txn.issuedAt = now;
+    return execute(txn);
 }
 
 MemAccessResult
@@ -259,49 +495,52 @@ Hierarchy::peekLatency(CoreId core, Addr addr, AccessType type) const
 
     res.latency = cfg_.l1Latency;
     if (l1.contains(addr)) {
-        res.level = 1;
+        res.servedBy = ServedBy::L1;
         res.l1Hit = true;
         return res;
     }
     res.latency += cfg_.l2Latency;
     if (l2_[core].contains(addr)) {
-        res.level = 2;
+        res.servedBy = ServedBy::L2;
         return res;
     }
     res.latency += cfg_.llcLatency;
     if (llc_[llcSliceIndex(addr)].contains(addr)) {
-        res.level = 3;
+        res.servedBy = ServedBy::Llc;
         res.llcHit = true;
         return res;
     }
     res.latency += cfg_.memLatency;
-    res.level = 4;
+    res.servedBy = ServedBy::Mem;
     return res;
 }
 
 MemAccessResult
 Hierarchy::accessDirect(CoreId core, Addr addr, Tick now)
 {
-    MemAccessResult res;
-    trace_.push_back({core, lineAlign(addr), now, AccessType::Data});
+    MemTransaction txn;
+    txn.core = core;
+    txn.addr = addr;
+    txn.type = AccessType::Data;
+    txn.intent = MemIntent::Read;
+    txn.source = TxnSource::Direct;
+    txn.visibility = TxnVisibility::Visible;
+    txn.train = false;
+    txn.issuedAt = now;
+    return execute(txn);
+}
 
-    res.latency = cfg_.llcLatency;
-    CacheArray &slice = llc_[llcSliceIndex(addr)];
-    const bool hit = slice.touch(addr);
-    if (!hit)
-        res.latency += cfg_.memLatency;
-    const std::int64_t q = sharedLevelDelay(core, addr, now, !hit);
-    res.queueDelay = static_cast<Tick>(q > 0 ? q : 0);
-    res.latency = static_cast<Tick>(
-        static_cast<std::int64_t>(res.latency) + q);
-    if (hit) {
-        res.level = 3;
-        res.llcHit = true;
-        return res;
-    }
-    res.level = 4;
-    llcFill(addr);
-    return res;
+Tick
+Hierarchy::specStoreUpgrade(CoreId core, Addr addr, Tick now,
+                            bool take_ownership)
+{
+    if (!cfg_.coherence.enabled)
+        return 0;
+    const CoherenceDirectory::WriteOutcome out =
+        directory_.write(core, addr, now, take_ownership);
+    for (CoreId victim : out.invalidate)
+        invalidatePrivate(victim, lineAlign(addr));
+    return out.extraLatency;
 }
 
 bool
@@ -330,6 +569,8 @@ Hierarchy::flushLine(Addr addr)
         l2_[c].invalidate(line);
     }
     llc_[llcSliceIndex(line)].invalidate(line);
+    if (cfg_.coherence.enabled)
+        directory_.dropLine(line);
 }
 
 void
@@ -344,6 +585,9 @@ Hierarchy::reset()
     for (auto &c : llc_)
         c.reset();
     trace_.clear();
+    directory_.reset();
+    for (auto &pf : prefetchers_)
+        pf.reset();
     resetContention();
 }
 

@@ -4,17 +4,34 @@
  * shared, sliced, inclusive LLC — the i7-7700 organisation the paper
  * evaluates on (§4.1).
  *
- * Two properties matter for the attacks and are modelled explicitly:
+ * Every request is a MemTransaction (memory/transaction.hh) that walks
+ * L1 -> L2 -> LLC -> memory. Four properties matter for the attacks
+ * and are modelled explicitly:
  *
- *  1. A *visible LLC access trace*: every access that reaches the LLC
- *     (L1 and L2 missed, or a direct attacker access) is recorded in
- *     order. This trace is the paper's C(E) — the observable the ideal
- *     invisible speculation definition (§5.1) quantifies over — and the
- *     physical substrate of the replacement-state receiver.
+ *  1. A *visible LLC access trace*: every transaction that reaches the
+ *     LLC (private levels missed, or a direct attacker access) is
+ *     recorded in order. This trace is the paper's C(E) — the
+ *     observable the ideal invisible speculation definition (§5.1)
+ *     quantifies over — and the physical substrate of the
+ *     replacement-state receiver.
  *
- *  2. *Invisible* accesses (InvisiSpec-style): return the data latency
- *     a request would experience but change no cache state at any
- *     level and do not appear in the trace.
+ *  2. *Invisible* transactions (InvisiSpec-style): return the data
+ *     latency a request would experience but change no cache state at
+ *     any level and do not appear in the trace. They still consume
+ *     shared-level bandwidth and still train the prefetcher when the
+ *     issuing scheme lets them — invisibility hides state, not the
+ *     request.
+ *
+ *  3. A per-line MESI directory (memory/coherence.hh, off by
+ *     default): write-intent transactions acquire Modified ownership
+ *     and invalidate remote Shared copies; reads demote remote owners.
+ *     Invalidations happen when the *request* is made — a speculative
+ *     store's RFO is not undone by a squash.
+ *
+ *  4. A pluggable per-core prefetcher (memory/prefetcher.hh, off by
+ *     default): trained by the demand stream, issuing real Prefetch
+ *     transactions that fill L2/LLC and occupy slice ports and shared
+ *     MSHRs.
  *
  * The attacker runs on another physical core. Real attackers bypass
  * their own private caches with clflush between rounds; we model that
@@ -26,17 +43,18 @@
 #define SPECINT_MEMORY_HIERARCHY_HH
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "memory/cache.hh"
+#include "memory/coherence.hh"
+#include "memory/prefetcher.hh"
+#include "memory/transaction.hh"
 #include "sim/types.hh"
 
 namespace specint
 {
-
-/** Data vs instruction-fetch access. */
-enum class AccessType { Data, Instr };
 
 /** Full hierarchy configuration. */
 struct HierarchyConfig
@@ -67,7 +85,7 @@ struct HierarchyConfig
      * @name Shared-level contention model (System layer; 0 = off)
      *
      * When enabled, every request that reaches the LLC — visible,
-     * invisible or direct — competes for finite shared-level
+     * invisible, prefetch or direct — competes for finite shared-level
      * resources: each slice accepts one request per llcPortBusy
      * cycles, and LLC misses occupy one of llcMshrs shared
      * (LLC-to-memory) MSHRs for the memory latency, coalescing with an
@@ -88,24 +106,28 @@ struct HierarchyConfig
     unsigned llcMshrs = 0;
     /// @}
 
+    /** MESI coherence model over the private levels (off by default;
+     *  memory/coherence.hh). */
+    CoherenceParams coherence;
+
+    /** Per-core hardware prefetcher (off by default;
+     *  memory/prefetcher.hh). */
+    PrefetchParams prefetch;
+
+    /**
+     * Structural sanity check, mirroring CoreConfig::validate.
+     * @return "" if the configuration is usable, otherwise a
+     * description of the first problem (zero geometry, non-power-of-two
+     * slice count, inverted latency ordering, ...). Hierarchy's
+     * constructor fatal()s on a non-empty result; SystemConfig chains
+     * it.
+     */
+    std::string validate() const;
+
     /** Small config for fast unit tests. */
     static HierarchyConfig small();
     /** i7-7700-like default. */
     static HierarchyConfig kabyLake();
-};
-
-/** Result of one memory access. */
-struct MemAccessResult
-{
-    /** Cycles from issue to data return. */
-    Tick latency = 0;
-    /** Level that served the data: 1=L1, 2=L2, 3=LLC, 4=memory. */
-    int level = 4;
-    bool l1Hit = false;
-    bool llcHit = false;
-    /** Shared-level queueing the request experienced (included in
-     *  latency; 0 unless the contention model is enabled). */
-    Tick queueDelay = 0;
 };
 
 /** Per-core shared-level (LLC) contention counters. */
@@ -126,6 +148,8 @@ struct VisibleAccess
     Addr lineAddr = 0;
     Tick when = 0;
     AccessType type = AccessType::Data;
+    /** What issued the request (demand, prefetch, direct client). */
+    TxnSource source = TxnSource::Demand;
 
     bool operator==(const VisibleAccess &o) const
     {
@@ -159,22 +183,39 @@ class Hierarchy
     const HierarchyConfig &config() const { return cfg_; }
 
     /**
-     * Visible access from a core: fills and replacement updates apply
-     * at every level; the LLC trace is appended to if the request
-     * reaches the LLC.
+     * Execute one transaction: the walk described in the file comment.
+     * The public entry points below are thin constructors over this;
+     * the prefetcher layer calls it directly with TxnSource::Prefetch.
+     * @return the transaction's accumulated result (also left in
+     * txn.result).
+     */
+    MemAccessResult execute(MemTransaction &txn);
+
+    /**
+     * Visible demand access from a core: fills and replacement updates
+     * apply at every level; the LLC trace is appended to if the
+     * request reaches the LLC. Write intent additionally acquires
+     * Modified ownership under the coherence model (invalidating
+     * remote sharers). @p train gates prefetcher training (the issuing
+     * scheme's call for speculative requests).
      */
     MemAccessResult access(CoreId core, Addr addr, AccessType type,
-                           Tick now);
+                           Tick now,
+                           MemIntent intent = MemIntent::Read,
+                           bool train = true);
 
     /**
      * Invisible access (InvisiSpec/SafeSpec speculative request):
      * latency as if performed, but no *cache-state* change and no
      * trace entry. The request still consumes shared-level bandwidth
-     * when the contention model is enabled — invisibility hides
-     * state, not occupancy.
+     * when the contention model is enabled, still pays a remote
+     * Modified owner's writeback latency under the coherence model,
+     * and still trains the prefetcher when @p train is set —
+     * invisibility hides state, not the request.
      */
     MemAccessResult accessInvisible(CoreId core, Addr addr,
-                                    AccessType type, Tick now);
+                                    AccessType type, Tick now,
+                                    bool train = false);
 
     /**
      * Pure latency query: what an access would cost right now, with
@@ -191,16 +232,33 @@ class Hierarchy
      */
     MemAccessResult accessDirect(CoreId core, Addr addr, Tick now);
 
+    /**
+     * Speculative store upgrade request (RFO) at issue time, under
+     * the coherence model: remote Shared copies are invalidated *now*
+     * — the irreversible side effect of making the request — and, when
+     * @p take_ownership is set (SpecCoherencePolicy::EagerUpgrade),
+     * the requester also takes Modified ownership immediately.
+     * InvisiSpec-style schemes pass take_ownership=false: the upgrade
+     * is deferred to the retirement-time write, but the invalidations
+     * have already happened (attack/coherence_probe.hh).
+     * @return the invalidation round-trip latency (0 with the model
+     * off or no remote sharers).
+     */
+    Tick specStoreUpgrade(CoreId core, Addr addr, Tick now,
+                          bool take_ownership);
+
     /** L1 probe with no state change (Delay-on-Miss hit check). */
     bool l1Probe(CoreId core, Addr addr, AccessType type) const;
 
     /** Apply a DoM deferred L1 replacement update. */
     void l1DeferredTouch(CoreId core, Addr addr, AccessType type);
 
-    /** clflush analogue: remove the line from every cache. */
+    /** clflush analogue: remove the line from every cache (and from
+     *  the coherence directory). */
     void flushLine(Addr addr);
 
-    /** Reset all arrays, the trace and the contention state. */
+    /** Reset all arrays, traces, directory, prefetchers and the
+     *  contention state. */
     void reset();
 
     /** @name Shared-level contention model */
@@ -213,6 +271,40 @@ class Hierarchy
     const LlcContentionStats &llcContention(CoreId core) const
     {
         return llcStats_[core];
+    }
+    /// @}
+
+    /** @name Coherence model (meaningful only when enabled) */
+    /// @{
+    bool coherenceEnabled() const { return cfg_.coherence.enabled; }
+    CoherenceDirectory &coherenceDirectory() { return directory_; }
+    const CoherenceDirectory &coherenceDirectory() const
+    {
+        return directory_;
+    }
+    /** Per-core coherence traffic counters. */
+    const CoherenceStats &coherenceStats(CoreId core) const
+    {
+        return directory_.stats(core);
+    }
+    /** The visible per-core coherence-traffic trace. */
+    const std::vector<CoherenceEvent> &coherenceTrace() const
+    {
+        return directory_.trace();
+    }
+    void clearCoherenceTrace() { directory_.clearTrace(); }
+    /// @}
+
+    /** @name Prefetcher layer (meaningful only when enabled) */
+    /// @{
+    bool prefetchEnabled() const
+    {
+        return cfg_.prefetch.kind != PrefetchKind::None;
+    }
+    Prefetcher &prefetcher(CoreId core) { return prefetchers_[core]; }
+    const PrefetchStats &prefetchStats(CoreId core) const
+    {
+        return prefetchers_[core].stats();
     }
     /// @}
 
@@ -242,6 +334,26 @@ class Hierarchy
     }
 
   private:
+    /** @name Transaction walk stages (execute() dispatches here) */
+    /// @{
+    /** Visible walk: demand (L1 -> L2 -> LLC -> memory) and prefetch
+     *  (LLC -> memory, filling L2) transactions. */
+    void walkVisible(MemTransaction &txn);
+    /** Invisible walk: latency + bandwidth, no state change. */
+    void walkInvisible(MemTransaction &txn);
+    /** Direct-client walk: LLC only. */
+    void walkDirect(MemTransaction &txn);
+    /** Write-intent coherence finish: acquire M, invalidate remote
+     *  sharers (any serving level). */
+    void coherenceWriteFinish(MemTransaction &txn);
+    /** Train the core's prefetcher off a completed demand transaction
+     *  and issue the resulting Prefetch transactions. */
+    void trainPrefetcher(const MemTransaction &txn);
+    /// @}
+
+    /** Remove @p line_addr from @p core's private data-side arrays. */
+    void invalidatePrivate(CoreId core, Addr line_addr);
+
     /** Fill @p addr into the LLC, back-invalidating on eviction. */
     void llcFill(Addr addr);
     /** Back-invalidate a line evicted from the inclusive LLC. */
@@ -256,6 +368,8 @@ class Hierarchy
      */
     std::int64_t sharedLevelDelay(CoreId core, Addr addr, Tick now,
                                   bool llc_miss);
+    /** Apply @p extra from sharedLevelDelay to @p txn's result. */
+    static void applyQueueDelay(MemTransaction &txn, std::int64_t extra);
 
     HierarchyConfig cfg_;
     std::vector<CacheArray> l1i_;
@@ -263,6 +377,11 @@ class Hierarchy
     std::vector<CacheArray> l2_;
     std::vector<CacheArray> llc_;
     std::vector<VisibleAccess> trace_;
+
+    CoherenceDirectory directory_;
+    std::vector<Prefetcher> prefetchers_;
+    /** Reused candidate buffer (no per-access allocation). */
+    std::vector<Addr> prefetchCands_;
 
     /** @name Shared-level contention state */
     /// @{

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Pluggable per-core hardware prefetcher layer.
+ *
+ * The prefetcher observes the demand stream of one core's private
+ * hierarchy and proposes prefetch candidates; the Hierarchy turns the
+ * candidates into real Prefetch transactions that walk the shared
+ * levels (filling L2 and the LLC, occupying slice ports and shared
+ * MSHRs) exactly like demand traffic. Two classic designs are
+ * modelled:
+ *
+ *  - NextLine: a private miss on line X prefetches X+1..X+degree.
+ *  - Stride: a per-page stream table; two consecutive accesses to a
+ *    page with the same line delta confirm a stride and prefetch
+ *    degree lines ahead of the stream.
+ *
+ * Why this is an attack surface (the paper's argument, lifted to
+ * prefetching): *training is a side effect of making a request*.
+ * Invisible-speculation schemes suppress the cache-state changes of a
+ * speculative load, but the request still leaves the core, the
+ * prefetcher still observes it — and the prefetches it triggers are
+ * ordinary visible transactions. A mis-speculated (later squashed)
+ * load can therefore deposit an attacker-observable line in the shared
+ * LLC through the prefetcher even under InvisiSpec/SafeSpec/MuonTrap
+ * (attack/coherence_probe.hh, PrefetchTraining kind). Whether a
+ * scheme's speculative requests train at all is the scheme's own
+ * declaration: Scheme::trainsPrefetcher().
+ *
+ * Off by default: PrefetchKind::None issues nothing and trains
+ * nothing, preserving every pre-existing experiment bit-for-bit.
+ */
+
+#ifndef SPECINT_MEMORY_PREFETCHER_HH
+#define SPECINT_MEMORY_PREFETCHER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace specint
+{
+
+/** Prefetcher design selector. */
+enum class PrefetchKind : std::uint8_t
+{
+    None,     ///< no prefetcher (the pre-refactor behaviour)
+    NextLine, ///< sequential next-line(s) on a private miss
+    Stride,   ///< per-page stride detection with confirmation
+};
+
+const char *prefetchKindName(PrefetchKind k);
+
+/** Prefetcher parameters (HierarchyConfig::prefetch). */
+struct PrefetchParams
+{
+    PrefetchKind kind = PrefetchKind::None;
+    /** Lines prefetched ahead per trigger. */
+    unsigned degree = 1;
+    /** Stride streams tracked per core (Stride kind). */
+    unsigned streamTableSize = 8;
+    /** Train on private hits too (default: misses only, as on most
+     *  L2-adjacent hardware prefetchers). */
+    bool trainOnHit = false;
+};
+
+/** Per-core prefetcher counters. */
+struct PrefetchStats
+{
+    /** Demand accesses that trained the prefetcher. */
+    std::uint64_t trained = 0;
+    /** Prefetch transactions issued into the hierarchy. */
+    std::uint64_t issued = 0;
+    /** Candidates dropped because the line was already private. */
+    std::uint64_t dropped = 0;
+    /** Issued prefetches that had to fill the LLC from memory. */
+    std::uint64_t llcFills = 0;
+};
+
+/**
+ * One core's prefetch engine (see file comment). Purely a training /
+ * candidate-generation model: the Hierarchy executes the candidates as
+ * transactions and keeps the stats' issued/fill counters.
+ */
+class Prefetcher
+{
+  public:
+    explicit Prefetcher(PrefetchParams params);
+
+    const PrefetchParams &params() const { return params_; }
+
+    /**
+     * Observe one demand access (line-aligned internally) and append
+     * the proposed prefetch line addresses to @p out (not cleared).
+     * @p miss is true when the access missed the private levels.
+     */
+    void observe(Addr addr, bool miss, std::vector<Addr> &out);
+
+    /** Drop all training state and zero the stats (power-on reset). */
+    void reset();
+
+    PrefetchStats &stats() { return stats_; }
+    const PrefetchStats &stats() const { return stats_; }
+
+  private:
+    /** One tracked stream of the Stride kind. */
+    struct Stream
+    {
+        Addr page = kAddrInvalid;
+        Addr lastLine = 0;
+        std::int64_t stride = 0;
+        bool confirmed = false;
+        /** LRU clock for replacement. */
+        std::uint64_t lastUsed = 0;
+    };
+
+    void observeStride(Addr line, std::vector<Addr> &out);
+
+    PrefetchParams params_;
+    std::vector<Stream> streams_;
+    std::uint64_t clock_ = 0;
+    PrefetchStats stats_;
+};
+
+} // namespace specint
+
+#endif // SPECINT_MEMORY_PREFETCHER_HH

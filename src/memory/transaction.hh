@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Memory-transaction vocabulary of the hierarchy.
+ *
+ * Every request the Hierarchy serves is described by a MemTransaction:
+ * who issued it (core), what for (demand load, demand store, prefetch,
+ * exposure, direct attacker probe), with what intent (read vs
+ * write/ownership) and with what visibility (state-changing, invisible,
+ * or a pure latency peek). The transaction walks the levels
+ * L1 -> L2 -> LLC -> memory; the per-level outcomes accumulate into the
+ * embedded MemAccessResult that callers receive.
+ *
+ * The split matters for the paper's argument: *visibility* describes
+ * whether the transaction changes cache state, but even an invisible
+ * transaction is a real request — it consumes shared-level bandwidth,
+ * trains prefetchers (scheme permitting) and interacts with the
+ * coherence layer. Hiding state is not the same as hiding the request.
+ */
+
+#ifndef SPECINT_MEMORY_TRANSACTION_HH
+#define SPECINT_MEMORY_TRANSACTION_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace specint
+{
+
+/** Data vs instruction-fetch access. */
+enum class AccessType { Data, Instr };
+
+/** Read vs write (ownership-acquiring) intent of a transaction. */
+enum class MemIntent : std::uint8_t
+{
+    Read,  ///< load: any MESI state with valid data serves it
+    Write, ///< store: requires M state; remote sharers are invalidated
+};
+
+/** What initiated a transaction. */
+enum class TxnSource : std::uint8_t
+{
+    Demand,   ///< pipeline load/store (also exposure/deferred updates)
+    Prefetch, ///< issued by a core's hardware prefetcher
+    Direct,   ///< direct LLC client (attacker agent; no private caches)
+};
+
+/** Does the transaction change cache state? */
+enum class TxnVisibility : std::uint8_t
+{
+    Visible,   ///< normal access: fills + replacement updates
+    Invisible, ///< InvisiSpec-style: latency only, no state change
+};
+
+/**
+ * Which level served a request. Values order from fastest to slowest,
+ * so comparisons like `servedBy >= ServedBy::Llc` read naturally as
+ * "the request travelled at least to the shared level".
+ */
+enum class ServedBy : std::uint8_t
+{
+    L1 = 1,
+    L2 = 2,
+    Llc = 3,
+    Mem = 4,
+};
+
+/** Short display name ("L1", "L2", "LLC", "mem"). */
+const char *servedByName(ServedBy s);
+
+/** Result of one memory transaction. */
+struct MemAccessResult
+{
+    /** Cycles from issue to data return. */
+    Tick latency = 0;
+    /** Level that served the data. */
+    ServedBy servedBy = ServedBy::Mem;
+    bool l1Hit = false;
+    bool llcHit = false;
+    /** Shared-level queueing the request experienced (included in
+     *  latency; 0 unless the contention model is enabled). */
+    Tick queueDelay = 0;
+    /** Cycles of coherence actions (remote M writeback, invalidation
+     *  round trip) included in latency; 0 unless coherence is
+     *  modelled. */
+    Tick coherenceDelay = 0;
+    /** Remote private copies invalidated by this transaction (write
+     *  intent under the coherence model). */
+    unsigned invalidations = 0;
+};
+
+/**
+ * One memory transaction walking the hierarchy (see file comment).
+ * Constructed by the Hierarchy's public entry points (demand access,
+ * invisible access, direct access) and by the prefetcher layer;
+ * executed by Hierarchy::execute().
+ */
+struct MemTransaction
+{
+    CoreId core = 0;
+    Addr addr = 0;
+    AccessType type = AccessType::Data;
+    MemIntent intent = MemIntent::Read;
+    TxnSource source = TxnSource::Demand;
+    TxnVisibility visibility = TxnVisibility::Visible;
+    /** May this transaction train the core's prefetcher? (Demand
+     *  transactions only; the issuing scheme decides for speculative
+     *  requests.) */
+    bool train = false;
+    /** Cycle the request was issued. */
+    Tick issuedAt = 0;
+
+    /** Per-level outcomes, filled in by the walk. */
+    MemAccessResult result;
+};
+
+} // namespace specint
+
+#endif // SPECINT_MEMORY_TRANSACTION_HH

@@ -72,6 +72,19 @@ class AdvancedDefenseScheme : public Scheme
         f.preemptSpecMshr = rules_.mshrPreemption;
         return f;
     }
+    SpecCoherencePolicy specCoherencePolicy() const override
+    {
+        // Follows the substrate: on DoM nothing speculative leaves
+        // the core; on the InvisiSpec substrate the RFO request is
+        // still made (and still observable).
+        return base_ == SpecLoadPolicy::DelayOnMiss
+                   ? SpecCoherencePolicy::DeferAll
+                   : SpecCoherencePolicy::DeferUpgrade;
+    }
+    bool trainsPrefetcher() const override
+    {
+        return base_ != SpecLoadPolicy::DelayOnMiss;
+    }
 
     const Rules &rules() const { return rules_; }
 

@@ -34,6 +34,12 @@ class ConditionalSpecScheme : public Scheme
     {
         return SpecLoadPolicy::DelayOnMiss;
     }
+    SpecCoherencePolicy specCoherencePolicy() const override
+    {
+        // DoM mechanics: suspect requests stay core-local.
+        return SpecCoherencePolicy::DeferAll;
+    }
+    bool trainsPrefetcher() const override { return false; }
 };
 
 } // namespace specint

@@ -49,6 +49,19 @@ class DomScheme : public Scheme
     {
         return SpecLoadPolicy::DelayOnMiss;
     }
+    SpecCoherencePolicy specCoherencePolicy() const override
+    {
+        // DoM's principle extended to stores: no speculative request
+        // — RFO included — leaves the core, so a squashed store never
+        // invalidated anyone.
+        return SpecCoherencePolicy::DeferAll;
+    }
+    bool trainsPrefetcher() const override
+    {
+        // Speculative misses never issue; the prefetcher only ever
+        // sees the architectural stream.
+        return false;
+    }
 
   private:
     bool tso_;

@@ -61,6 +61,15 @@ class FenceDefenseScheme : public Scheme
         return true;
     }
 
+    SpecCoherencePolicy specCoherencePolicy() const override
+    {
+        // Moot in practice — the gate above means no speculative
+        // store ever issues — but declare the closed policy so the
+        // scheme is self-describing.
+        return SpecCoherencePolicy::DeferAll;
+    }
+    bool trainsPrefetcher() const override { return false; }
+
   private:
     bool futuristic_;
 };

@@ -50,6 +50,19 @@ class InvisiSpecScheme : public Scheme
     {
         return SpecLoadPolicy::InvisibleRequest;
     }
+    SpecCoherencePolicy specCoherencePolicy() const override
+    {
+        // InvisiSpec defers the requester's own upgrade, but the RFO's
+        // invalidations still go out when the store issues — exactly
+        // the "request vs state" gap the paper identifies.
+        return SpecCoherencePolicy::DeferUpgrade;
+    }
+    bool trainsPrefetcher() const override
+    {
+        // The invisible request still leaves the core; the prefetcher
+        // below L1 observes and is trained by it.
+        return true;
+    }
 
   private:
     bool futuristic_;

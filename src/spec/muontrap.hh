@@ -42,6 +42,18 @@ class MuonTrapScheme : public Scheme
         return SpecLoadPolicy::InvisibleFilter;
     }
     bool protectsIFetch() const override { return true; }
+    SpecCoherencePolicy specCoherencePolicy() const override
+    {
+        // The filter cache isolates speculative *fills*; a store's
+        // ownership request still invalidates remote sharers.
+        return SpecCoherencePolicy::DeferUpgrade;
+    }
+    bool trainsPrefetcher() const override
+    {
+        // Filter misses go to the memory system like any request and
+        // train the prefetcher on the way.
+        return true;
+    }
 
     bool filterProbe(Addr line) const override;
     void filterFill(Addr line, SeqNum seq) override;

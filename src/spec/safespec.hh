@@ -44,6 +44,13 @@ class SafeSpecScheme : public Scheme
         return SpecLoadPolicy::InvisibleRequest;
     }
     bool protectsIFetch() const override { return true; }
+    SpecCoherencePolicy specCoherencePolicy() const override
+    {
+        // Shadow structures hide the requester's state; the RFO's
+        // remote invalidations are not recalled by a squash.
+        return SpecCoherencePolicy::DeferUpgrade;
+    }
+    bool trainsPrefetcher() const override { return true; }
 
   private:
     bool wfc_;

@@ -56,6 +56,30 @@ enum class SpecLoadPolicy : std::uint8_t
     DelayAlways,     ///< wait until safe (maximally conservative)
 };
 
+/**
+ * How a scheme treats the coherence transition of a *speculative*
+ * store (its read-for-ownership / upgrade request) at issue time.
+ * Only consulted when the hierarchy's coherence model is enabled.
+ *
+ * The distinction is the paper's argument applied to coherence:
+ * deferring the *upgrade* (the requester's own M state) does not
+ * undo the *request* — the invalidations it sent to remote sharers
+ * happened the moment it was issued, and a squash cannot recall them.
+ */
+enum class SpecCoherencePolicy : std::uint8_t
+{
+    /** Full RFO at issue: invalidate remote sharers and take Modified
+     *  ownership immediately (conventional core). */
+    EagerUpgrade,
+    /** InvisiSpec-style: the requester's own upgrade waits for the
+     *  safe point, but the invalidation request still goes out — the
+     *  side effect attack/coherence_probe.hh times. */
+    DeferUpgrade,
+    /** No coherence request leaves the core until the store is safe
+     *  (DoM philosophy: speculative side effects stay core-local). */
+    DeferAll,
+};
+
 /** Scheduler-rule flags implementing the §5.4 advanced defense. */
 struct SchedFlags
 {
@@ -102,6 +126,20 @@ class Scheme
 
     /** Issue gate: may this instruction issue now? (fence defenses) */
     virtual bool mayIssue(const IssueContext &) const { return true; }
+
+    /** Speculative-store coherence policy (see SpecCoherencePolicy);
+     *  the conventional core upgrades eagerly. */
+    virtual SpecCoherencePolicy specCoherencePolicy() const
+    {
+        return SpecCoherencePolicy::EagerUpgrade;
+    }
+
+    /** Do this scheme's *speculative* load requests train the
+     *  hardware prefetcher? True for any scheme whose speculative
+     *  requests leave the core (the prefetcher observes the miss
+     *  stream below L1 regardless of how the fill is hidden); false
+     *  for delay-based schemes whose speculative misses never issue. */
+    virtual bool trainsPrefetcher() const { return true; }
 
     /** Scheduler rules (advanced defense). */
     virtual SchedFlags schedFlags() const { return {}; }

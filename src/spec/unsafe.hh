@@ -22,6 +22,13 @@ class UnsafeScheme : public Scheme
     {
         return SpecLoadPolicy::Visible;
     }
+    SpecCoherencePolicy specCoherencePolicy() const override
+    {
+        // Conventional core: stores upgrade to M the moment they
+        // issue, speculative or not.
+        return SpecCoherencePolicy::EagerUpgrade;
+    }
+    bool trainsPrefetcher() const override { return true; }
 };
 
 } // namespace specint

@@ -28,10 +28,9 @@ SystemConfig::validate() const
     err = validateSmtConfig(smt, core);
     if (!err.empty())
         return err;
-    if (hier.llcSlices == 0 ||
-        (hier.llcSlices & (hier.llcSlices - 1)) != 0) {
-        return "hier.llcSlices must be a nonzero power of two";
-    }
+    err = hier.validate();
+    if (!err.empty())
+        return "hier." + err;
     return "";
 }
 

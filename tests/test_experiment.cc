@@ -382,16 +382,17 @@ TEST(ExperimentRunner, PointExceptionPropagates)
 // Registered scenarios (bench/scenarios/)
 // --------------------------------------------------------------------------
 
-TEST(RegisteredScenarios, AllElevenBenchesRegistered)
+TEST(RegisteredScenarios, AllBenchesRegistered)
 {
     const ScenarioRegistry &reg = scenarios::all();
     for (const char *name :
          {"table1", "fig7", "fig8", "fig11", "fig12",
           "ablation_advanced", "ablation_mshr", "ablation_rs",
-          "ablation_smt", "ablation_cross_core", "microbench"}) {
+          "ablation_smt", "ablation_cross_core", "ablation_coherence",
+          "microbench"}) {
         EXPECT_NE(reg.find(name), nullptr) << name;
     }
-    EXPECT_EQ(reg.size(), 11u);
+    EXPECT_EQ(reg.size(), 12u);
 }
 
 TEST(RegisteredScenarios, Table1ParallelMatchesSerial)

@@ -25,7 +25,7 @@ TEST_F(HierarchyTest, ColdMissGoesToMemoryAndFillsAllLevels)
 {
     const Addr a = 0x1000;
     const auto r = hier.access(0, a, AccessType::Data, 0);
-    EXPECT_EQ(r.level, 4);
+    EXPECT_EQ(r.servedBy, ServedBy::Mem);
     EXPECT_EQ(r.latency, cfg.l1Latency + cfg.l2Latency +
                              cfg.llcLatency + cfg.memLatency);
     EXPECT_TRUE(hier.l1d(0).contains(a));
@@ -38,7 +38,7 @@ TEST_F(HierarchyTest, SecondAccessHitsL1)
     const Addr a = 0x1000;
     hier.access(0, a, AccessType::Data, 0);
     const auto r = hier.access(0, a, AccessType::Data, 1);
-    EXPECT_EQ(r.level, 1);
+    EXPECT_EQ(r.servedBy, ServedBy::L1);
     EXPECT_TRUE(r.l1Hit);
     EXPECT_EQ(r.latency, cfg.l1Latency);
 }
@@ -50,7 +50,7 @@ TEST_F(HierarchyTest, InstrAndDataUseSeparateL1s)
     EXPECT_TRUE(hier.l1d(0).contains(a));
     EXPECT_FALSE(hier.l1i(0).contains(a));
     const auto r = hier.access(0, a, AccessType::Instr, 1);
-    EXPECT_EQ(r.level, 2); // L2 is unified
+    EXPECT_EQ(r.servedBy, ServedBy::L2); // L2 is unified
 }
 
 TEST_F(HierarchyTest, CrossCoreSharesOnlyLlc)
@@ -58,7 +58,7 @@ TEST_F(HierarchyTest, CrossCoreSharesOnlyLlc)
     const Addr a = 0x3000;
     hier.access(0, a, AccessType::Data, 0);
     const auto r = hier.access(1, a, AccessType::Data, 1);
-    EXPECT_EQ(r.level, 3); // hits in the shared LLC
+    EXPECT_EQ(r.servedBy, ServedBy::Llc); // hits in the shared LLC
     EXPECT_TRUE(r.llcHit);
 }
 
@@ -66,7 +66,7 @@ TEST_F(HierarchyTest, InvisibleAccessChangesNoState)
 {
     const Addr a = 0x4000;
     const auto r = hier.accessInvisible(0, a, AccessType::Data, 0);
-    EXPECT_EQ(r.level, 4);
+    EXPECT_EQ(r.servedBy, ServedBy::Mem);
     EXPECT_FALSE(hier.l1d(0).contains(a));
     EXPECT_FALSE(hier.llcContains(a));
     EXPECT_TRUE(hier.llcTrace().empty());
@@ -79,7 +79,7 @@ TEST_F(HierarchyTest, InvisibleAccessReportsCorrectLevel)
     hier.l1d(0).invalidate(a);
     hier.l2(0).invalidate(a);
     const auto r = hier.accessInvisible(0, a, AccessType::Data, 1);
-    EXPECT_EQ(r.level, 3);
+    EXPECT_EQ(r.servedBy, ServedBy::Llc);
     EXPECT_TRUE(r.llcHit);
 }
 
@@ -110,11 +110,11 @@ TEST_F(HierarchyTest, DirectAccessTouchesOnlyLlc)
 {
     const Addr a = 0x8000;
     const auto r1 = hier.accessDirect(1, a, 0);
-    EXPECT_EQ(r1.level, 4);
+    EXPECT_EQ(r1.servedBy, ServedBy::Mem);
     EXPECT_FALSE(hier.l1d(1).contains(a));
     EXPECT_TRUE(hier.llcContains(a));
     const auto r2 = hier.accessDirect(1, a, 1);
-    EXPECT_EQ(r2.level, 3);
+    EXPECT_EQ(r2.servedBy, ServedBy::Llc);
     EXPECT_LT(r2.latency, hier.llcHitThreshold());
     EXPECT_GE(r1.latency, hier.llcHitThreshold());
 }
@@ -160,6 +160,86 @@ TEST_F(HierarchyTest, SliceIndexIsStableAndBounded)
         EXPECT_LT(s, cfg.llcSlices);
         EXPECT_EQ(s, hier.llcSliceIndex(a));
     }
+}
+
+// ---------------------------------------------------------------------
+// HierarchyConfig::validate
+// ---------------------------------------------------------------------
+
+TEST(HierarchyConfigValidate, DefaultsAreValid)
+{
+    EXPECT_EQ(HierarchyConfig{}.validate(), "");
+    EXPECT_EQ(HierarchyConfig::small().validate(), "");
+    EXPECT_EQ(HierarchyConfig::kabyLake().validate(), "");
+}
+
+TEST(HierarchyConfigValidate, RejectsZeroCores)
+{
+    HierarchyConfig cfg;
+    cfg.cores = 0;
+    EXPECT_NE(cfg.validate().find("cores"), std::string::npos);
+}
+
+TEST(HierarchyConfigValidate, RejectsZeroGeometries)
+{
+    HierarchyConfig cfg;
+    cfg.l1d.sets = 0;
+    EXPECT_NE(cfg.validate().find("l1d"), std::string::npos);
+
+    cfg = HierarchyConfig{};
+    cfg.l2.ways = 0;
+    EXPECT_NE(cfg.validate().find("l2"), std::string::npos);
+
+    cfg = HierarchyConfig{};
+    cfg.llcSlice.sets = 0;
+    EXPECT_NE(cfg.validate().find("llc"), std::string::npos);
+}
+
+TEST(HierarchyConfigValidate, RejectsNonPowerOfTwoSliceCount)
+{
+    HierarchyConfig cfg;
+    for (unsigned bad : {0u, 3u, 6u, 12u}) {
+        cfg.llcSlices = bad;
+        EXPECT_NE(cfg.validate().find("llcSlices"), std::string::npos)
+            << bad;
+    }
+    for (unsigned good : {1u, 2u, 4u, 8u}) {
+        cfg.llcSlices = good;
+        EXPECT_EQ(cfg.validate(), "") << good;
+    }
+}
+
+TEST(HierarchyConfigValidate, RejectsUnorderedLatencies)
+{
+    HierarchyConfig cfg;
+    cfg.l2Latency = cfg.l1Latency; // l1 < l2 violated
+    EXPECT_NE(cfg.validate().find("ordered"), std::string::npos);
+
+    cfg = HierarchyConfig{};
+    cfg.llcLatency = cfg.memLatency + 1;
+    EXPECT_NE(cfg.validate().find("ordered"), std::string::npos);
+}
+
+TEST(HierarchyConfigValidate, RejectsBadPrefetchParams)
+{
+    HierarchyConfig cfg;
+    cfg.prefetch.kind = PrefetchKind::NextLine;
+    cfg.prefetch.degree = 0;
+    EXPECT_NE(cfg.validate().find("degree"), std::string::npos);
+
+    cfg = HierarchyConfig{};
+    cfg.prefetch.kind = PrefetchKind::Stride;
+    cfg.prefetch.streamTableSize = 0;
+    EXPECT_NE(cfg.validate().find("streamTableSize"),
+              std::string::npos);
+}
+
+TEST(HierarchyConfigValidateDeathTest, ConstructorFatalsOnBadConfig)
+{
+    HierarchyConfig cfg;
+    cfg.llcSlices = 3;
+    EXPECT_EXIT(Hierarchy{cfg}, ::testing::ExitedWithCode(1),
+                "HierarchyConfig: llcSlices");
 }
 
 TEST_F(HierarchyTest, MainMemoryReadsBackWrites)

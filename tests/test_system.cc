@@ -69,6 +69,16 @@ TEST(SystemConfigValidation, BadConfigsAreRejected)
     cfg = SystemConfig{};
     cfg.hier.llcSlices = 3;
     EXPECT_NE(cfg.validate().find("llcSlices"), std::string::npos);
+
+    // The hierarchy validation chain: latency ordering and geometry
+    // problems surface through SystemConfig with the hier. prefix.
+    cfg = SystemConfig{};
+    cfg.hier.memLatency = cfg.hier.l1Latency;
+    EXPECT_NE(cfg.validate().find("hier.latencies"), std::string::npos);
+
+    cfg = SystemConfig{};
+    cfg.hier.l1d.ways = 0;
+    EXPECT_NE(cfg.validate().find("hier.l1d"), std::string::npos);
 }
 
 TEST(SystemConfigValidationDeathTest, ConstructorFatalsOnBadConfig)
@@ -268,6 +278,90 @@ TEST(SystemTest, ContentionKnobsOffPreserveSoloLatencies)
               h.l1Latency + h.l2Latency + h.llcLatency + h.memLatency);
     EXPECT_EQ(cold.queueDelay, 0u);
     EXPECT_EQ(hier.llcContention(0).requests, 0u); // model off: untracked
+}
+
+// ---------------------------------------------------------------------
+// Inclusive-LLC back-invalidation under multi-core sharing
+// ---------------------------------------------------------------------
+
+TEST(SystemTest, LlcEvictionBackInvalidatesEverySharingCore)
+{
+    // Two cores pull the same line into their private caches; evicting
+    // it from the inclusive LLC must remove *both* private copies, not
+    // just the one belonging to the core that brought it in last.
+    SystemConfig cfg;
+    cfg.numCores = 2;
+    System sys(cfg);
+    Hierarchy &hier = sys.hierarchy();
+
+    const Addr shared = 0x9000;
+    hier.access(0, shared, AccessType::Data, 0);
+    hier.access(1, shared, AccessType::Data, 1);
+    ASSERT_TRUE(hier.l1d(0).contains(shared));
+    ASSERT_TRUE(hier.l1d(1).contains(shared));
+    ASSERT_TRUE(hier.llcContains(shared));
+
+    // Fill the line's LLC set from the spare direct client until the
+    // shared line is evicted.
+    const CoreId agent = static_cast<CoreId>(sys.numCores());
+    const unsigned set = hier.llcSetIndex(shared);
+    const unsigned slice = hier.llcSliceIndex(shared);
+    const unsigned ways = hier.config().llcSlice.ways;
+    unsigned filled = 0;
+    Addr cand = 0xA0000000;
+    while (filled < 2 * ways && hier.llcContains(shared)) {
+        if (hier.llcSetIndex(cand) == set &&
+            hier.llcSliceIndex(cand) == slice) {
+            hier.accessDirect(agent, cand, 0);
+            ++filled;
+        }
+        cand += kLineBytes;
+    }
+
+    EXPECT_FALSE(hier.llcContains(shared));
+    EXPECT_FALSE(hier.l1d(0).contains(shared));
+    EXPECT_FALSE(hier.l2(0).contains(shared));
+    EXPECT_FALSE(hier.l1d(1).contains(shared));
+    EXPECT_FALSE(hier.l2(1).contains(shared));
+}
+
+TEST(SystemTest, BackInvalidationDropsCoherenceDirectoryState)
+{
+    // Same scenario with the coherence model on: the directory's
+    // sharer set for the evicted line must be dropped along with the
+    // private copies.
+    SystemConfig cfg;
+    cfg.numCores = 2;
+    cfg.hier.coherence.enabled = true;
+    System sys(cfg);
+    Hierarchy &hier = sys.hierarchy();
+
+    const Addr shared = 0x9000;
+    hier.access(0, shared, AccessType::Data, 0);
+    hier.access(1, shared, AccessType::Data, 1);
+    ASSERT_EQ(hier.coherenceDirectory().state(0, shared),
+              MesiState::Shared);
+
+    const CoreId agent = static_cast<CoreId>(sys.numCores());
+    const unsigned set = hier.llcSetIndex(shared);
+    const unsigned slice = hier.llcSliceIndex(shared);
+    unsigned filled = 0;
+    Addr cand = 0xA0000000;
+    while (filled < 2 * hier.config().llcSlice.ways &&
+           hier.llcContains(shared)) {
+        if (hier.llcSetIndex(cand) == set &&
+            hier.llcSliceIndex(cand) == slice) {
+            hier.accessDirect(agent, cand, 0);
+            ++filled;
+        }
+        cand += kLineBytes;
+    }
+
+    EXPECT_FALSE(hier.llcContains(shared));
+    EXPECT_EQ(hier.coherenceDirectory().state(0, shared),
+              MesiState::Invalid);
+    EXPECT_EQ(hier.coherenceDirectory().state(1, shared),
+              MesiState::Invalid);
 }
 
 // ---------------------------------------------------------------------
