@@ -137,21 +137,60 @@ benchHierarchyColdAccess(unsigned trials)
         trials);
 }
 
-KernelResult
-benchCoreSimulation(unsigned trials, unsigned instructions)
+/** Memory-stall-bound variant of the simulation workloads: serial
+ *  pointer chases over a footprint far beyond the small hierarchy, so
+ *  the window fills and the core spends most cycles stalled on misses
+ *  — the profile of the attack scenarios (secret-dependent misses)
+ *  and the case the stall fast-forward engine targets. The default
+ *  spec is the opposite extreme: a straight-line compulsory-miss
+ *  instruction stream whose stall cycles drain the window. */
+WorkloadSpec
+memStallSpec(unsigned instructions)
 {
     WorkloadSpec spec;
+    spec.instructions = instructions;
+    spec.loadFrac = 0.35;
+    spec.chaseFrac = 0.5;
+    spec.footprintLines = 4096;
+    return spec;
+}
+
+/** Raw-speed engine mode: stall fast-forward plus stats-lite (the
+ *  golden-trace/fuzz harnesses prove both are cycle-exact). */
+CoreConfig
+rawCoreConfig(bool raw)
+{
+    CoreConfig cfg;
+    cfg.fastForward = raw;
+    cfg.statsLite = raw;
+    return cfg;
+}
+
+HierarchyConfig
+rawHierConfig(bool raw)
+{
+    HierarchyConfig cfg = HierarchyConfig::small();
+    cfg.statsLite = raw;
+    return cfg;
+}
+
+KernelResult
+benchCoreSimulation(unsigned trials, unsigned instructions,
+                    bool raw = false, bool memstall = false)
+{
+    WorkloadSpec spec =
+        memstall ? memStallSpec(instructions) : WorkloadSpec{};
     spec.instructions = instructions;
     const GeneratedWorkload wl = generateWorkload(spec);
     return measure(
         [&](std::uint64_t n) {
             std::uint64_t cycles = 0;
             for (std::uint64_t i = 0; i < n; ++i) {
-                Hierarchy hier(HierarchyConfig::small());
+                Hierarchy hier(rawHierConfig(raw));
                 MainMemory mem;
                 for (const auto &[a, v] : wl.memInit)
                     mem.write(a, v);
-                Core core(CoreConfig{}, 0, hier, mem);
+                Core core(rawCoreConfig(raw), 0, hier, mem);
                 cycles += core.run(wl.prog).cycles;
             }
             return cycles;
@@ -160,9 +199,11 @@ benchCoreSimulation(unsigned trials, unsigned instructions)
 }
 
 KernelResult
-benchSmtCoreSimulation(unsigned trials, unsigned instructions)
+benchSmtCoreSimulation(unsigned trials, unsigned instructions,
+                       bool raw = false, bool memstall = false)
 {
-    WorkloadSpec spec;
+    WorkloadSpec spec =
+        memstall ? memStallSpec(instructions) : WorkloadSpec{};
     spec.instructions = instructions;
     const GeneratedWorkload wl0 = generateWorkload(spec);
     spec.seed = 999;
@@ -172,13 +213,14 @@ benchSmtCoreSimulation(unsigned trials, unsigned instructions)
         [&](std::uint64_t n) {
             std::uint64_t cycles = 0;
             for (std::uint64_t i = 0; i < n; ++i) {
-                Hierarchy hier(HierarchyConfig::small());
+                Hierarchy hier(rawHierConfig(raw));
                 MainMemory mem;
                 for (const auto &[a, v] : wl0.memInit)
                     mem.write(a, v);
                 for (const auto &[a, v] : wl1.memInit)
                     mem.write(a, v);
-                SmtCore core(CoreConfig{}, SmtConfig{}, 0, hier, mem);
+                SmtCore core(rawCoreConfig(raw), SmtConfig{}, 0, hier,
+                             mem);
                 cycles += core.run({&wl0.prog, &wl1.prog}).cycles;
             }
             return cycles;
@@ -187,9 +229,11 @@ benchSmtCoreSimulation(unsigned trials, unsigned instructions)
 }
 
 KernelResult
-benchSystemSimulation(unsigned trials, unsigned instructions)
+benchSystemSimulation(unsigned trials, unsigned instructions,
+                      bool raw = false, bool memstall = false)
 {
-    WorkloadSpec spec;
+    WorkloadSpec spec =
+        memstall ? memStallSpec(instructions) : WorkloadSpec{};
     spec.instructions = instructions;
     spec.dataBase = 0x01000000;
     spec.codeBase = 0x400000;
@@ -204,6 +248,8 @@ benchSystemSimulation(unsigned trials, unsigned instructions)
             for (std::uint64_t i = 0; i < n; ++i) {
                 SystemConfig cfg;
                 cfg.numCores = 2;
+                cfg.core = rawCoreConfig(raw);
+                cfg.hier = rawHierConfig(raw);
                 cfg.hier.llcPortBusy = 2;
                 cfg.hier.llcMshrs = 8;
                 System sys(cfg);
@@ -281,14 +327,40 @@ const Kernel kKernels[] = {
      [](unsigned t) { return benchCoreSimulation(t, 1000); }},
     {"CoreSimulation/4000",
      [](unsigned t) { return benchCoreSimulation(t, 4000); }},
+    {"CoreSimulation/4000/raw",
+     [](unsigned t) { return benchCoreSimulation(t, 4000, true); }},
+    {"CoreSimulation/4000/memstall",
+     [](unsigned t) { return benchCoreSimulation(t, 4000, false, true); }},
+    {"CoreSimulation/4000/memstall/raw",
+     [](unsigned t) { return benchCoreSimulation(t, 4000, true, true); }},
     {"SmtCoreSimulation/1000",
      [](unsigned t) { return benchSmtCoreSimulation(t, 1000); }},
     {"SmtCoreSimulation/4000",
      [](unsigned t) { return benchSmtCoreSimulation(t, 4000); }},
+    {"SmtCoreSimulation/4000/raw",
+     [](unsigned t) { return benchSmtCoreSimulation(t, 4000, true); }},
+    {"SmtCoreSimulation/4000/memstall",
+     [](unsigned t) {
+         return benchSmtCoreSimulation(t, 4000, false, true);
+     }},
+    {"SmtCoreSimulation/4000/memstall/raw",
+     [](unsigned t) {
+         return benchSmtCoreSimulation(t, 4000, true, true);
+     }},
     {"SystemSimulation/1000",
      [](unsigned t) { return benchSystemSimulation(t, 1000); }},
     {"SystemSimulation/4000",
      [](unsigned t) { return benchSystemSimulation(t, 4000); }},
+    {"SystemSimulation/4000/raw",
+     [](unsigned t) { return benchSystemSimulation(t, 4000, true); }},
+    {"SystemSimulation/4000/memstall",
+     [](unsigned t) {
+         return benchSystemSimulation(t, 4000, false, true);
+     }},
+    {"SystemSimulation/4000/memstall/raw",
+     [](unsigned t) {
+         return benchSystemSimulation(t, 4000, true, true);
+     }},
     {"ReceiverPrimeDecode", benchReceiverPrimeDecode},
     {"EndToEndAttackTrial", benchEndToEndAttackTrial},
 };

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over BENCH_microbench.json.
+
+Compares a freshly measured microbench JSON against the committed
+baseline (bench/baselines/BENCH_microbench.json) and fails when a
+kernel's simulation throughput regressed.
+
+CI runners differ wildly in absolute speed, so raw cycles-per-second
+cannot be compared across machines. Two machine-independent checks are
+applied instead:
+
+1. Per-kernel relative regression. The median of the per-kernel
+   current/baseline ratios estimates the machine-speed factor between
+   the two measurements; a kernel whose own ratio falls more than
+   --tolerance below that factor got slower *relative to the rest of
+   the suite* — a real per-kernel regression, not a slow runner.
+
+2. Raw-engine speedup regression. For every "<kernel>/raw" row the
+   speedup over its non-raw sibling is a pure ratio of same-machine
+   numbers. It must not fall more than --tolerance below the
+   baseline's speedup for the same pair: the raw engine (stall
+   fast-forward + arena + stats-lite) earning less over the baseline
+   engine is exactly the regression this gate exists to catch.
+
+Exit status: 0 = pass, 1 = regression, 2 = usage/data error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    rows = {}
+    for row in doc.get("rows", []):
+        name = row.get("bench")
+        cps = row.get("sim_cycles_per_sec")
+        if name is None or not cps:
+            continue
+        rows[name] = float(cps)
+    if not rows:
+        print(f"error: no usable rows in {path}", file=sys.stderr)
+        sys.exit(2)
+    return rows
+
+
+def median(values):
+    s = sorted(values)
+    n = len(s)
+    mid = n // 2
+    return s[mid] if n % 2 else (s[mid - 1] + s[mid]) / 2.0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("current", help="freshly measured BENCH json")
+    ap.add_argument("baseline", help="committed baseline BENCH json")
+    ap.add_argument("--tolerance", type=float, default=0.20,
+                    help="allowed fractional regression (default 0.20)")
+    args = ap.parse_args()
+
+    cur = load_rows(args.current)
+    base = load_rows(args.baseline)
+
+    common = sorted(set(cur) & set(base))
+    if not common:
+        print("error: no kernels in common between current and baseline",
+              file=sys.stderr)
+        sys.exit(2)
+
+    failures = []
+
+    # Check 1: per-kernel ratio vs the machine-speed factor.
+    ratios = {k: cur[k] / base[k] for k in common}
+    factor = median(ratios.values())
+    floor = factor * (1.0 - args.tolerance)
+    print(f"machine-speed factor (median current/baseline): {factor:.3f}")
+    for k in common:
+        status = "ok"
+        if ratios[k] < floor:
+            status = "REGRESSED"
+            failures.append(
+                f"{k}: {ratios[k]:.3f}x vs factor {factor:.3f} "
+                f"(floor {floor:.3f})")
+        print(f"  {k}: cur={cur[k]:.3g} base={base[k]:.3g} "
+              f"ratio={ratios[k]:.3f} [{status}]")
+
+    # Check 2: raw-engine speedup pairs.
+    print("raw-engine speedups (kernel/raw vs kernel):")
+    for k in common:
+        if not k.endswith("/raw"):
+            continue
+        sib = k[: -len("/raw")]
+        if sib not in common:
+            continue
+        cur_sp = cur[k] / cur[sib]
+        base_sp = base[k] / base[sib]
+        status = "ok"
+        if cur_sp < base_sp * (1.0 - args.tolerance):
+            status = "REGRESSED"
+            failures.append(
+                f"{k}: speedup {cur_sp:.2f}x vs baseline "
+                f"{base_sp:.2f}x")
+        print(f"  {sib}: cur={cur_sp:.2f}x base={base_sp:.2f}x "
+              f"[{status}]")
+
+    if failures:
+        print("\nperf regression detected:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        sys.exit(1)
+    print("\nno perf regression (tolerance "
+          f"{args.tolerance:.0%})")
+
+
+if __name__ == "__main__":
+    main()

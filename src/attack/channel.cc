@@ -13,9 +13,22 @@
 #include "cpu/core.hh"
 #include "memory/eviction_set.hh"
 #include "memory/hierarchy.hh"
+#include "sim/log.hh"
 
 namespace specint
 {
+
+/** Attack runs decode the observation traces stats-lite elides; a
+ *  stats-lite config here is silent corruption, not speed. */
+static void
+rejectStatsLite(const char *entry, const ChannelConfig &cfg)
+{
+    if (cfg.core.statsLite || cfg.hier.statsLite) {
+        fatal(std::string(entry) +
+              ": statsLite elides the traces the attacker decodes; "
+              "disable it for attack runs");
+    }
+}
 
 std::vector<std::uint8_t>
 randomBits(unsigned n, std::uint64_t seed)
@@ -74,6 +87,7 @@ ChannelResult
 runDCacheChannel(const std::vector<std::uint8_t> &bits,
                  const ChannelConfig &cfg)
 {
+    rejectStatsLite("runDCacheChannel", cfg);
     SenderParams params = cfg.sender;
     // The D-Cache channel works with either D-side gadget (G^D_NPEU is
     // the paper's PoC; G^D_MSHR is the Fig. 4 variant) but always uses
@@ -123,6 +137,7 @@ ChannelResult
 runICacheChannel(const std::vector<std::uint8_t> &bits,
                  const ChannelConfig &cfg)
 {
+    rejectStatsLite("runICacheChannel", cfg);
     SenderParams params = cfg.sender;
     params.gadget = GadgetKind::Rs;
     params.ordering = OrderingKind::Presence;

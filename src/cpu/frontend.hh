@@ -95,6 +95,8 @@ class Frontend
     FetchedInst popFront();
 
     bool halted() const { return halted_; }
+    /** Cycle the fetch stage is next free (engine stall predicate). */
+    Tick busyUntil() const { return busyUntil_; }
 
     /** Number of distinct I-lines fetched (stat). */
     std::uint64_t linesFetched() const { return linesFetched_; }

@@ -56,6 +56,16 @@ Lsq::stores() const
 }
 
 bool
+Lsq::canAllocate(const StaticInst &si, ThreadId tid) const
+{
+    if (si.isLoad())
+        return !lqFull(tid);
+    if (si.isStore())
+        return !sqFull(tid);
+    return true;
+}
+
+bool
 Lsq::allocate(const DynInst &inst)
 {
     if (inst.isLoad()) {

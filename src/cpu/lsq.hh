@@ -59,6 +59,11 @@ class Lsq
     unsigned loads(ThreadId tid) const { return loads_[tid]; }
     unsigned stores(ThreadId tid) const { return stores_[tid]; }
 
+    /** Would an instruction of @p si's class from @p tid fit right
+     *  now? Pure query form of allocate() — the engine's stall
+     *  predicate uses it without building a DynInst probe. */
+    bool canAllocate(const StaticInst &si, ThreadId tid) const;
+
     /** Dispatch-time allocation (accounted to inst.tid).
      *  @return false if no space. */
     bool allocate(const DynInst &inst);

@@ -45,11 +45,13 @@ CommitUnit::retire(std::vector<std::unique_ptr<ThreadContext>> &threads,
                     hier_.access(id_, h.effAddr, AccessType::Data, now,
                                  MemIntent::Read, /*train=*/false);
                     h.exposurePending = false;
+                    --th.pendingVisibility;
                 }
                 if (h.deferredTouchPending) {
                     hier_.l1DeferredTouch(id_, h.effAddr,
                                           AccessType::Data);
                     h.deferredTouchPending = false;
+                    --th.pendingVisibility;
                 }
             }
             if (h.ifetchExposureLine != kAddrInvalid) {
@@ -75,7 +77,8 @@ CommitUnit::retire(std::vector<std::unique_ptr<ThreadContext>> &threads,
             h.retiredAt = now;
             ++th.stats.retired;
 
-            if (cfg_.recordTrace && !h.si.label.empty()) {
+            if (cfg_.recordTrace && !cfg_.statsLite &&
+                !h.si.label.empty()) {
                 th.trace.push_back({h.si.label, h.pc, h.seq,
                                     h.dispatchedAt, h.issuedAt,
                                     h.completeAt, h.retiredAt,
@@ -87,31 +90,54 @@ CommitUnit::retire(std::vector<std::unique_ptr<ThreadContext>> &threads,
 }
 
 void
+CommitUnit::wakeIfConsumer(ThreadContext &th, DynInst &inst,
+                           const DynInst &producer, Tick now)
+{
+    bool woke = false;
+    if (!inst.src1Ready && inst.src1Prod == producer.seq) {
+        inst.src1Ready = true;
+        inst.src1Val = producer.result;
+        woke = true;
+    }
+    if (!inst.src2Ready && inst.src2Prod == producer.seq) {
+        inst.src2Ready = true;
+        inst.src2Val = producer.result;
+        woke = true;
+    }
+    if (woke) {
+        // Writeback-to-issue delay: a freshly woken consumer can
+        // issue at the earliest on the cycle after the writeback —
+        // the gap the G^D_NPEU cascade exploits (Fig. 3).
+        inst.readyAt = std::max(inst.readyAt, now + 1);
+        if (inst.src1Ready && inst.src2Ready)
+            th.readyQ.push_back(inst.seq);
+    }
+}
+
+void
 CommitUnit::wakeConsumers(ThreadContext &th, const DynInst &producer,
                           Tick now)
 {
-    for (auto &inst : th.rob) {
-        if (inst.seq <= producer.seq ||
-            inst.state != InstState::Dispatched) {
-            continue;
+    if (!producer.waiterOverflow) {
+        // Wake the consumers registered at rename. Every entry is
+        // re-validated (presence, state, srcProd match), so duplicates
+        // and seqs reused after a squash are harmless no-ops.
+        for (unsigned i = 0; i < producer.numWaiters; ++i) {
+            DynInst *inst = th.rob.find(producer.waiters[i]);
+            if (inst && inst->state == InstState::Dispatched)
+                wakeIfConsumer(th, *inst, producer, now);
         }
-        bool woke = false;
-        if (!inst.src1Ready && inst.src1Prod == producer.seq) {
-            inst.src1Ready = true;
-            inst.src1Val = producer.result;
-            woke = true;
-        }
-        if (!inst.src2Ready && inst.src2Prod == producer.seq) {
-            inst.src2Ready = true;
-            inst.src2Val = producer.result;
-            woke = true;
-        }
-        if (woke) {
-            // Writeback-to-issue delay: a freshly woken consumer can
-            // issue at the earliest on the cycle after the writeback —
-            // the gap the G^D_NPEU cascade exploits (Fig. 3).
-            inst.readyAt = std::max(inst.readyAt, now + 1);
-        }
+        return;
+    }
+    // Waiter list overflowed: scan the younger entries. Consumers are
+    // strictly younger; seqs are contiguous, so the producer sits at
+    // index (seq - headSeq) and the scan can start at its successor.
+    const std::size_t first =
+        static_cast<std::size_t>(producer.seq - th.rob.head().seq) + 1;
+    for (std::size_t i = first; i < th.rob.size(); ++i) {
+        DynInst &inst = *th.rob.at(i);
+        if (inst.state == InstState::Dispatched)
+            wakeIfConsumer(th, inst, producer, now);
     }
 }
 
@@ -122,6 +148,7 @@ CommitUnit::resolveBranch(ThreadContext &th, DynInst &br, Tick now)
     br.actualTaken = evalCond(br.si.cond, br.src1Val, br.src2Val);
     br.mispredicted = br.actualTaken != br.predictedTaken;
     br.resolved = true;
+    --th.numUnresolvedBranches;
     th.predictor.update(br.pc, br.actualTaken);
     ++th.stats.branches;
     if (br.mispredicted) {
@@ -140,6 +167,8 @@ CommitUnit::writeback(std::vector<std::unique_ptr<ThreadContext>> &threads,
     // deque's tail mid-iteration.
     for (auto &tp : threads) {
         ThreadContext &th = *tp;
+        if (now < th.minWbAt)
+            continue; // no Issued entry of this thread completes yet
         for (std::size_t idx = 0; idx < th.rob.size(); ++idx) {
             DynInst &inst = *std::next(
                 th.rob.begin(), static_cast<std::ptrdiff_t>(idx));
@@ -161,12 +190,23 @@ CommitUnit::writeback(std::vector<std::unique_ptr<ThreadContext>> &threads,
     // contention channel of Fig. 1.
     cands_.clear();
     for (auto &tp : threads) {
-        for (auto &inst : tp->rob) {
-            if (inst.state == InstState::Issued && !inst.isBranch() &&
-                inst.completeAt <= now) {
-                cands_.emplace_back(tp.get(), &inst);
-            }
+        ThreadContext &th = *tp;
+        if (now < th.minWbAt)
+            continue;
+        // Recompute the thread's writeback bound while collecting:
+        // the earliest completion among Issued entries still in
+        // flight. Completed entries that lose CDB arbitration below
+        // re-arm it to now + 1.
+        Tick new_min = kTickMax;
+        for (auto &inst : th.rob) {
+            if (inst.state != InstState::Issued)
+                continue;
+            if (!inst.isBranch() && inst.completeAt <= now)
+                cands_.emplace_back(&th, &inst);
+            else
+                new_min = std::min(new_min, inst.completeAt);
         }
+        th.minWbAt = new_min;
     }
     // A single thread's ROB is already in dispatch (stamp) order;
     // only a real cross-thread merge needs the sort.
@@ -178,10 +218,18 @@ CommitUnit::writeback(std::vector<std::unique_ptr<ThreadContext>> &threads,
     }
     unsigned slots = cfg_.cdbWidth;
     for (auto &[th, inst] : cands_) {
-        if (slots == 0)
-            break;
+        if (slots == 0) {
+            // Loser: still Issued and complete; it re-arbitrates next
+            // cycle, so re-arm its thread's writeback bound.
+            th->minWbAt = std::min(th->minWbAt, now + 1);
+            continue;
+        }
         inst->state = InstState::WrittenBack;
         inst->wbAt = now;
+        if (inst->isLoad())
+            --th->numIncompleteLoads;
+        else if (inst->isStore())
+            --th->numIncompleteStores;
         ports_.releaseIfHeldBy(inst->seq, th->tid);
         wakeConsumers(*th, *inst, now);
         --slots;
@@ -200,6 +248,20 @@ CommitUnit::squashAfter(ThreadContext &th, const DynInst &br, Tick now)
             continue;
         rs_.release(const_cast<DynInst &>(inst));
         lsq_.release(inst);
+        if (inst.exposurePending)
+            --th.pendingVisibility;
+        if (inst.deferredTouchPending)
+            --th.pendingVisibility;
+        if (inst.isBranch()) {
+            if (!inst.resolved)
+                --th.numUnresolvedBranches;
+        } else if (inst.isLoad()) {
+            if (!inst.executed())
+                --th.numIncompleteLoads;
+        } else if (inst.isStore()) {
+            if (!inst.executed())
+                --th.numIncompleteStores;
+        }
     }
     th.rob.squashYoungerThan(bound);
     ports_.squashThread(th.tid, bound);

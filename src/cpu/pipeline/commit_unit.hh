@@ -51,6 +51,8 @@ class CommitUnit
                    Tick now);
 
   private:
+    static void wakeIfConsumer(ThreadContext &th, DynInst &inst,
+                               const DynInst &producer, Tick now);
     void wakeConsumers(ThreadContext &th, const DynInst &producer,
                        Tick now);
     void resolveBranch(ThreadContext &th, DynInst &br, Tick now);

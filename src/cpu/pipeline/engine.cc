@@ -161,9 +161,174 @@ EngineRunResult
 PipelineEngine::run(const std::vector<const Program *> &progs)
 {
     beginRun(progs);
-    while (step()) {
+    // Eligibility is checked once: the hook and the sampling flag are
+    // fixed for the duration of a run.
+    if (fastForwardEligible()) {
+        // Skipping is optional — any dead cycle not skipped simply
+        // ticks normally with identical results — so after a failed
+        // attempt (nothing skippable: the pipeline is busy) the
+        // predicate backs off for a few ticks instead of rescanning
+        // the ROB every cycle of a busy stretch. Long stalls (memory
+        // misses) still collapse; at most the first few cycles of a
+        // dead region are ticked.
+        unsigned backoff = 0;
+        while (step()) {
+            if (backoff > 0) {
+                --backoff;
+                continue;
+            }
+            if (fastForward(cfg_.maxCycles) == 0)
+                backoff = 3;
+        }
+    } else {
+        while (step()) {
+        }
     }
     return finishRun();
+}
+
+// ---------------------------------------------------------------------
+// Stall fast-forward
+// ---------------------------------------------------------------------
+
+bool
+PipelineEngine::fastForwardEligible() const
+{
+    // A per-cycle hook models a concurrent agent acting every cycle,
+    // and contention sampling records one sample per cycle: both make
+    // empty cycles observable, so the skip is only legal without them.
+    return cfg_.fastForward && !cycleHook_ && !smt_.recordContention;
+}
+
+Tick
+PipelineEngine::nextTransitionAt() const
+{
+    Tick next = kTickMax;
+    for (const auto &tp : threads_) {
+        const ThreadContext &th = *tp;
+
+        // Retire: the head retires the cycle it is found written back.
+        if (!th.rob.empty() &&
+            th.rob.head().state == InstState::WrittenBack) {
+            return now_;
+        }
+
+        const SafePoint sp = th.scheme->safePoint();
+        // The running shadow state is folded into this single walk
+        // (same recurrence as ThreadContext::computeShadows): each
+        // instruction sees the shadows of strictly older entries.
+        ShadowInfo running;
+        for (const auto &inst : th.rob) {
+            const ShadowInfo sh = running;
+            shadowStep(running, inst);
+
+            if (inst.state == InstState::Issued) {
+                // Writeback (and branch resolution / squash) fires the
+                // cycle completeAt is reached; a completed instruction
+                // that lost CDB arbitration re-arbitrates every cycle.
+                if (inst.completeAt <= now_)
+                    return now_;
+                next = std::min(next, inst.completeAt);
+                continue;
+            }
+
+            // Safety stage: an executed load with a pending visibility
+            // op transitions the cycle it becomes safe. If it is not
+            // safe now, it can only become safe after another captured
+            // event (branch resolution, load completion, retire).
+            if (inst.isLoad() && inst.executed() &&
+                (inst.exposurePending || inst.deferredTouchPending) &&
+                th.isSafe(inst, sh, sp)) {
+                return now_;
+            }
+
+            if (inst.state != InstState::Dispatched ||
+                !inst.src1Ready || !inst.src2Ready) {
+                continue;
+            }
+
+            // Statically blocked candidates: the issue stage skips them
+            // with no state change, and they can only unblock after an
+            // event already captured above. Mirror its gates exactly.
+            if (inst.loadPhase == LoadPhase::WaitSafe &&
+                !th.isSafe(inst, sh, sp)) {
+                continue;
+            }
+            if (inst.si.op == Op::Fence &&
+                th.rob.head().seq != inst.seq) {
+                continue;
+            }
+            IssueContext ctx;
+            ctx.olderUnresolvedBranch = sh.olderUnresolvedBranch;
+            ctx.olderIncompleteLoad = sh.olderIncompleteLoad;
+            ctx.isLoad = inst.isLoad();
+            ctx.isBranch = inst.isBranch();
+            if (!th.scheme->mayIssue(ctx))
+                continue;
+
+            // An issue *attempt* is a transition even when it fails:
+            // it can preempt an EU, set contention flags, or update a
+            // blocked load's retry time.
+            const Tick t = std::max(inst.readyAt, inst.retryAt);
+            if (t <= now_)
+                return now_;
+            next = std::min(next, t);
+        }
+
+        // Dispatch: possible iff the front of the decode queue can
+        // enter the window right now. Every input (queue, ROB/RS/LSQ
+        // occupancy) only changes through captured events.
+        if (!th.frontend.queueEmpty() &&
+            !front_.robFull(th, threads_) && !rs_.full(th.tid)) {
+            const FetchedInst &fi = th.frontend.front();
+            const StaticInst &si = th.prog->at(fi.pc);
+            if (!si.isMem() || lsq_.canAllocate(si, th.tid))
+                return now_;
+        }
+
+        // Fetch: a grantable thread mutates the arbiter, the queue and
+        // the I-cache. A frontend waiting out its busy timer becomes
+        // fetchable at busyUntil (unless the queue is full, in which
+        // case the unblocking dispatch is its own transition).
+        if (th.frontend.canFetch(now_))
+            return now_;
+        if (!th.frontend.halted() && !th.frontend.queueFull())
+            next = std::min(next, th.frontend.busyUntil());
+    }
+    return next;
+}
+
+void
+PipelineEngine::fastForwardTo(Tick target)
+{
+    target = std::min(target, cfg_.maxCycles);
+    if (target <= now_)
+        return;
+    const Tick skipped = target - now_;
+    // The only per-cycle stat that accrues during dead cycles; its
+    // condition cannot change while no stage transitions. Contention
+    // flags stay false (no issue attempts), so the contended-cycle
+    // counters are untouched, exactly as in the naive loop.
+    for (const auto &tp : threads_) {
+        if (!tp->frontend.queueEmpty() && rs_.full(tp->tid))
+            tp->stats.rsBlockedCycles += skipped;
+    }
+    now_ = target;
+}
+
+Tick
+PipelineEngine::fastForward(Tick bound)
+{
+    // Never skip past the end of the run: with every Halt retired
+    // nothing is in flight, and jumping to maxCycles would corrupt the
+    // reported cycle count.
+    if (allHalted() || now_ >= cfg_.maxCycles)
+        return 0;
+    const Tick before = now_;
+    const Tick next = nextTransitionAt();
+    if (next > now_)
+        fastForwardTo(std::min(next, bound));
+    return now_ - before;
 }
 
 void
@@ -193,7 +358,7 @@ PipelineEngine::sampleContention()
             ++th.stats.portContendedCycles;
         if (th.mshrContended)
             ++th.stats.mshrContendedCycles;
-        if (!smt_.recordContention)
+        if (!smt_.recordContention || cfg_.statsLite)
             continue;
         ContentionSample s;
         s.cycle = now_;

@@ -120,6 +120,46 @@ class PipelineEngine
     EngineRunResult finishRun();
     /// @}
 
+    /**
+     * @name Stall fast-forward (cfg.fastForward)
+     *
+     * Every structure in the engine is time-queried against now() —
+     * MSHRs expire on lookup, ports and the frontend keep busy-until
+     * times, fills carry completion cycles — so a cycle in which no
+     * stage can transition is pure clock advance. nextTransitionAt()
+     * computes the earliest cycle at which any stage could change
+     * state; when that is in the future, fastForwardTo() jumps the
+     * clock there in one step. The skip is legal iff no structure
+     * transitions in between — see docs/architecture.md for the
+     * invariant and tests/test_golden_traces.cc /
+     * tests/test_fastforward_fuzz.cc for the differential proof.
+     */
+    /// @{
+    /** Fast-forward is enabled and nothing observes individual empty
+     *  cycles (per-cycle hook, SMT contention sampling). */
+    bool fastForwardEligible() const;
+    /**
+     * Earliest cycle at which any pipeline structure can change state:
+     * now() if a stage would transition this cycle, the minimum
+     * pending event time otherwise, kTickMax if nothing is in flight
+     * (deadlock — the run ends at maxCycles, exactly as the naive tick
+     * loop would).
+     */
+    Tick nextTransitionAt() const;
+    /**
+     * The shared stall predicate: no stage can change state this
+     * cycle. The one definition used by fast-forward and by the
+     * Core/SmtCore façades.
+     */
+    bool allThreadsStalled() const { return nextTransitionAt() > now_; }
+    /** Skip dead cycles up to @p bound. @return cycles skipped. */
+    Tick fastForward(Tick bound);
+    /** Advance the clock to @p target (clamped to maxCycles),
+     *  accounting the per-cycle stats that accrue while stalled. The
+     *  caller asserts the skipped range is dead (nextTransitionAt()). */
+    void fastForwardTo(Tick target);
+    /// @}
+
     /** @name Per-thread run introspection. */
     /// @{
     const std::vector<InstTraceEntry> &trace(ThreadId tid) const;

@@ -92,6 +92,14 @@ FrontUnit::dispatch(std::vector<std::unique_ptr<ThreadContext>> &threads,
 
         DynInst &stored = th->rob.push(std::move(d));
         rs_.allocate(stored);
+        if (stored.src1Ready && stored.src2Ready)
+            th->readyQ.push_back(stored.seq);
+        if (stored.isBranch())
+            ++th->numUnresolvedBranches;
+        else if (stored.isLoad())
+            ++th->numIncompleteLoads;
+        else if (stored.isStore())
+            ++th->numIncompleteStores;
         ++th->nextSeq;
         ++nextStamp_;
         th->frontend.popFront();

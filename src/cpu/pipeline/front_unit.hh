@@ -48,12 +48,13 @@ class FrontUnit
     void fetch(std::vector<std::unique_ptr<ThreadContext>> &threads,
                Tick now);
 
-  private:
-    /** Per-thread ROB occupancy limit under the active policy. */
+    /** Per-thread ROB occupancy limit under the active policy (public:
+     *  the engine's stall predicate shares this definition). */
     bool robFull(
         const ThreadContext &th,
         const std::vector<std::unique_ptr<ThreadContext>> &threads) const;
 
+  private:
     const CoreConfig &cfg_;
     const SmtConfig &smt_;
     CoreId id_;

@@ -23,14 +23,16 @@ Scheduler::safety(std::vector<std::unique_ptr<ThreadContext>> &threads,
 {
     for (auto &tp : threads) {
         ThreadContext &th = *tp;
-        if (th.rob.empty())
-            continue;
-        th.computeShadows(shadows_[th.tid]);
-        const auto &shadows = shadows_[th.tid];
+        if (th.pendingVisibility == 0)
+            continue; // no deferred visibility op anywhere in the ROB
         const SafePoint sp = th.scheme->safePoint();
-        std::size_t i = 0;
+        // Running shadow computed inline during the walk (the
+        // recurrence of ThreadContext::computeShadows): each
+        // instruction sees the shadows of strictly older entries.
+        ShadowInfo running;
         for (auto &inst : th.rob) {
-            const ShadowInfo &sh = shadows[i++];
+            const ShadowInfo sh = running;
+            shadowStep(running, inst);
             if (!inst.isLoad() || !inst.executed())
                 continue;
             if (!(inst.exposurePending || inst.deferredTouchPending))
@@ -45,12 +47,14 @@ Scheduler::safety(std::vector<std::unique_ptr<ThreadContext>> &threads,
                 hier_.access(id_, inst.effAddr, AccessType::Data, now,
                              MemIntent::Read, /*train=*/false);
                 inst.exposurePending = false;
+                --th.pendingVisibility;
             }
             if (inst.deferredTouchPending) {
                 // DoM deferred replacement update.
                 hier_.l1DeferredTouch(id_, inst.effAddr,
                                       AccessType::Data);
                 inst.deferredTouchPending = false;
+                --th.pendingVisibility;
             }
         }
     }
@@ -80,34 +84,92 @@ void
 Scheduler::issue(std::vector<std::unique_ptr<ThreadContext>> &threads,
                  Tick now, NoiseModel *noise)
 {
-    // Per-thread shadows first (computed once per stage), then one
-    // merged pass over all ROBs in global age order.
+    // Candidates — Dispatched with both sources ready — come from the
+    // per-thread ready queues maintained at dispatch, wakeup and EU
+    // preemption, not from a full window walk. Each entry is
+    // revalidated here (a queue entry can be stale: issued, squashed,
+    // or its seq reused), so the queue doubles as its own compaction.
+    // Nothing during issue() wakes a source (wakeups happen at
+    // writeback, earlier in the tick), and a preempted EU holder
+    // re-enters Dispatched with retryAt = now + 1, so instructions
+    // absent from the queue could not have acted in a full scan
+    // either. A reused seq can leave a duplicate entry; the issue loop
+    // below skips the second occurrence via the state recheck.
     order_.clear();
     for (auto &tp : threads) {
         ThreadContext &th = *tp;
-        if (th.rob.empty())
+        if (th.readyQ.empty())
             continue;
-        th.computeShadows(shadows_[th.tid]);
-        std::size_t i = 0;
-        for (auto &inst : th.rob)
-            order_.push_back({&th, &inst, &shadows_[th.tid][i++]});
+        const std::size_t begin_idx = order_.size();
+        std::size_t keep = 0;
+        for (const SeqNum seq : th.readyQ) {
+            DynInst *inst = th.rob.find(seq);
+            if (!inst || inst->state != InstState::Dispatched ||
+                !inst->src1Ready || !inst->src2Ready) {
+                continue;
+            }
+            th.readyQ[keep++] = seq;
+            order_.push_back({&th, inst, {}});
+        }
+        th.readyQ.resize(keep);
+        if (order_.size() == begin_idx)
+            continue;
+
+        // Shadow info for the candidates: each property holds for a
+        // candidate iff the oldest ROB entry having it is older than
+        // the candidate. The counters bound an early-exit scan for
+        // those oldest instances (kSeqNumInvalid = none, compares
+        // older than nothing).
+        SeqNum min_br = kSeqNumInvalid;
+        SeqNum min_ld = kSeqNumInvalid;
+        SeqNum min_st = kSeqNumInvalid;
+        bool want_br = th.numUnresolvedBranches > 0;
+        bool want_ld = th.numIncompleteLoads > 0;
+        bool want_st = th.numIncompleteStores > 0;
+        for (std::size_t i = 0;
+             (want_br || want_ld || want_st) && i < th.rob.size();
+             ++i) {
+            const DynInst &inst = *th.rob.at(i);
+            if (inst.isBranch()) {
+                if (want_br && !inst.resolved) {
+                    min_br = inst.seq;
+                    want_br = false;
+                }
+            } else if (inst.isLoad()) {
+                if (want_ld && !inst.executed()) {
+                    min_ld = inst.seq;
+                    want_ld = false;
+                }
+            } else if (inst.isStore()) {
+                if (want_st && !inst.executed()) {
+                    min_st = inst.seq;
+                    want_st = false;
+                }
+            }
+        }
+        const SeqNum min_mem = std::min(min_ld, min_st);
+        for (std::size_t i = begin_idx; i < order_.size(); ++i) {
+            Cand &c = order_[i];
+            c.sh.olderUnresolvedBranch = min_br < c.inst->seq;
+            c.sh.olderIncompleteLoad = min_ld < c.inst->seq;
+            c.sh.olderIncompleteMem = min_mem < c.inst->seq;
+        }
     }
     if (order_.empty())
         return;
-    // A single thread's ROB is already in dispatch (stamp) order;
-    // only a real cross-thread merge needs the sort.
-    if (threads.size() > 1) {
-        std::sort(order_.begin(), order_.end(),
-                  [](const Cand &a, const Cand &b) {
-                      return a.inst->stamp < b.inst->stamp;
-                  });
-    }
+    // Queue order is arrival order (dispatch/wake/preempt), not age
+    // order: always sort by the global dispatch stamp, which is also
+    // each thread's seq order.
+    std::sort(order_.begin(), order_.end(),
+              [](const Cand &a, const Cand &b) {
+                  return a.inst->stamp < b.inst->stamp;
+              });
 
     unsigned issued = 0;
     for (const Cand &c : order_) {
         ThreadContext &th = *c.th;
         DynInst &inst = *c.inst;
-        const ShadowInfo &sh = *c.sh;
+        const ShadowInfo &sh = c.sh;
         if (issued >= cfg_.issueWidth)
             break;
         if (inst.state != InstState::Dispatched)
@@ -167,6 +229,9 @@ Scheduler::tryIssue(ThreadContext &th, DynInst &inst,
             v->issuedAt = kTickMax;
             v->completeAt = kTickMax;
             v->retryAt = now + 1;
+            // Back to Dispatched with both sources still ready: a
+            // candidate again from the next cycle on.
+            th.readyQ.push_back(v->seq);
             if (!v->inRs)
                 rs_.allocate(*v);
             port = p;
@@ -218,6 +283,7 @@ Scheduler::tryIssue(ThreadContext &th, DynInst &inst,
                  inst.completeAt, inst.seq, speculative, th.tid);
     inst.port = port;
     inst.state = InstState::Issued;
+    th.minWbAt = std::min(th.minWbAt, inst.completeAt);
     inst.issuedAt = now;
     ++th.stats.issued;
     if (!th.scheme->schedFlags().holdRsUntilRetire)
@@ -318,6 +384,7 @@ Scheduler::issueLoad(ThreadContext &th, DynInst &inst, bool safe,
                 now + hier_.config().l1Latency + jitter;
             inst.result = mem_.read(inst.effAddr);
             inst.deferredTouchPending = true;
+            ++th.pendingVisibility;
             inst.loadPhase = LoadPhase::InFlight;
             return true;
         }
@@ -337,6 +404,7 @@ Scheduler::issueLoad(ThreadContext &th, DynInst &inst, bool safe,
                 now + hier_.config().l1Latency + jitter;
             inst.result = mem_.read(inst.effAddr);
             inst.exposurePending = true;
+            ++th.pendingVisibility;
             inst.loadPhase = LoadPhase::InFlight;
             return true;
         }
@@ -372,6 +440,7 @@ Scheduler::issueLoad(ThreadContext &th, DynInst &inst, bool safe,
         inst.completeAt = now + res.latency + jitter;
         inst.result = mem_.read(inst.effAddr);
         inst.exposurePending = true;
+        ++th.pendingVisibility;
         inst.loadPhase = LoadPhase::InFlight;
         if (policy == SpecLoadPolicy::InvisibleFilter)
             th.scheme->filterFill(line, inst.seq);

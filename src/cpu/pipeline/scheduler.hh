@@ -40,8 +40,7 @@ class Scheduler
               ReservationStation &rs, Lsq &lsq, PortSet &ports,
               MshrFile &mshr, Hierarchy &hier, MainMemory &mem)
         : cfg_(cfg), smt_(smt), id_(id), rs_(rs), lsq_(lsq),
-          ports_(ports), mshr_(mshr), hier_(hier), mem_(mem),
-          shadows_(smt.numThreads)
+          ports_(ports), mshr_(mshr), hier_(hier), mem_(mem)
     {}
 
     /** Safety transitions: perform pending exposure accesses and
@@ -59,7 +58,9 @@ class Scheduler
     {
         ThreadContext *th;
         DynInst *inst;
-        const ShadowInfo *sh;
+        /** By value: the running shadow is computed during the build
+         *  walk, and candidates are a small filtered subset. */
+        ShadowInfo sh;
     };
 
     /** Attempt to issue @p inst. @return true if it left the RS. */
@@ -81,11 +82,8 @@ class Scheduler
     Hierarchy &hier_;
     MainMemory &mem_;
 
-    /** @name Reused per-cycle buffers (hot path: no per-cycle alloc). */
-    /// @{
-    std::vector<std::vector<ShadowInfo>> shadows_;
+    /** Reused per-cycle buffer (hot path: no per-cycle alloc). */
     std::vector<Cand> order_;
-    /// @}
 };
 
 } // namespace specint

@@ -37,6 +37,12 @@ ThreadContext::resetRun(const Program *p)
     stats = ThreadStats{};
     trace.clear();
     samples.clear();
+    minWbAt = 0;
+    pendingVisibility = 0;
+    readyQ.clear();
+    numUnresolvedBranches = 0;
+    numIncompleteLoads = 0;
+    numIncompleteStores = 0;
     scheme->reset();
 }
 
@@ -48,14 +54,7 @@ ThreadContext::computeShadows(std::vector<ShadowInfo> &out) const
     ShadowInfo running;
     for (const auto &inst : rob) {
         out.push_back(running);
-        if (inst.isBranch() && !inst.resolved)
-            running.olderUnresolvedBranch = true;
-        if (inst.isLoad() && !inst.executed()) {
-            running.olderIncompleteLoad = true;
-            running.olderIncompleteMem = true;
-        }
-        if (inst.isStore() && !inst.executed())
-            running.olderIncompleteMem = true;
+        shadowStep(running, inst);
     }
 }
 
@@ -77,7 +76,7 @@ ThreadContext::isSafe(const DynInst &inst, const ShadowInfo &sh,
 }
 
 void
-ThreadContext::renameSource(DynInst &inst, RegId src, bool first) const
+ThreadContext::renameSource(DynInst &inst, RegId src, bool first)
 {
     bool *ready = first ? &inst.src1Ready : &inst.src2Ready;
     std::uint64_t *val = first ? &inst.src1Val : &inst.src2Val;
@@ -94,7 +93,7 @@ ThreadContext::renameSource(DynInst &inst, RegId src, bool first) const
         *val = archRegs[src];
         return;
     }
-    const DynInst *pi = rob.find(p);
+    DynInst *pi = rob.find(p);
     if (!pi) {
         // Producer already retired: the architectural value is current.
         *ready = true;
@@ -108,6 +107,10 @@ ThreadContext::renameSource(DynInst &inst, RegId src, bool first) const
     }
     *ready = false;
     *prod = p;
+    // inst.seq is assigned before rename (front_unit dispatch), so the
+    // producer's waiter list lets writeback wake this consumer without
+    // scanning the ROB tail.
+    pi->addWaiter(inst.seq);
 }
 
 } // namespace specint

@@ -89,6 +89,26 @@ struct ShadowInfo
     bool olderIncompleteMem = false;
 };
 
+/**
+ * Fold one instruction into a running ShadowInfo. Walking the ROB in
+ * age order and reading @p running *before* each step yields the
+ * shadows of strictly older entries — the single definition shared by
+ * the scheduler stages, the fast-forward predicate and
+ * ThreadContext::computeShadows.
+ */
+inline void
+shadowStep(ShadowInfo &running, const DynInst &inst)
+{
+    if (inst.isBranch() && !inst.resolved)
+        running.olderUnresolvedBranch = true;
+    if (inst.isLoad() && !inst.executed()) {
+        running.olderIncompleteLoad = true;
+        running.olderIncompleteMem = true;
+    }
+    if (inst.isStore() && !inst.executed())
+        running.olderIncompleteMem = true;
+}
+
 /** Per-thread pipeline context (see file comment). */
 struct ThreadContext
 {
@@ -121,6 +141,36 @@ struct ThreadContext
     bool mshrContended = false;
     /// @}
 
+    /** Conservative lower bound on the next cycle any of this
+     *  thread's Issued instructions can write back: the writeback
+     *  stage skips its ROB scans while now < minWbAt. Lowered at
+     *  issue, recomputed during each writeback scan; a stale-low
+     *  value only costs a wasted scan, never a missed event. */
+    Tick minWbAt = 0;
+
+    /** Number of set exposurePending/deferredTouchPending flags across
+     *  this thread's ROB (each flag counts separately). The safety
+     *  stage skips its ROB walk while zero — permanently so under
+     *  schemes that never defer visibility (Unsafe, fence-style). */
+    unsigned pendingVisibility = 0;
+
+    /** @name Issue-stage candidate tracking
+     *  readyQ holds the seqs of instructions that became Dispatched
+     *  with both sources ready (at dispatch, on a wakeup, or when an
+     *  EU preemption returned them to Dispatched). It is a superset:
+     *  the issue stage revalidates and compacts it each cycle, so
+     *  entries stranded by a squash (or pointing at a reused seq) are
+     *  dropped or deduplicated there. The three counters track how
+     *  many ROB entries currently have each shadow-relevant property,
+     *  letting the issue stage find the oldest instance of each with
+     *  an early-exit scan instead of walking the whole window. */
+    /// @{
+    std::vector<SeqNum> readyQ;
+    unsigned numUnresolvedBranches = 0;
+    unsigned numIncompleteLoads = 0;
+    unsigned numIncompleteStores = 0;
+    /// @}
+
     /** Reset all run state and start executing @p p from its entry. */
     void resetRun(const Program *p);
 
@@ -133,8 +183,10 @@ struct ThreadContext
     bool isSafe(const DynInst &inst, const ShadowInfo &sh,
                 SafePoint sp) const;
 
-    /** Read a source register through the rename map. */
-    void renameSource(DynInst &inst, RegId src, bool first) const;
+    /** Read a source register through the rename map; registers
+     *  @p inst on the producer's waiter list when the value is still
+     *  in flight. */
+    void renameSource(DynInst &inst, RegId src, bool first);
 };
 
 } // namespace specint

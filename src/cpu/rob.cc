@@ -1,12 +1,13 @@
 /**
  * @file
- * Reorder buffer implementation: bounded deque with contiguous
- * sequence numbers and O(1) SeqNum lookup.
+ * Reorder buffer implementation: bounded, arena-pooled ring with
+ * contiguous sequence numbers and O(1) SeqNum lookup.
  */
 
 #include "cpu/rob.hh"
 
 #include <cassert>
+#include <utility>
 
 namespace specint
 {
@@ -15,20 +16,22 @@ DynInst &
 Rob::push(DynInst inst)
 {
     assert(!full());
-    assert(insts_.empty() || inst.seq == insts_.back().seq + 1);
-    insts_.push_back(std::move(inst));
-    return insts_.back();
+    assert(empty() || inst.seq == at(count_ - 1)->seq + 1);
+    DynInst *rec = pool_.create(std::move(inst));
+    ring_[wrap(head_ + count_)] = rec;
+    ++count_;
+    return *rec;
 }
 
 DynInst *
 Rob::find(SeqNum seq)
 {
-    if (insts_.empty())
+    if (empty())
         return nullptr;
-    const SeqNum head = insts_.front().seq;
-    if (seq < head || seq > insts_.back().seq)
+    const SeqNum headSeq = head().seq;
+    if (seq < headSeq || seq > headSeq + (count_ - 1))
         return nullptr;
-    return &insts_[seq - head];
+    return at(seq - headSeq);
 }
 
 const DynInst *
@@ -37,15 +40,38 @@ Rob::find(SeqNum seq) const
     return const_cast<Rob *>(this)->find(seq);
 }
 
+void
+Rob::popHead()
+{
+    assert(!empty());
+    pool_.destroy(ring_[head_]);
+    ring_[head_] = nullptr;
+    head_ = wrap(head_ + 1);
+    --count_;
+}
+
 unsigned
 Rob::squashYoungerThan(SeqNum bound)
 {
     unsigned n = 0;
-    while (!insts_.empty() && insts_.back().seq > bound) {
-        insts_.pop_back();
+    while (!empty() && at(count_ - 1)->seq > bound) {
+        const std::size_t tail = wrap(head_ + count_ - 1);
+        pool_.destroy(ring_[tail]);
+        ring_[tail] = nullptr;
+        --count_;
         ++n;
     }
     return n;
+}
+
+void
+Rob::clear()
+{
+    pool_.reset();
+    for (auto &slot : ring_)
+        slot = nullptr;
+    head_ = 0;
+    count_ = 0;
 }
 
 } // namespace specint

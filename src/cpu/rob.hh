@@ -8,18 +8,24 @@
  * replacement updates, pending exposure accesses, delayed-until-safe
  * phases) that the speculation schemes manipulate.
  *
- * The ROB is a bounded deque with contiguous sequence numbers, so
- * lookup by SeqNum is O(1).
+ * The ROB is a bounded ring of arena-pooled records with contiguous
+ * sequence numbers, so lookup by SeqNum is O(1) and the per-instruction
+ * alloc/free traffic of the old std::deque backing is gone.  Records
+ * never move while in the ROB: stages may hold DynInst pointers across
+ * the cycle (the scheduler's issue order list does).
  */
 
 #ifndef SPECINT_CPU_ROB_HH
 #define SPECINT_CPU_ROB_HH
 
+#include <array>
 #include <cstdint>
-#include <deque>
+#include <iterator>
+#include <vector>
 
 #include "cpu/isa.hh"
 #include "memory/transaction.hh"
+#include "sim/arena.hh"
 #include "sim/types.hh"
 
 namespace specint
@@ -71,6 +77,29 @@ struct DynInst
     /** Earliest cycle the instruction may issue (operand readiness,
      *  including the +1 writeback-to-issue delay). */
     Tick readyAt = 0;
+    /// @}
+
+    /** @name Consumer waiter list
+     *  Seqs of younger instructions renamed against this producer,
+     *  recorded at dispatch so writeback wakes them directly instead
+     *  of scanning the ROB tail. Wakes re-validate every entry
+     *  (presence, state, srcProd match), so stale seqs left behind by
+     *  a squash-and-reuse are harmless. On overflow the wake falls
+     *  back to the positional scan. */
+    /// @{
+    static constexpr unsigned kMaxInlineWaiters = 4;
+    std::array<SeqNum, kMaxInlineWaiters> waiters{};
+    std::uint8_t numWaiters = 0;
+    bool waiterOverflow = false;
+
+    void
+    addWaiter(SeqNum consumer)
+    {
+        if (numWaiters < kMaxInlineWaiters)
+            waiters[numWaiters++] = consumer;
+        else
+            waiterOverflow = true;
+    }
     /// @}
 
     /** @name Execution */
@@ -132,16 +161,22 @@ struct DynInst
 
 /**
  * Reorder buffer: bounded, ordered by SeqNum, contiguous.
+ *
+ * Storage is an Arena<DynInst> (one chunk covering the full capacity)
+ * plus a pointer ring, so entries are pool-recycled and stable in
+ * memory for their whole ROB lifetime.
  */
 class Rob
 {
   public:
-    explicit Rob(unsigned capacity = 224) : capacity_(capacity) {}
+    explicit Rob(unsigned capacity = 224)
+        : capacity_(capacity), pool_(capacity), ring_(capacity, nullptr)
+    {}
 
     unsigned capacity() const { return capacity_; }
-    bool full() const { return insts_.size() >= capacity_; }
-    bool empty() const { return insts_.empty(); }
-    std::size_t size() const { return insts_.size(); }
+    bool full() const { return count_ >= capacity_; }
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
 
     /** Append at the tail. @return reference to the stored record. */
     DynInst &push(DynInst inst);
@@ -150,11 +185,11 @@ class Rob
     DynInst *find(SeqNum seq);
     const DynInst *find(SeqNum seq) const;
 
-    DynInst &head() { return insts_.front(); }
-    const DynInst &head() const { return insts_.front(); }
+    DynInst &head() { return *at(0); }
+    const DynInst &head() const { return *at(0); }
 
     /** Pop the head (must be retired by the caller first). */
-    void popHead() { insts_.pop_front(); }
+    void popHead();
 
     /**
      * Remove every instruction younger than @p bound (seq > bound).
@@ -162,19 +197,110 @@ class Rob
      */
     unsigned squashYoungerThan(SeqNum bound);
 
+    /** Age-order index (0 = oldest). */
+    DynInst *at(std::size_t i) { return ring_[wrap(head_ + i)]; }
+    const DynInst *at(std::size_t i) const { return ring_[wrap(head_ + i)]; }
+
+    /** Random-access iterator over entries in age order, dereferencing
+     *  to DynInst& (entries themselves never move). */
+    template <typename RobT, typename ValueT>
+    class IterBase
+    {
+      public:
+        using iterator_category = std::random_access_iterator_tag;
+        using value_type = ValueT;
+        using difference_type = std::ptrdiff_t;
+        using pointer = ValueT *;
+        using reference = ValueT &;
+
+        IterBase() = default;
+        IterBase(RobT *rob, std::size_t idx) : rob_(rob), idx_(idx) {}
+
+        reference operator*() const { return *rob_->at(idx_); }
+        pointer operator->() const { return rob_->at(idx_); }
+        reference operator[](difference_type n) const
+        {
+            return *rob_->at(idx_ + n);
+        }
+
+        IterBase &operator++() { ++idx_; return *this; }
+        IterBase operator++(int) { IterBase t = *this; ++idx_; return t; }
+        IterBase &operator--() { --idx_; return *this; }
+        IterBase operator--(int) { IterBase t = *this; --idx_; return t; }
+        IterBase &operator+=(difference_type n) { idx_ += n; return *this; }
+        IterBase &operator-=(difference_type n) { idx_ -= n; return *this; }
+        friend IterBase operator+(IterBase it, difference_type n)
+        {
+            it += n; return it;
+        }
+        friend IterBase operator+(difference_type n, IterBase it)
+        {
+            it += n; return it;
+        }
+        friend IterBase operator-(IterBase it, difference_type n)
+        {
+            it -= n; return it;
+        }
+        friend difference_type operator-(const IterBase &a, const IterBase &b)
+        {
+            return static_cast<difference_type>(a.idx_) -
+                   static_cast<difference_type>(b.idx_);
+        }
+        friend bool operator==(const IterBase &a, const IterBase &b)
+        {
+            return a.idx_ == b.idx_;
+        }
+        friend bool operator!=(const IterBase &a, const IterBase &b)
+        {
+            return a.idx_ != b.idx_;
+        }
+        friend bool operator<(const IterBase &a, const IterBase &b)
+        {
+            return a.idx_ < b.idx_;
+        }
+        friend bool operator>(const IterBase &a, const IterBase &b)
+        {
+            return a.idx_ > b.idx_;
+        }
+        friend bool operator<=(const IterBase &a, const IterBase &b)
+        {
+            return a.idx_ <= b.idx_;
+        }
+        friend bool operator>=(const IterBase &a, const IterBase &b)
+        {
+            return a.idx_ >= b.idx_;
+        }
+
+      private:
+        RobT *rob_ = nullptr;
+        std::size_t idx_ = 0;
+    };
+
+    using iterator = IterBase<Rob, DynInst>;
+    using const_iterator = IterBase<const Rob, const DynInst>;
+
     /** @name Iteration (age order: oldest first) */
     /// @{
-    auto begin() { return insts_.begin(); }
-    auto end() { return insts_.end(); }
-    auto begin() const { return insts_.begin(); }
-    auto end() const { return insts_.end(); }
+    iterator begin() { return {this, 0}; }
+    iterator end() { return {this, count_}; }
+    const_iterator begin() const { return {this, 0}; }
+    const_iterator end() const { return {this, count_}; }
     /// @}
 
-    void clear() { insts_.clear(); }
+    void clear();
 
   private:
+    std::size_t
+    wrap(std::size_t i) const
+    {
+        return i >= ring_.size() ? i - ring_.size() : i;
+    }
+
     unsigned capacity_;
-    std::deque<DynInst> insts_;
+    Arena<DynInst> pool_;
+    std::vector<DynInst *> ring_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
 };
 
 } // namespace specint

@@ -106,6 +106,10 @@ Hierarchy::Hierarchy(HierarchyConfig cfg)
               const std::string err = cfg_.validate();
               if (!err.empty())
                   fatal("HierarchyConfig: " + err);
+              // Stats-lite also silences the coherence-event trace
+              // (timing and MESI state transitions are unaffected).
+              if (cfg_.statsLite)
+                  cfg_.coherence.recordTrace = false;
               // One client per core plus the spare direct-LLC id the
               // attack harnesses use (accessDirect with id == cores),
               // so a standalone Hierarchy honours that convention too.
@@ -307,7 +311,9 @@ Hierarchy::walkVisible(MemTransaction &txn)
     // LLC stage. The transaction reaches the shared level: this is a
     // visible access and enters the C(E) trace regardless of hit/miss
     // (both change LLC replacement state).
-    trace_.push_back({core, lineAlign(addr), now, txn.type, txn.source});
+    if (!cfg_.statsLite)
+        trace_.push_back({core, lineAlign(addr), now, txn.type,
+                          txn.source});
 
     // Coherence: a read arriving at the shared level may have to
     // demote a remote owner (Modified owners add the writeback
@@ -375,8 +381,10 @@ Hierarchy::walkDirect(MemTransaction &txn)
     const Addr addr = txn.addr;
     const Tick now = txn.issuedAt;
 
-    trace_.push_back(
-        {core, lineAlign(addr), now, AccessType::Data, TxnSource::Direct});
+    if (!cfg_.statsLite) {
+        trace_.push_back({core, lineAlign(addr), now, AccessType::Data,
+                          TxnSource::Direct});
+    }
 
     // A direct client has no private caches: it never joins the sharer
     // set, but it still forces a dirty remote owner to write back.
@@ -437,7 +445,7 @@ Hierarchy::trainPrefetcher(const MemTransaction &txn)
         // A real transaction: fills L2/LLC, occupies slice ports and
         // shared MSHRs, appears in the C(E) trace — and is *visible*
         // even when the demand access that trained it was invisible.
-        MemTransaction p;
+        MemTransaction &p = *txnPool_.create();
         p.core = txn.core;
         p.addr = cand;
         p.type = AccessType::Data;
@@ -450,6 +458,7 @@ Hierarchy::trainPrefetcher(const MemTransaction &txn)
         ++pf.stats().issued;
         if (p.result.servedBy == ServedBy::Mem)
             ++pf.stats().llcFills;
+        txnPool_.destroy(&p);
     }
 }
 
@@ -457,7 +466,7 @@ MemAccessResult
 Hierarchy::access(CoreId core, Addr addr, AccessType type, Tick now,
                   MemIntent intent, bool train)
 {
-    MemTransaction txn;
+    MemTransaction &txn = *txnPool_.create();
     txn.core = core;
     txn.addr = addr;
     txn.type = type;
@@ -466,14 +475,16 @@ Hierarchy::access(CoreId core, Addr addr, AccessType type, Tick now,
     txn.visibility = TxnVisibility::Visible;
     txn.train = train;
     txn.issuedAt = now;
-    return execute(txn);
+    const MemAccessResult res = execute(txn);
+    txnPool_.destroy(&txn);
+    return res;
 }
 
 MemAccessResult
 Hierarchy::accessInvisible(CoreId core, Addr addr, AccessType type,
                            Tick now, bool train)
 {
-    MemTransaction txn;
+    MemTransaction &txn = *txnPool_.create();
     txn.core = core;
     txn.addr = addr;
     txn.type = type;
@@ -482,7 +493,9 @@ Hierarchy::accessInvisible(CoreId core, Addr addr, AccessType type,
     txn.visibility = TxnVisibility::Invisible;
     txn.train = train;
     txn.issuedAt = now;
-    return execute(txn);
+    const MemAccessResult res = execute(txn);
+    txnPool_.destroy(&txn);
+    return res;
 }
 
 MemAccessResult
@@ -518,7 +531,7 @@ Hierarchy::peekLatency(CoreId core, Addr addr, AccessType type) const
 MemAccessResult
 Hierarchy::accessDirect(CoreId core, Addr addr, Tick now)
 {
-    MemTransaction txn;
+    MemTransaction &txn = *txnPool_.create();
     txn.core = core;
     txn.addr = addr;
     txn.type = AccessType::Data;
@@ -527,7 +540,9 @@ Hierarchy::accessDirect(CoreId core, Addr addr, Tick now)
     txn.visibility = TxnVisibility::Visible;
     txn.train = false;
     txn.issuedAt = now;
-    return execute(txn);
+    const MemAccessResult res = execute(txn);
+    txnPool_.destroy(&txn);
+    return res;
 }
 
 Tick

@@ -49,6 +49,7 @@
 
 #include "memory/cache.hh"
 #include "memory/coherence.hh"
+#include "sim/arena.hh"
 #include "memory/prefetcher.hh"
 #include "memory/transaction.hh"
 #include "sim/types.hh"
@@ -113,6 +114,15 @@ struct HierarchyConfig
     /** Per-core hardware prefetcher (off by default;
      *  memory/prefetcher.hh). */
     PrefetchParams prefetch;
+
+    /**
+     * Stats-lite mode: skip recording the visible LLC access trace and
+     * the coherence-event trace. Timing, cache state and contention
+     * accounting are unchanged — only the attacker-facing observation
+     * logs are elided, so this must never be set when an attack
+     * harness is attached (the attack entry points fatal() if it is).
+     */
+    bool statsLite = false;
 
     /**
      * Structural sanity check, mirroring CoreConfig::validate.
@@ -382,6 +392,9 @@ class Hierarchy
     std::vector<Prefetcher> prefetchers_;
     /** Reused candidate buffer (no per-access allocation). */
     std::vector<Addr> prefetchCands_;
+    /** Transaction pool for the entry points and the prefetch fan-out
+     *  (nested create/destroy is fine: slots recycle LIFO). */
+    Arena<MemTransaction> txnPool_{16};
 
     /** @name Shared-level contention state */
     /// @{

@@ -91,6 +91,13 @@ class SmtCore
         return engine_.predictor(tid);
     }
 
+    /** The engine's shared stall predicate (no stage can transition
+     *  this cycle) — the same definition fast-forward uses. */
+    bool allThreadsStalled() const
+    {
+        return engine_.allThreadsStalled();
+    }
+
     /** Run one program per thread to completion (or maxCycles). */
     SmtRunResult run(const std::vector<const Program *> &progs)
     {

@@ -92,7 +92,39 @@ System::tick()
     bool stepped = false;
     for (auto &core : cores_)
         stepped |= core->step();
+    if (stepped)
+        maybeFastForward();
     return stepped;
+}
+
+void
+System::maybeFastForward()
+{
+    // A coordinated skip is legal only when every live core agrees no
+    // structure can transition: the per-core predicate is core-local
+    // (completion times, busy timers, queue occupancy — no shared-
+    // hierarchy reads), so the minimum over live cores bounds the
+    // whole system. Finished cores stop consuming ticks and stay
+    // frozen, exactly as in the plain loop.
+    Tick bound = kTickMax;
+    Tick shared_now = 0;
+    bool any_live = false;
+    for (const auto &core : cores_) {
+        if (core->halted() || core->now() >= core->config().maxCycles)
+            continue;
+        if (!core->fastForwardEligible())
+            return;
+        any_live = true;
+        shared_now = std::max(shared_now, core->now());
+        bound = std::min(bound, core->nextTransitionAt());
+    }
+    if (!any_live || bound <= shared_now)
+        return;
+    for (auto &core : cores_) {
+        if (core->halted() || core->now() >= core->config().maxCycles)
+            continue;
+        core->fastForwardTo(bound);
+    }
 }
 
 bool

@@ -114,6 +114,11 @@ class System
     /// @}
 
   private:
+    /** Coordinated stall fast-forward after a lockstep tick: when
+     *  every live core is eligible and stalled, jump all of them to
+     *  the earliest transition of any core (cpu/pipeline/engine.hh). */
+    void maybeFastForward();
+
     SystemConfig cfg_;
     Hierarchy hier_;
     MainMemory mem_;

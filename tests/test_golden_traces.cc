@@ -1,0 +1,429 @@
+/**
+ * @file
+ * Differential golden-trace harness.
+ *
+ * The one place where the simulator's reported numbers are pinned:
+ * every registered scenario point runs at fixed seeds under each
+ * engine variant — {baseline tick loop, stall fast-forward on,
+ * stats-lite on, both} — and every variant must reproduce the golden
+ * cycle counts, final stats, architectural register file and channel
+ * verdicts exactly. The golden rows were captured from the
+ * pre-unification Core pipeline (commit affb3f5) and promoted here
+ * from test_smt.cc; any divergence — from the arena-backed ROB, the
+ * fast-forward skip logic, stats-lite elision or a future rewrite —
+ * fails loudly with the variant name.
+ *
+ * tests/test_fastforward_fuzz.cc complements this with randomized
+ * differential coverage; this file is the fixed-seed anchor.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "attack/channel.hh"
+#include "attack/smt_probe.hh"
+#include "cpu/core.hh"
+#include "memory/hierarchy.hh"
+#include "smt/smt_core.hh"
+#include "spec/scheme.hh"
+#include "system/system.hh"
+#include "workload/generator.hh"
+
+namespace specint
+{
+namespace
+{
+
+WorkloadSpec
+fuzzSpec(std::uint64_t seed)
+{
+    WorkloadSpec spec;
+    spec.name = "smt-fuzz";
+    spec.instructions = 1000;
+    spec.loadFrac = 0.30;
+    spec.storeFrac = 0.08;
+    spec.branchFrac = 0.15;
+    spec.mulFrac = 0.05;
+    spec.sqrtFrac = 0.03;
+    spec.chaseFrac = 0.25;
+    spec.footprintLines = 512;
+    spec.branchTakenProb = 0.35;
+    spec.seed = seed;
+    return spec;
+}
+
+/** The engine variants every golden point must agree across. */
+struct EngineVariant
+{
+    const char *name;
+    bool fastForward;
+    bool statsLite;
+};
+
+constexpr EngineVariant kVariants[] = {
+    {"baseline", false, false},
+    {"fastforward", true, false},
+    {"statslite", false, true},
+    {"fastforward+statslite", true, true},
+};
+
+CoreConfig
+variantCoreConfig(const EngineVariant &v)
+{
+    CoreConfig cfg;
+    cfg.fastForward = v.fastForward;
+    cfg.statsLite = v.statsLite;
+    return cfg;
+}
+
+HierarchyConfig
+variantHierConfig(const EngineVariant &v)
+{
+    HierarchyConfig cfg = HierarchyConfig::small();
+    cfg.statsLite = v.statsLite;
+    return cfg;
+}
+
+// ---------------------------------------------------------------------
+// Golden rows (captured from the pre-unification pipeline)
+// ---------------------------------------------------------------------
+
+/**
+ * One golden data point, captured from the independent pre-refactor
+ * Core pipeline (commit affb3f5, before Core/SmtCore were folded into
+ * the unified engine) running the fuzz workloads above. Any behaviour
+ * change in the unified engine — via the Core façade or SmtCore with
+ * one thread, under any engine variant — shows up as a
+ * cycle/stat/register divergence here.
+ */
+struct GoldenTrace
+{
+    std::uint64_t seed;
+    SchemeKind kind;
+    Tick cycles;
+    std::uint64_t retired, issued, squashes, branches, mispredicts;
+    std::uint64_t loads, loadL1Hits;
+    /** FNV-1a over the final architectural register file. */
+    std::uint64_t regHash;
+};
+
+constexpr GoldenTrace kGoldenTraces[] = {
+    {11u, SchemeKind::Unsafe, 13628, 882, 1383, 62, 122, 62, 399, 136, 0x6ad714dbbfc53ca0ULL},
+    {11u, SchemeKind::DomNonTso, 22072, 882, 2858, 66, 152, 66, 1047, 67, 0x6ad714dbbfc53ca0ULL},
+    {11u, SchemeKind::InvisiSpecSpectre, 14322, 882, 1745, 65, 132, 65, 492, 32, 0x6ad714dbbfc53ca0ULL},
+    {11u, SchemeKind::SafeSpecWfb, 25322, 882, 1172, 61, 121, 61, 347, 23, 0x6ad714dbbfc53ca0ULL},
+    {11u, SchemeKind::MuonTrap, 25334, 882, 1172, 61, 121, 61, 347, 11, 0x6ad714dbbfc53ca0ULL},
+    {11u, SchemeKind::AdvancedDefense, 22079, 882, 2393, 64, 141, 64, 901, 59, 0x6ad714dbbfc53ca0ULL},
+    {37u, SchemeKind::Unsafe, 14905, 888, 1417, 60, 103, 60, 420, 153, 0xea29e7580253d790ULL},
+    {37u, SchemeKind::DomNonTso, 20712, 888, 3011, 61, 124, 61, 1029, 68, 0xea29e7580253d790ULL},
+    {37u, SchemeKind::InvisiSpecSpectre, 16973, 888, 1955, 62, 110, 62, 581, 32, 0xea29e7580253d790ULL},
+    {37u, SchemeKind::SafeSpecWfb, 25941, 888, 1207, 61, 104, 61, 352, 22, 0xea29e7580253d790ULL},
+    {37u, SchemeKind::MuonTrap, 25877, 888, 1199, 61, 104, 61, 350, 6, 0xea29e7580253d790ULL},
+    {37u, SchemeKind::AdvancedDefense, 20672, 888, 2670, 61, 116, 61, 925, 61, 0xea29e7580253d790ULL},
+    {71u, SchemeKind::Unsafe, 12321, 881, 1348, 59, 115, 59, 319, 109, 0x642497def1f7cc6aULL},
+    {71u, SchemeKind::DomNonTso, 19104, 881, 3058, 60, 142, 60, 768, 72, 0x642497def1f7cc6aULL},
+    {71u, SchemeKind::InvisiSpecSpectre, 15653, 881, 1600, 62, 131, 62, 383, 32, 0x642497def1f7cc6aULL},
+    {71u, SchemeKind::SafeSpecWfb, 25902, 881, 1180, 59, 116, 59, 270, 21, 0x642497def1f7cc6aULL},
+    {71u, SchemeKind::MuonTrap, 25902, 881, 1180, 59, 116, 59, 270, 15, 0x642497def1f7cc6aULL},
+    {71u, SchemeKind::AdvancedDefense, 19105, 881, 2740, 60, 143, 60, 730, 70, 0x642497def1f7cc6aULL},
+};
+
+std::uint64_t
+fnv1aRegs(const std::function<std::uint64_t(RegId)> &reg)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (unsigned r = 0; r < kNumRegs; ++r) {
+        const std::uint64_t v = reg(static_cast<RegId>(r));
+        for (int b = 0; b < 8; ++b) {
+            h ^= (v >> (8 * b)) & 0xff;
+            h *= 1099511628211ULL;
+        }
+    }
+    return h;
+}
+
+void
+expectMatchesGolden(const GoldenTrace &g, const ThreadStats &st,
+                    Tick cycles, std::uint64_t reg_hash,
+                    const char *variant)
+{
+    EXPECT_EQ(cycles, g.cycles) << schemeName(g.kind) << " " << variant;
+    EXPECT_EQ(st.retired, g.retired)
+        << schemeName(g.kind) << " " << variant;
+    EXPECT_EQ(st.issued, g.issued) << schemeName(g.kind) << " " << variant;
+    EXPECT_EQ(st.squashes, g.squashes)
+        << schemeName(g.kind) << " " << variant;
+    EXPECT_EQ(st.branches, g.branches)
+        << schemeName(g.kind) << " " << variant;
+    EXPECT_EQ(st.mispredicts, g.mispredicts)
+        << schemeName(g.kind) << " " << variant;
+    EXPECT_EQ(st.loads, g.loads) << schemeName(g.kind) << " " << variant;
+    EXPECT_EQ(st.loadL1Hits, g.loadL1Hits)
+        << schemeName(g.kind) << " " << variant;
+    EXPECT_EQ(reg_hash, g.regHash)
+        << schemeName(g.kind) << " " << variant
+        << " architectural state diverged";
+}
+
+class GoldenTraceTest : public ::testing::TestWithParam<GoldenTrace>
+{};
+
+TEST_P(GoldenTraceTest, CoreFacadeMatchesGoldenUnderEveryVariant)
+{
+    const GoldenTrace &g = GetParam();
+    const GeneratedWorkload wl = generateWorkload(fuzzSpec(g.seed));
+
+    for (const EngineVariant &v : kVariants) {
+        Hierarchy hier(variantHierConfig(v));
+        MainMemory mem;
+        for (const auto &[a, v2] : wl.memInit)
+            mem.write(a, v2);
+        Core core(variantCoreConfig(v), 0, hier, mem);
+        core.setScheme(makeScheme(g.kind));
+        const CoreStats s = core.run(wl.prog);
+
+        ASSERT_TRUE(s.finished) << schemeName(g.kind) << " " << v.name;
+        ThreadStats st;
+        st.retired = s.retired;
+        st.issued = s.issued;
+        st.squashes = s.squashes;
+        st.branches = s.branches;
+        st.mispredicts = s.mispredicts;
+        st.loads = s.loads;
+        st.loadL1Hits = s.loadL1Hits;
+        expectMatchesGolden(
+            g, st, s.cycles,
+            fnv1aRegs([&](RegId r) { return core.archReg(r); }), v.name);
+    }
+}
+
+TEST_P(GoldenTraceTest, SingleThreadSmtCoreMatchesGoldenUnderEveryVariant)
+{
+    const GoldenTrace &g = GetParam();
+    const GeneratedWorkload wl = generateWorkload(fuzzSpec(g.seed));
+
+    for (const EngineVariant &v : kVariants) {
+        Hierarchy hier(variantHierConfig(v));
+        MainMemory mem;
+        for (const auto &[a, v2] : wl.memInit)
+            mem.write(a, v2);
+        SmtCore smt(variantCoreConfig(v), SmtConfig::singleThread(), 0,
+                    hier, mem);
+        smt.setScheme(0, makeScheme(g.kind));
+        const SmtRunResult run = smt.run({&wl.prog});
+
+        ASSERT_TRUE(run.finished) << schemeName(g.kind) << " " << v.name;
+        expectMatchesGolden(
+            g, run.threads[0], run.cycles,
+            fnv1aRegs([&](RegId r) { return smt.archReg(0, r); }),
+            v.name);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndSchemes, GoldenTraceTest, ::testing::ValuesIn(kGoldenTraces),
+    [](const auto &info) {
+        return "seed" + std::to_string(info.param.seed) + "_" +
+               std::to_string(static_cast<int>(info.param.kind));
+    });
+
+// ---------------------------------------------------------------------
+// Multi-core differential: fast-forward composes with the System's
+// lockstep round-robin and the shared-level contention timers
+// ---------------------------------------------------------------------
+
+void
+expectThreadStatsEqual(const ThreadStats &a, const ThreadStats &b,
+                       const std::string &what)
+{
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.retired, b.retired) << what;
+    EXPECT_EQ(a.issued, b.issued) << what;
+    EXPECT_EQ(a.squashes, b.squashes) << what;
+    EXPECT_EQ(a.branches, b.branches) << what;
+    EXPECT_EQ(a.mispredicts, b.mispredicts) << what;
+    EXPECT_EQ(a.loads, b.loads) << what;
+    EXPECT_EQ(a.loadL1Hits, b.loadL1Hits) << what;
+    EXPECT_EQ(a.finished, b.finished) << what;
+    EXPECT_EQ(a.fetchGrants, b.fetchGrants) << what;
+    EXPECT_EQ(a.portContendedCycles, b.portContendedCycles) << what;
+    EXPECT_EQ(a.mshrContendedCycles, b.mshrContendedCycles) << what;
+    EXPECT_EQ(a.rsBlockedCycles, b.rsBlockedCycles) << what;
+}
+
+WorkloadSpec
+systemSpec(std::uint64_t seed, Addr data_base, Addr code_base)
+{
+    WorkloadSpec spec = fuzzSpec(seed);
+    spec.instructions = 600;
+    spec.footprintLines = 128;
+    spec.dataBase = data_base;
+    spec.codeBase = code_base;
+    return spec;
+}
+
+TEST(SystemGoldenTest, FastForwardMatchesBaselineWithContentionModel)
+{
+    const GeneratedWorkload wl0 =
+        generateWorkload(systemSpec(5, 0x01000000, 0x400000));
+    const GeneratedWorkload wl1 =
+        generateWorkload(systemSpec(8, 0x02000000, 0x500000));
+
+    auto run_once = [&](const EngineVariant &v, unsigned llc_port_busy,
+                        unsigned llc_mshrs) {
+        SystemConfig cfg;
+        cfg.numCores = 2;
+        cfg.core = variantCoreConfig(v);
+        cfg.hier = variantHierConfig(v);
+        cfg.hier.llcPortBusy = llc_port_busy;
+        cfg.hier.llcMshrs = llc_mshrs;
+        System sys(cfg);
+        for (const auto &[a, val] : wl0.memInit)
+            sys.memory().write(a, val);
+        for (const auto &[a, val] : wl1.memInit)
+            sys.memory().write(a, val);
+        return sys.run({{&wl0.prog}, {&wl1.prog}});
+    };
+
+    // Uncontended and contended shared level: the skip must respect
+    // the slice-port and shared-MSHR busy timers in both regimes.
+    for (const auto &[port_busy, mshrs] :
+         {std::pair<unsigned, unsigned>{0u, 0u}, {2u, 4u}}) {
+        const SystemRunResult base =
+            run_once(kVariants[0], port_busy, mshrs);
+        ASSERT_TRUE(base.finished);
+        for (const EngineVariant &v : kVariants) {
+            const SystemRunResult got = run_once(v, port_busy, mshrs);
+            const std::string what =
+                std::string(v.name) + " llcPortBusy=" +
+                std::to_string(port_busy);
+            ASSERT_TRUE(got.finished) << what;
+            EXPECT_EQ(got.cycles, base.cycles) << what;
+            for (unsigned c = 0; c < 2; ++c) {
+                expectThreadStatsEqual(
+                    got.cores[c].threads[0], base.cores[c].threads[0],
+                    what + " core " + std::to_string(c));
+                EXPECT_EQ(got.cores[c].cycles, base.cores[c].cycles)
+                    << what;
+            }
+        }
+    }
+}
+
+TEST(SystemGoldenTest, StatsLiteElidesTheLlcTraceOnly)
+{
+    const GeneratedWorkload wl =
+        generateWorkload(systemSpec(5, 0x01000000, 0x400000));
+
+    auto run_once = [&](bool stats_lite) {
+        SystemConfig cfg;
+        cfg.numCores = 1;
+        cfg.hier.statsLite = stats_lite;
+        System sys(cfg);
+        for (const auto &[a, val] : wl.memInit)
+            sys.memory().write(a, val);
+        const SystemRunResult res = sys.run({{&wl.prog}});
+        return std::make_pair(res,
+                              sys.hierarchy().llcTrace().size());
+    };
+
+    const auto [base, base_trace] = run_once(false);
+    const auto [lite, lite_trace] = run_once(true);
+    ASSERT_TRUE(base.finished && lite.finished);
+    EXPECT_EQ(lite.cycles, base.cycles);
+    expectThreadStatsEqual(lite.cores[0].threads[0],
+                           base.cores[0].threads[0], "statsLite hier");
+    EXPECT_GT(base_trace, 0u);
+    EXPECT_EQ(lite_trace, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Channel verdicts: the attack results are identical with fast-forward
+// enabled (the engine falls back to ticking whenever a per-cycle agent
+// is attached, and skips only provably dead cycles otherwise)
+// ---------------------------------------------------------------------
+
+TEST(ChannelGoldenTest, DCacheChannelVerdictUnchangedByFastForward)
+{
+    const auto bits = randomBits(12, 7);
+    auto run_once = [&](bool ff) {
+        ChannelConfig cfg;
+        cfg.scheme = SchemeKind::DomNonTso;
+        cfg.trialsPerBit = 1;
+        cfg.noise = NoiseConfig::none();
+        cfg.core.fastForward = ff;
+        return runDCacheChannel(bits, cfg);
+    };
+    const ChannelResult base = run_once(false);
+    const ChannelResult ff = run_once(true);
+    EXPECT_EQ(ff.bitsSent, base.bitsSent);
+    EXPECT_EQ(ff.bitErrors, base.bitErrors);
+    EXPECT_EQ(ff.discardedTrials, base.discardedTrials);
+    EXPECT_EQ(ff.totalCycles, base.totalCycles);
+}
+
+TEST(ChannelGoldenTest, ICacheChannelVerdictUnchangedByFastForward)
+{
+    const auto bits = randomBits(12, 9);
+    auto run_once = [&](bool ff) {
+        ChannelConfig cfg;
+        cfg.scheme = SchemeKind::InvisiSpecSpectre;
+        cfg.trialsPerBit = 1;
+        cfg.noise = NoiseConfig::none();
+        cfg.core.fastForward = ff;
+        return runICacheChannel(bits, cfg);
+    };
+    const ChannelResult base = run_once(false);
+    const ChannelResult ff = run_once(true);
+    EXPECT_EQ(ff.bitsSent, base.bitsSent);
+    EXPECT_EQ(ff.bitErrors, base.bitErrors);
+    EXPECT_EQ(ff.discardedTrials, base.discardedTrials);
+    EXPECT_EQ(ff.totalCycles, base.totalCycles);
+}
+
+TEST(ChannelGoldenTest, SmtChannelVerdictUnchangedByFastForward)
+{
+    const auto bits = randomBits(8, 123);
+    auto run_once = [&](bool ff) {
+        SmtChannelConfig cfg;
+        cfg.scheme = SchemeKind::InvisiSpecSpectre;
+        cfg.attack.kind = SmtChannelKind::Port;
+        cfg.trialsPerBit = 1;
+        cfg.core.fastForward = ff;
+        return runSmtContentionChannel(bits, cfg);
+    };
+    const SmtChannelResult base = run_once(false);
+    const SmtChannelResult ff = run_once(true);
+    EXPECT_EQ(ff.calibration.usable, base.calibration.usable);
+    EXPECT_EQ(ff.channel.bitsSent, base.channel.bitsSent);
+    EXPECT_EQ(ff.channel.bitErrors, base.channel.bitErrors);
+    EXPECT_EQ(ff.channel.totalCycles, base.channel.totalCycles);
+}
+
+// ---------------------------------------------------------------------
+// Stats-lite is asserted off in every attack scenario
+// ---------------------------------------------------------------------
+
+TEST(StatsLiteDeathTest, AttackEntryPointsRejectStatsLite)
+{
+    const auto bits = randomBits(2, 1);
+
+    ChannelConfig core_lite;
+    core_lite.core.statsLite = true;
+    EXPECT_EXIT(runDCacheChannel(bits, core_lite),
+                ::testing::ExitedWithCode(1), "statsLite");
+
+    ChannelConfig hier_lite;
+    hier_lite.hier.statsLite = true;
+    EXPECT_EXIT(runICacheChannel(bits, hier_lite),
+                ::testing::ExitedWithCode(1), "statsLite");
+
+    SmtChannelConfig smt_lite;
+    smt_lite.core.statsLite = true;
+    EXPECT_EXIT(runSmtContentionChannel(bits, smt_lite),
+                ::testing::ExitedWithCode(1), "statsLite");
+}
+
+} // namespace
+} // namespace specint

@@ -1,17 +1,15 @@
 /**
  * @file
- * SMT / unified-engine tests: golden-trace regression pinning the
- * unified pipeline (via both the Core façade and SmtCore with one
- * thread) cycle-for-cycle against stats captured from the
- * pre-unification pipeline, two-thread architectural transparency,
+ * SMT / unified-engine tests: two-thread architectural transparency,
  * per-thread squash isolation, partitioned-vs-shared resource
  * accounting, fetch arbitration fairness, and secret recovery through
- * the sibling-thread port/MSHR contention channel.
+ * the sibling-thread port/MSHR contention channel. (The golden-trace
+ * regression pinning the engine cycle-for-cycle against the
+ * pre-unification pipeline lives in tests/test_golden_traces.cc,
+ * where it also exercises the fast-forward/stats-lite variants.)
  */
 
 #include <gtest/gtest.h>
-
-#include <functional>
 
 #include "attack/smt_probe.hh"
 #include "cpu/core.hh"
@@ -61,128 +59,6 @@ computeOnlySpec(std::uint64_t seed)
     spec.seed = seed;
     return spec;
 }
-
-// ---------------------------------------------------------------------
-// Golden-trace regression against the pre-unification pipeline
-// ---------------------------------------------------------------------
-
-/**
- * One golden data point, captured from the independent pre-refactor
- * Core pipeline (commit affb3f5, before Core/SmtCore were folded into
- * the unified engine) running the fuzz workloads above. Any behaviour
- * change in the unified engine — via the Core façade or SmtCore with
- * one thread — shows up as a cycle/stat/register divergence here.
- */
-struct GoldenTrace
-{
-    std::uint64_t seed;
-    SchemeKind kind;
-    Tick cycles;
-    std::uint64_t retired, issued, squashes, branches, mispredicts;
-    std::uint64_t loads, loadL1Hits;
-    /** FNV-1a over the final architectural register file. */
-    std::uint64_t regHash;
-};
-
-constexpr GoldenTrace kGoldenTraces[] = {
-    {11u, SchemeKind::Unsafe, 13628, 882, 1383, 62, 122, 62, 399, 136, 0x6ad714dbbfc53ca0ULL},
-    {11u, SchemeKind::DomNonTso, 22072, 882, 2858, 66, 152, 66, 1047, 67, 0x6ad714dbbfc53ca0ULL},
-    {11u, SchemeKind::InvisiSpecSpectre, 14322, 882, 1745, 65, 132, 65, 492, 32, 0x6ad714dbbfc53ca0ULL},
-    {11u, SchemeKind::SafeSpecWfb, 25322, 882, 1172, 61, 121, 61, 347, 23, 0x6ad714dbbfc53ca0ULL},
-    {11u, SchemeKind::MuonTrap, 25334, 882, 1172, 61, 121, 61, 347, 11, 0x6ad714dbbfc53ca0ULL},
-    {11u, SchemeKind::AdvancedDefense, 22079, 882, 2393, 64, 141, 64, 901, 59, 0x6ad714dbbfc53ca0ULL},
-    {37u, SchemeKind::Unsafe, 14905, 888, 1417, 60, 103, 60, 420, 153, 0xea29e7580253d790ULL},
-    {37u, SchemeKind::DomNonTso, 20712, 888, 3011, 61, 124, 61, 1029, 68, 0xea29e7580253d790ULL},
-    {37u, SchemeKind::InvisiSpecSpectre, 16973, 888, 1955, 62, 110, 62, 581, 32, 0xea29e7580253d790ULL},
-    {37u, SchemeKind::SafeSpecWfb, 25941, 888, 1207, 61, 104, 61, 352, 22, 0xea29e7580253d790ULL},
-    {37u, SchemeKind::MuonTrap, 25877, 888, 1199, 61, 104, 61, 350, 6, 0xea29e7580253d790ULL},
-    {37u, SchemeKind::AdvancedDefense, 20672, 888, 2670, 61, 116, 61, 925, 61, 0xea29e7580253d790ULL},
-    {71u, SchemeKind::Unsafe, 12321, 881, 1348, 59, 115, 59, 319, 109, 0x642497def1f7cc6aULL},
-    {71u, SchemeKind::DomNonTso, 19104, 881, 3058, 60, 142, 60, 768, 72, 0x642497def1f7cc6aULL},
-    {71u, SchemeKind::InvisiSpecSpectre, 15653, 881, 1600, 62, 131, 62, 383, 32, 0x642497def1f7cc6aULL},
-    {71u, SchemeKind::SafeSpecWfb, 25902, 881, 1180, 59, 116, 59, 270, 21, 0x642497def1f7cc6aULL},
-    {71u, SchemeKind::MuonTrap, 25902, 881, 1180, 59, 116, 59, 270, 15, 0x642497def1f7cc6aULL},
-    {71u, SchemeKind::AdvancedDefense, 19105, 881, 2740, 60, 143, 60, 730, 70, 0x642497def1f7cc6aULL},
-};
-
-std::uint64_t
-fnv1aRegs(const std::function<std::uint64_t(RegId)> &reg)
-{
-    std::uint64_t h = 1469598103934665603ULL;
-    for (unsigned r = 0; r < kNumRegs; ++r) {
-        const std::uint64_t v = reg(static_cast<RegId>(r));
-        for (int b = 0; b < 8; ++b) {
-            h ^= (v >> (8 * b)) & 0xff;
-            h *= 1099511628211ULL;
-        }
-    }
-    return h;
-}
-
-class GoldenTraceTest : public ::testing::TestWithParam<GoldenTrace>
-{};
-
-TEST_P(GoldenTraceTest, CoreFacadeMatchesPreRefactorPipeline)
-{
-    const GoldenTrace &g = GetParam();
-    const GeneratedWorkload wl = generateWorkload(fuzzSpec(g.seed));
-
-    Hierarchy hier(HierarchyConfig::small());
-    MainMemory mem;
-    for (const auto &[a, v] : wl.memInit)
-        mem.write(a, v);
-    Core core(CoreConfig{}, 0, hier, mem);
-    core.setScheme(makeScheme(g.kind));
-    const CoreStats s = core.run(wl.prog);
-
-    ASSERT_TRUE(s.finished) << schemeName(g.kind);
-    EXPECT_EQ(s.cycles, g.cycles) << schemeName(g.kind);
-    EXPECT_EQ(s.retired, g.retired) << schemeName(g.kind);
-    EXPECT_EQ(s.issued, g.issued) << schemeName(g.kind);
-    EXPECT_EQ(s.squashes, g.squashes) << schemeName(g.kind);
-    EXPECT_EQ(s.branches, g.branches) << schemeName(g.kind);
-    EXPECT_EQ(s.mispredicts, g.mispredicts) << schemeName(g.kind);
-    EXPECT_EQ(s.loads, g.loads) << schemeName(g.kind);
-    EXPECT_EQ(s.loadL1Hits, g.loadL1Hits) << schemeName(g.kind);
-    EXPECT_EQ(fnv1aRegs([&](RegId r) { return core.archReg(r); }),
-              g.regHash)
-        << schemeName(g.kind) << " architectural state diverged";
-}
-
-TEST_P(GoldenTraceTest, SingleThreadSmtCoreMatchesPreRefactorPipeline)
-{
-    const GoldenTrace &g = GetParam();
-    const GeneratedWorkload wl = generateWorkload(fuzzSpec(g.seed));
-
-    Hierarchy hier(HierarchyConfig::small());
-    MainMemory mem;
-    for (const auto &[a, v] : wl.memInit)
-        mem.write(a, v);
-    SmtCore smt(CoreConfig{}, SmtConfig::singleThread(), 0, hier, mem);
-    smt.setScheme(0, makeScheme(g.kind));
-    const SmtRunResult run = smt.run({&wl.prog});
-
-    ASSERT_TRUE(run.finished) << schemeName(g.kind);
-    const SmtThreadStats &st = run.threads[0];
-    EXPECT_EQ(run.cycles, g.cycles) << schemeName(g.kind);
-    EXPECT_EQ(st.retired, g.retired) << schemeName(g.kind);
-    EXPECT_EQ(st.issued, g.issued) << schemeName(g.kind);
-    EXPECT_EQ(st.squashes, g.squashes) << schemeName(g.kind);
-    EXPECT_EQ(st.branches, g.branches) << schemeName(g.kind);
-    EXPECT_EQ(st.mispredicts, g.mispredicts) << schemeName(g.kind);
-    EXPECT_EQ(st.loads, g.loads) << schemeName(g.kind);
-    EXPECT_EQ(st.loadL1Hits, g.loadL1Hits) << schemeName(g.kind);
-    EXPECT_EQ(fnv1aRegs([&](RegId r) { return smt.archReg(0, r); }),
-              g.regHash)
-        << schemeName(g.kind) << " architectural state diverged";
-}
-
-INSTANTIATE_TEST_SUITE_P(
-    SeedsAndSchemes, GoldenTraceTest, ::testing::ValuesIn(kGoldenTraces),
-    [](const auto &info) {
-        return "seed" + std::to_string(info.param.seed) + "_" +
-               std::to_string(static_cast<int>(info.param.kind));
-    });
 
 // ---------------------------------------------------------------------
 // Two-thread architectural transparency
