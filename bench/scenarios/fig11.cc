@@ -20,6 +20,7 @@
 
 #include "attack/channel.hh"
 #include "sim/experiment/report.hh"
+#include "sim/obs/profile.hh"
 
 namespace specint::scenarios
 {
@@ -54,8 +55,12 @@ runPoint(const PointContext &ctx, const RunOptions &)
     cfg.seed = ctx.baseSeed + 1000 + trials;
     const auto bits =
         randomBits(ctx.trials, ctx.baseSeed + 42 + trials);
-    const ChannelResult res = dcache ? runDCacheChannel(bits, cfg)
-                                     : runICacheChannel(bits, cfg);
+    ChannelResult res;
+    {
+        const obs::ScopedTimer timer("fig11.channelRun");
+        res = dcache ? runDCacheChannel(bits, cfg)
+                     : runICacheChannel(bits, cfg);
+    }
     const double rate = res.bitsPerSecond(cfg.clockGhz);
 
     PointResult out;

@@ -15,6 +15,7 @@
 
 #include "attack/matrix.hh"
 #include "sim/experiment/report.hh"
+#include "sim/obs/profile.hh"
 #include "sim/stats.hh"
 
 namespace specint::scenarios
@@ -46,7 +47,11 @@ runPoint(const PointContext &ctx, const RunOptions &)
     const auto [g, o] = comboFromName(ctx.point.at("cell"));
     const SchemeKind s = schemeFromName(ctx.point.at("scheme"));
 
-    const MatrixCell cell = evaluateCell(g, o, s);
+    MatrixCell cell;
+    {
+        const obs::ScopedTimer timer("table1.evaluateCell");
+        cell = evaluateCell(g, o, s);
+    }
     const bool expected = expectedVulnerable(g, o, s);
     const bool deviation = knownDeviation(g, o, s);
     std::string note;

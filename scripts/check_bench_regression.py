@@ -63,10 +63,28 @@ def main():
     ap.add_argument("baseline", help="committed baseline BENCH json")
     ap.add_argument("--tolerance", type=float, default=0.20,
                     help="allowed fractional regression (default 0.20)")
+    ap.add_argument("--allow-missing", action="store_true",
+                    help="warn (instead of error) when a measured kernel "
+                         "has no baseline row")
     args = ap.parse_args()
 
     cur = load_rows(args.current)
     base = load_rows(args.baseline)
+
+    # A kernel measured now but absent from the baseline would silently
+    # escape both checks below — surface it instead of skipping it, so a
+    # new kernel cannot ship ungated by accident. The fix is to refresh
+    # bench/baselines/BENCH_microbench.json (or pass --allow-missing for
+    # a local run against an older baseline).
+    missing = sorted(set(cur) - set(base))
+    if missing:
+        verb = "warning" if args.allow_missing else "error"
+        print(f"{verb}: kernel(s) measured but missing from baseline "
+              f"{args.baseline}: {', '.join(missing)}", file=sys.stderr)
+        if not args.allow_missing:
+            print("  refresh the baseline to gate them, or pass "
+                  "--allow-missing to proceed without", file=sys.stderr)
+            sys.exit(2)
 
     common = sorted(set(cur) & set(base))
     if not common:

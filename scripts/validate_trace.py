@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Structural validator for specsim --trace-out files.
+
+Checks that an exported trace is well-formed Chrome trace-event JSON
+of the shape specsim emits (and Perfetto loads):
+
+- top level is an object with a "traceEvents" array;
+- every event is an object with a string "ph" in {X, i, M} and
+  integer "pid"/"ts" fields ("tid" too for non-process metadata);
+- complete events (ph=X) carry a non-negative integer "dur";
+- instant events (ph=i) carry the scope field "s";
+- metadata events (ph=M) are process_name/thread_name records whose
+  args carry a non-empty "name";
+- within each (pid, tid) pair, timestamps are monotonically
+  non-decreasing — the renderer sorts by (pid, track, ts), so any
+  violation means the renderer (or a post-processing step) broke.
+
+Exit status: 0 = valid, 1 = invalid, 2 = usage/IO error.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"error: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate(doc):
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top level must be an object with a 'traceEvents' array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail("'traceEvents' must be an array")
+
+    counts = {"X": 0, "i": 0, "M": 0}
+    last_ts = {}  # (pid, tid) -> last timestamp seen
+    for n, ev in enumerate(events):
+        where = f"event {n}"
+        if not isinstance(ev, dict):
+            fail(f"{where}: not an object")
+        ph = ev.get("ph")
+        if ph not in counts:
+            fail(f"{where}: ph {ph!r} not one of X/i/M")
+        counts[ph] += 1
+        if not isinstance(ev.get("pid"), int):
+            fail(f"{where}: missing integer 'pid'")
+        name = ev.get("name")
+        if not isinstance(name, str) or not name:
+            fail(f"{where}: missing non-empty 'name'")
+
+        if ph == "M":
+            if name not in ("process_name", "thread_name"):
+                fail(f"{where}: unknown metadata record {name!r}")
+            args = ev.get("args")
+            if (not isinstance(args, dict)
+                    or not isinstance(args.get("name"), str)
+                    or not args["name"]):
+                fail(f"{where}: metadata args must name the "
+                     f"{name.split('_')[0]}")
+            if name == "thread_name" and not isinstance(
+                    ev.get("tid"), int):
+                fail(f"{where}: thread_name without integer 'tid'")
+            continue
+
+        ts = ev.get("ts")
+        if not isinstance(ts, int) or ts < 0:
+            fail(f"{where}: missing non-negative integer 'ts'")
+        if not isinstance(ev.get("tid"), int):
+            fail(f"{where}: missing integer 'tid'")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, int) or dur < 0:
+                fail(f"{where}: complete event without non-negative "
+                     "'dur'")
+        if ph == "i" and ev.get("s") not in ("t", "p", "g"):
+            fail(f"{where}: instant event without scope 's'")
+
+        key = (ev["pid"], ev["tid"])
+        if key in last_ts and ts < last_ts[key]:
+            fail(f"{where}: ts {ts} < {last_ts[key]} on pid/tid "
+                 f"{key} — track not monotonic")
+        last_ts[key] = ts
+
+    return counts, len(last_ts)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(f"usage: {sys.argv[0]} TRACE.json", file=sys.stderr)
+        sys.exit(2)
+    path = sys.argv[1]
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+    counts, tracks = validate(doc)
+    total = sum(counts.values())
+    print(f"{path}: valid — {total} events "
+          f"({counts['X']} complete, {counts['i']} instant, "
+          f"{counts['M']} metadata) on {tracks} track(s)")
+
+
+if __name__ == "__main__":
+    main()

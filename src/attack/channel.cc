@@ -14,6 +14,8 @@
 #include "memory/eviction_set.hh"
 #include "memory/hierarchy.hh"
 #include "sim/log.hh"
+#include "sim/obs/metrics.hh"
+#include "sim/obs/trace.hh"
 
 namespace specint
 {
@@ -81,6 +83,21 @@ struct ChannelSystem
     SenderProgram sender;
 };
 
+/** End-of-run channel counters for the metric registry. (statsLite is
+ *  rejected for attack runs, so only the global switch gates this.) */
+void
+publishChannelMetrics(const char *prefix, const ChannelResult &res)
+{
+    if (!obs::metricsEnabled())
+        return;
+    obs::MetricRegistry &reg = obs::MetricRegistry::global();
+    const std::string p(prefix);
+    reg.counterAdd(p + "bits_sent", res.bitsSent);
+    reg.counterAdd(p + "bit_errors", res.bitErrors);
+    reg.counterAdd(p + "discarded_trials", res.discardedTrials);
+    reg.counterAdd(p + "total_cycles", res.totalCycles);
+}
+
 } // namespace
 
 ChannelResult
@@ -106,6 +123,12 @@ runDCacheChannel(const std::vector<std::uint8_t> &bits,
         {sys.sender.addrA, sys.sender.addrB});
 
     ChannelResult res;
+    // Trials have no shared clock; the trace timeline concatenates
+    // per-trial costs (cycles + overhead) so bits line up in order.
+    std::uint32_t trace_track = 0;
+    std::uint64_t trace_now = 0;
+    if (obs::tracingEnabled())
+        trace_track = obs::EventTracer::global().track("channel.dcache");
     for (std::uint8_t bit : bits) {
         unsigned votes[2] = {0, 0};
         for (unsigned t = 0; t < cfg.trialsPerBit; ++t) {
@@ -118,6 +141,13 @@ runDCacheChannel(const std::vector<std::uint8_t> &bits,
                 sys.attacker.access(stray);
             const OrderDecode d = receiver.decode();
             res.totalCycles += tr.cycles + trialOverhead(cfg, true);
+            if (trace_track != 0) {
+                obs::EventTracer::global().complete(
+                    trace_track, "trial", "channel", trace_now,
+                    tr.cycles, "bit", bit, "decode",
+                    static_cast<std::uint64_t>(d));
+                trace_now += tr.cycles + trialOverhead(cfg, true);
+            }
             if (d == OrderDecode::Unclear) {
                 ++res.discardedTrials;
                 continue;
@@ -130,6 +160,7 @@ runDCacheChannel(const std::vector<std::uint8_t> &bits,
         if (decoded != bit)
             ++res.bitErrors;
     }
+    publishChannelMetrics("channel.dcache.", res);
     return res;
 }
 
@@ -147,6 +178,10 @@ runICacheChannel(const std::vector<std::uint8_t> &bits,
                                  sys.sender.icacheTarget);
 
     ChannelResult res;
+    std::uint32_t trace_track = 0;
+    std::uint64_t trace_now = 0;
+    if (obs::tracingEnabled())
+        trace_track = obs::EventTracer::global().track("channel.icache");
     for (std::uint8_t bit : bits) {
         unsigned votes[2] = {0, 0};
         for (unsigned t = 0; t < cfg.trialsPerBit; ++t) {
@@ -154,6 +189,12 @@ runICacheChannel(const std::vector<std::uint8_t> &bits,
             receiver.flushTarget();
             const TrialResult tr = sys.harness.run(sys.sender);
             res.totalCycles += tr.cycles + trialOverhead(cfg, false);
+            if (trace_track != 0) {
+                obs::EventTracer::global().complete(
+                    trace_track, "trial", "channel", trace_now,
+                    tr.cycles, "bit", bit);
+                trace_now += tr.cycles + trialOverhead(cfg, false);
+            }
             if (sys.noise.strayEviction()) {
                 // Third-party pressure can evict the target line
                 // before the probe, flipping a present into absent.
@@ -170,6 +211,7 @@ runICacheChannel(const std::vector<std::uint8_t> &bits,
         if (decoded != bit)
             ++res.bitErrors;
     }
+    publishChannelMetrics("channel.icache.", res);
     return res;
 }
 

@@ -12,8 +12,24 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sim/obs/trace.hh"
+
 namespace specint
 {
+
+std::uint32_t
+CommitUnit::threadTraceTrack(ThreadId tid)
+{
+    if (threadTraceTracks_.size() <= tid)
+        threadTraceTracks_.resize(tid + 1, 0);
+    std::uint32_t &slot = threadTraceTracks_[tid];
+    if (slot == 0) {
+        slot = obs::EventTracer::global().track(
+            "core" + std::to_string(id_) + ".t" +
+            std::to_string(tid));
+    }
+    return slot;
+}
 
 void
 CommitUnit::retire(std::vector<std::unique_ptr<ThreadContext>> &threads,
@@ -76,6 +92,16 @@ CommitUnit::retire(std::vector<std::unique_ptr<ThreadContext>> &threads,
             h.state = InstState::Retired;
             h.retiredAt = now;
             ++th.stats.retired;
+
+            if (obs::tracingEnabled() && !cfg_.statsLite) {
+                // One span per retired instruction: dispatch to
+                // retirement, the window the instruction occupied a
+                // ROB slot.
+                obs::EventTracer::global().complete(
+                    threadTraceTrack(th.tid), "inst", "pipeline",
+                    h.dispatchedAt, now - h.dispatchedAt, "pc", h.pc,
+                    "seq", h.seq);
+            }
 
             if (cfg_.recordTrace && !cfg_.statsLite &&
                 !h.si.label.empty()) {
@@ -287,6 +313,12 @@ CommitUnit::squashAfter(ThreadContext &th, const DynInst &br, Tick now)
         br.actualTaken ? br.si.target : br.pc + 1;
     th.frontend.redirect(new_pc, now + cfg_.squashPenalty);
     ++th.stats.squashes;
+
+    if (obs::tracingEnabled() && !cfg_.statsLite) {
+        obs::EventTracer::global().instant(
+            threadTraceTrack(th.tid), "squash", "pipeline", now,
+            "branch_pc", br.pc, "redirect_pc", new_pc);
+    }
 }
 
 } // namespace specint

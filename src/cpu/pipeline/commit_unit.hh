@@ -57,6 +57,8 @@ class CommitUnit
                        Tick now);
     void resolveBranch(ThreadContext &th, DynInst &br, Tick now);
     void squashAfter(ThreadContext &th, const DynInst &br, Tick now);
+    /** Lazily interned "core<id>.t<tid>" event-trace track. */
+    std::uint32_t threadTraceTrack(ThreadId tid);
 
     const CoreConfig &cfg_;
     CoreId id_;
@@ -69,6 +71,9 @@ class CommitUnit
 
     /** Reused CDB-arbitration buffer (hot path: no per-cycle alloc). */
     std::vector<std::pair<ThreadContext *, DynInst *>> cands_;
+
+    /** Cached event-trace track ids, indexed by thread. */
+    std::vector<std::uint32_t> threadTraceTracks_;
 };
 
 } // namespace specint

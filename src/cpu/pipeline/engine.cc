@@ -13,6 +13,8 @@
 #include <cassert>
 
 #include "sim/log.hh"
+#include "sim/obs/metrics.hh"
+#include "sim/obs/trace.hh"
 
 namespace specint
 {
@@ -154,7 +156,41 @@ PipelineEngine::finishRun()
             tp->stats.cycles = now_;
         res.threads.push_back(tp->stats);
     }
+    if (obs::metricsEnabled())
+        publishMetrics();
     return res;
+}
+
+void
+PipelineEngine::publishMetrics()
+{
+    obs::MetricRegistry &reg = obs::MetricRegistry::global();
+    const std::string core = "core" + std::to_string(id_) + ".";
+    reg.counterAdd(core + "pipeline.runs", 1);
+    reg.sampleAdd(core + "pipeline.cycles",
+                  static_cast<double>(now_));
+    for (const auto &tp : threads_) {
+        const ThreadStats &s = tp->stats;
+        const std::string t =
+            core + "t" + std::to_string(tp->tid) + ".";
+        reg.counterAdd(t + "retired", s.retired);
+        reg.counterAdd(t + "issued", s.issued);
+        reg.counterAdd(t + "squashes", s.squashes);
+        reg.counterAdd(t + "branches", s.branches);
+        reg.counterAdd(t + "mispredicts", s.mispredicts);
+        reg.counterAdd(t + "loads", s.loads);
+        reg.counterAdd(t + "load_l1_hits", s.loadL1Hits);
+        reg.counterAdd(t + "fetch_grants", s.fetchGrants);
+        reg.counterAdd(t + "stalls.port_contended",
+                       s.portContendedCycles);
+        reg.counterAdd(t + "stalls.mshr_contended",
+                       s.mshrContendedCycles);
+        reg.counterAdd(t + "stalls.rs_blocked", s.rsBlockedCycles);
+    }
+    // The Hierarchy is shared by every engine of a System; publishing
+    // from core 0 only keeps the shared counters single-sourced.
+    if (id_ == 0)
+        hier_->publishMetrics();
 }
 
 EngineRunResult
@@ -312,6 +348,18 @@ PipelineEngine::fastForwardTo(Tick target)
     for (const auto &tp : threads_) {
         if (!tp->frontend.queueEmpty() && rs_.full(tp->tid))
             tp->stats.rsBlockedCycles += skipped;
+    }
+    // The skipped region is by construction transition-free, so the
+    // trace records it as one arithmetic stall span instead of the
+    // per-cycle events the naive loop would (not) have produced.
+    if (obs::tracingEnabled() && !cfg_.statsLite) {
+        if (stallTraceTrack_ == 0) {
+            stallTraceTrack_ = obs::EventTracer::global().track(
+                "core" + std::to_string(id_) + ".stall");
+        }
+        obs::EventTracer::global().complete(
+            stallTraceTrack_, "stall", "fastforward", now_, skipped,
+            "skipped", skipped);
     }
     now_ = target;
 }

@@ -181,6 +181,11 @@ class PipelineEngine
     bool allHalted() const;
     void tick();
     void sampleContention();
+    /** Push this run's counters into the global MetricRegistry under
+     *  "core<id>.". Called from finishRun() when metrics are armed;
+     *  ThreadStats reset every run, so plain counterAdd cannot
+     *  double-count. Core 0 also publishes the shared Hierarchy. */
+    void publishMetrics();
 
     CoreConfig cfg_;
     SmtConfig smt_;
@@ -206,6 +211,8 @@ class PipelineEngine
 
     Tick now_ = 0;
     CycleHook cycleHook_;
+    /** Lazily interned trace track for fast-forward stall spans. */
+    std::uint32_t stallTraceTrack_ = 0;
 };
 
 } // namespace specint

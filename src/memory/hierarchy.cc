@@ -12,6 +12,8 @@
 #include <cassert>
 
 #include "sim/log.hh"
+#include "sim/obs/metrics.hh"
+#include "sim/obs/trace.hh"
 
 namespace specint
 {
@@ -108,8 +110,13 @@ Hierarchy::Hierarchy(HierarchyConfig cfg)
                   fatal("HierarchyConfig: " + err);
               // Stats-lite also silences the coherence-event trace
               // (timing and MESI state transitions are unaffected).
-              if (cfg_.statsLite)
+              if (cfg_.statsLite && cfg_.coherence.recordTrace) {
+                  if (cfg_.coherence.enabled) {
+                      inform("Hierarchy: statsLite disables the "
+                             "coherence-event trace");
+                  }
                   cfg_.coherence.recordTrace = false;
+              }
               // One client per core plus the spare direct-LLC id the
               // attack harnesses use (accessDirect with id == cores),
               // so a standalone Hierarchy honours that convention too.
@@ -127,6 +134,10 @@ Hierarchy::Hierarchy(HierarchyConfig cfg)
         llc_.emplace_back(cfg_.llcSlice);
     slicePortFreeAt_.assign(cfg_.llcSlices, 0);
     llcStats_.assign(cfg_.cores, LlcContentionStats{});
+    memTraceTracks_.assign(cfg_.cores, 0);
+    llcPublished_.assign(cfg_.cores, LlcContentionStats{});
+    cohPublished_.assign(cfg_.cores + 1, CoherenceStats{});
+    pfPublished_.assign(cfg_.cores, PrefetchStats{});
 }
 
 std::int64_t
@@ -267,11 +278,56 @@ Hierarchy::execute(MemTransaction &txn)
             walkInvisible(txn);
         break;
     }
+    if (obs::tracingEnabled() && !cfg_.statsLite)
+        traceTxn(txn);
     if (txn.train && txn.source == TxnSource::Demand &&
         txn.type == AccessType::Data && prefetchEnabled()) {
         trainPrefetcher(txn);
     }
     return txn.result;
+}
+
+void
+Hierarchy::traceTxn(const MemTransaction &txn)
+{
+    obs::EventTracer &tracer = obs::EventTracer::global();
+    std::uint32_t track;
+    if (txn.source == TxnSource::Direct) {
+        if (directTraceTrack_ == 0)
+            directTraceTrack_ = tracer.track("llc.direct");
+        track = directTraceTrack_;
+    } else {
+        std::uint32_t &slot = memTraceTracks_[txn.core];
+        if (slot == 0) {
+            slot = tracer.track("core" + std::to_string(txn.core) +
+                                ".mem");
+        }
+        track = slot;
+    }
+    // Span name = the level that served the request, so the Perfetto
+    // timeline reads as the walk's outcome; the category separates
+    // demand, prefetch and invisible traffic for filtering.
+    const char *cat =
+        txn.source == TxnSource::Prefetch
+            ? "prefetch"
+            : (txn.visibility == TxnVisibility::Invisible
+                   ? "invisible"
+                   : "mem");
+    tracer.complete(track, servedByName(txn.result.servedBy), cat,
+                    txn.issuedAt, txn.result.latency, "addr",
+                    txn.addr, "queue_delay", txn.result.queueDelay);
+}
+
+void
+Hierarchy::traceInvalidations(CoreId requester, std::size_t victims,
+                              Addr addr, Tick now)
+{
+    (void)requester;
+    obs::EventTracer &tracer = obs::EventTracer::global();
+    if (cohTraceTrack_ == 0)
+        cohTraceTrack_ = tracer.track("llc.coherence");
+    tracer.instant(cohTraceTrack_, "invalidate", "coherence", now,
+                   "addr", lineAlign(addr), "victims", victims);
 }
 
 void
@@ -421,6 +477,11 @@ Hierarchy::coherenceWriteFinish(MemTransaction &txn)
         txn.core, txn.addr, txn.issuedAt, /*take_ownership=*/true);
     for (CoreId victim : out.invalidate)
         invalidatePrivate(victim, lineAlign(txn.addr));
+    if (!out.invalidate.empty() && obs::tracingEnabled() &&
+        !cfg_.statsLite) {
+        traceInvalidations(txn.core, out.invalidate.size(), txn.addr,
+                           txn.issuedAt);
+    }
     txn.result.latency += out.extraLatency;
     txn.result.coherenceDelay += out.extraLatency;
     txn.result.invalidations +=
@@ -555,6 +616,9 @@ Hierarchy::specStoreUpgrade(CoreId core, Addr addr, Tick now,
         directory_.write(core, addr, now, take_ownership);
     for (CoreId victim : out.invalidate)
         invalidatePrivate(victim, lineAlign(addr));
+    if (!out.invalidate.empty() && obs::tracingEnabled() &&
+        !cfg_.statsLite)
+        traceInvalidations(core, out.invalidate.size(), addr, now);
     return out.extraLatency;
 }
 
@@ -603,6 +667,9 @@ Hierarchy::reset()
     directory_.reset();
     for (auto &pf : prefetchers_)
         pf.reset();
+    cohPublished_.assign(cfg_.cores + 1, CoherenceStats{});
+    pfPublished_.assign(cfg_.cores, PrefetchStats{});
+    tracePublished_ = 0;
     resetContention();
 }
 
@@ -612,6 +679,94 @@ Hierarchy::resetContention()
     slicePortFreeAt_.assign(cfg_.llcSlices, 0);
     llcMshrs_.clear();
     llcStats_.assign(cfg_.cores, LlcContentionStats{});
+    llcPublished_.assign(cfg_.cores, LlcContentionStats{});
+}
+
+namespace
+{
+
+/** Delta since the last publication. Counters only move forward, so
+ *  cur < last means the underlying stats were reset since then: the
+ *  whole current value is new. Updates the baseline. */
+std::uint64_t
+publishDelta(std::uint64_t cur, std::uint64_t &last)
+{
+    const std::uint64_t d = cur >= last ? cur - last : cur;
+    last = cur;
+    return d;
+}
+
+} // namespace
+
+void
+Hierarchy::publishMetrics()
+{
+    if (!obs::metricsEnabled())
+        return;
+    obs::MetricRegistry &reg = obs::MetricRegistry::global();
+
+    reg.counterAdd("llc.visible_accesses",
+                   publishDelta(trace_.size(), tracePublished_));
+    for (unsigned s = 0; s < cfg_.llcSlices; ++s) {
+        // Occupancy is a point-in-time sample, not a cumulative
+        // counter: record the valid-line count per slice as a
+        // distribution (order-independent under parallel sweeps,
+        // unlike a gauge).
+        std::uint64_t lines = 0;
+        for (unsigned set = 0; set < cfg_.llcSlice.sets; ++set)
+            lines += llc_[s].occupancy(set);
+        reg.sampleAdd("llc.slice" + std::to_string(s) + ".occupancy",
+                      static_cast<double>(lines));
+    }
+    for (unsigned c = 0; c < cfg_.cores; ++c) {
+        const std::string core = "core" + std::to_string(c) + ".";
+        const LlcContentionStats &llc = llcStats_[c];
+        LlcContentionStats &llcBase = llcPublished_[c];
+        reg.counterAdd(core + "llc.requests",
+                       publishDelta(llc.requests, llcBase.requests));
+        reg.counterAdd(core + "llc.queued",
+                       publishDelta(llc.queued, llcBase.queued));
+        reg.counterAdd(core + "llc.queue_delay",
+                       publishDelta(llc.queueDelay,
+                                    llcBase.queueDelay));
+        if (prefetchEnabled()) {
+            const PrefetchStats &pf = prefetchStats(c);
+            PrefetchStats &pfBase = pfPublished_[c];
+            reg.counterAdd(core + "prefetch.trained",
+                           publishDelta(pf.trained, pfBase.trained));
+            reg.counterAdd(core + "prefetch.issued",
+                           publishDelta(pf.issued, pfBase.issued));
+            reg.counterAdd(core + "prefetch.dropped",
+                           publishDelta(pf.dropped, pfBase.dropped));
+            reg.counterAdd(core + "prefetch.llc_fills",
+                           publishDelta(pf.llcFills, pfBase.llcFills));
+        }
+    }
+    if (cfg_.coherence.enabled) {
+        // Client cfg_.cores is the spare direct-LLC (attacker) id.
+        for (unsigned c = 0; c <= cfg_.cores; ++c) {
+            const std::string client =
+                c < cfg_.cores ? "core" + std::to_string(c) +
+                                     ".coherence."
+                               : std::string("llc.direct.coherence.");
+            const CoherenceStats &coh = directory_.stats(c);
+            CoherenceStats &base = cohPublished_[c];
+            reg.counterAdd(client + "invalidations_sent",
+                           publishDelta(coh.invalidationsSent,
+                                        base.invalidationsSent));
+            reg.counterAdd(client + "invalidations_received",
+                           publishDelta(coh.invalidationsReceived,
+                                        base.invalidationsReceived));
+            reg.counterAdd(client + "downgrades_received",
+                           publishDelta(coh.downgradesReceived,
+                                        base.downgradesReceived));
+            reg.counterAdd(client + "upgrades",
+                           publishDelta(coh.upgrades, base.upgrades));
+            reg.counterAdd(client + "exclusive_grants",
+                           publishDelta(coh.exclusiveGrants,
+                                        base.exclusiveGrants));
+        }
+    }
 }
 
 } // namespace specint

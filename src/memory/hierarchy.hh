@@ -343,6 +343,16 @@ class Hierarchy
         return cfg_.llcLatency + cfg_.memLatency / 2;
     }
 
+    /**
+     * Push the hierarchy-wide counters (LLC contention, coherence,
+     * prefetch, slice occupancy) into the global MetricRegistry.
+     * Unlike ThreadStats, these accumulate for the lifetime of the
+     * Hierarchy object, so each call publishes the delta since the
+     * previous one (engine core 0 calls this once per finished run).
+     * No-op unless obs::metricsEnabled().
+     */
+    void publishMetrics();
+
   private:
     /** @name Transaction walk stages (execute() dispatches here) */
     /// @{
@@ -408,6 +418,27 @@ class Hierarchy
     };
     std::vector<LlcMshrEntry> llcMshrs_;
     std::vector<LlcContentionStats> llcStats_;
+    /// @}
+
+    /** @name Observability (opt-in; src/sim/obs) */
+    /// @{
+    /** Record a completed transaction as a trace span on its core's
+     *  memory track ("core<N>.mem", direct clients on "llc.direct"). */
+    void traceTxn(const MemTransaction &txn);
+    /** Record a coherence-invalidation instant on "llc.coherence". */
+    void traceInvalidations(CoreId requester, std::size_t victims,
+                            Addr addr, Tick now);
+    /** Lazily interned trace tracks (ids are per-object caches of the
+     *  global tracer's interning, valid for this object's lifetime). */
+    std::vector<std::uint32_t> memTraceTracks_;
+    std::uint32_t directTraceTrack_ = 0;
+    std::uint32_t cohTraceTrack_ = 0;
+    /** publishMetrics() baselines: the cumulative counter values
+     *  already pushed into the registry (delta publication). */
+    std::vector<LlcContentionStats> llcPublished_;
+    std::vector<CoherenceStats> cohPublished_;
+    std::vector<PrefetchStats> pfPublished_;
+    std::uint64_t tracePublished_ = 0;
     /// @}
 };
 

@@ -8,6 +8,8 @@
 #include <cerrno>
 #include <cstdlib>
 
+#include "sim/log.hh"
+
 namespace specint::experiment
 {
 
@@ -76,6 +78,33 @@ CliArgs::parse(int argc, char **argv) const
                 return res;
             }
             opt.outPath = argv[++i];
+        } else if (arg == "--metrics-out") {
+            if (i + 1 >= argc) {
+                res.error = "--metrics-out requires a path";
+                return res;
+            }
+            opt.metricsOut = argv[++i];
+        } else if (arg == "--trace-out") {
+            if (i + 1 >= argc) {
+                res.error = "--trace-out requires a path";
+                return res;
+            }
+            opt.traceOut = argv[++i];
+        } else if (arg == "--profile") {
+            opt.profile = true;
+        } else if (arg == "--log-level") {
+            if (i + 1 >= argc) {
+                res.error = "--log-level requires a value";
+                return res;
+            }
+            LogLevel level;
+            if (!logLevelFromString(argv[++i], level)) {
+                res.error = std::string("--log-level: '") + argv[i] +
+                            "' is not silent|warn|info|debug|trace "
+                            "or 0-4";
+                return res;
+            }
+            opt.logLevel = argv[i];
         } else if (arg == "--trials") {
             std::uint64_t v;
             if (!value(v))
@@ -124,7 +153,9 @@ CliArgs::usage() const
 {
     std::string u = "usage: " + program_ +
                     " [--trials N] [--seed S] [--jobs J]"
-                    " [--csv | --json] [--out FILE]";
+                    " [--csv | --json] [--out FILE]"
+                    " [--metrics-out FILE] [--trace-out FILE]"
+                    " [--profile] [--log-level L]";
     for (const ExtraFlag &f : extraFlags_)
         u += " [--" + f.name + " N]";
     u += "\n";
@@ -137,6 +168,14 @@ CliArgs::usage() const
     u += "  --csv        emit one machine-readable CSV table\n";
     u += "  --json       emit the report as JSON\n";
     u += "  --out FILE   write the report to FILE instead of stdout\n";
+    u += "  --metrics-out FILE  export a metric-registry snapshot "
+         "(JSON) after the run\n";
+    u += "  --trace-out FILE    export a Perfetto-loadable event "
+         "trace (JSON) after the run\n";
+    u += "  --profile    print a host-time phase/point breakdown to "
+         "stderr\n";
+    u += "  --log-level L       silent|warn|info|debug|trace or 0-4 "
+         "(overrides $SPECSIM_LOG)\n";
     for (const ExtraFlag &f : extraFlags_) {
         u += "  --" + f.name;
         u.append(f.name.size() < 9 ? 9 - f.name.size() : 1, ' ');

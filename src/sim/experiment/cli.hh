@@ -48,6 +48,17 @@ struct RunOptions
     OutputFormat format = OutputFormat::Legacy;
     /** Empty = stdout. */
     std::string outPath;
+    /** Write a metrics-registry snapshot here after the run
+     *  ("" = off, "-" = stdout). Enables metric publication. */
+    std::string metricsOut;
+    /** Write a Chrome trace-event JSON here after the run
+     *  ("" = off, "-" = stdout). Enables event tracing. */
+    std::string traceOut;
+    /** Collect and print a host-time phase/point breakdown. */
+    bool profile = false;
+    /** Log level override ("" = keep env/default). Validated at
+     *  parse time against sim/log.hh's names. */
+    std::string logLevel;
     /** Resolved scenario-specific flags, keyed by flag name. */
     std::map<std::string, std::uint64_t> extra;
 

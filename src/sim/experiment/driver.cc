@@ -9,6 +9,10 @@
 #include <cstdio>
 
 #include "sim/experiment/runner.hh"
+#include "sim/log.hh"
+#include "sim/obs/metrics.hh"
+#include "sim/obs/profile.hh"
+#include "sim/obs/trace.hh"
 #include "sim/stats.hh"
 
 namespace specint::experiment
@@ -84,8 +88,64 @@ emitReport(const Scenario &scenario, const Report &report,
 int
 runResolved(const Scenario &scenario, const RunOptions &options)
 {
+    if (!options.logLevel.empty()) {
+        LogLevel level;
+        if (logLevelFromString(options.logLevel, level))
+            setLogLevel(level); // validated at parse time
+    }
+
+    // Arm the opt-in observability sinks before any point executes.
+    // Each starts from a clean slate so one CLI run exports exactly
+    // its own events/metrics/phases.
+    const bool want_metrics = !options.metricsOut.empty();
+    const bool want_trace = !options.traceOut.empty();
+    if (want_metrics) {
+        obs::MetricRegistry::global().clear();
+        obs::setMetricsEnabled(true);
+    }
+    if (want_trace) {
+        obs::EventTracer::global().clear();
+        obs::EventTracer::global().setEnabled(true);
+    }
+    if (options.profile) {
+        obs::HostProfiler::global().clear();
+        obs::setProfilingEnabled(true);
+    }
+
     const ExperimentRunner runner(options.jobs);
     const Report report = runner.run(scenario, options);
+
+    int obs_code = 0;
+    if (want_metrics) {
+        obs::setMetricsEnabled(false);
+        if (!writeOut(options.metricsOut,
+                      obs::MetricRegistry::global()
+                          .snapshot()
+                          .renderJson())) {
+            obs_code = 1;
+        }
+    }
+    if (want_trace) {
+        obs::EventTracer::global().setEnabled(false);
+        const std::uint64_t dropped =
+            obs::EventTracer::global().dropped();
+        if (dropped > 0) {
+            std::fprintf(stderr,
+                         "[trace] ring overflow: %llu oldest events "
+                         "dropped\n",
+                         static_cast<unsigned long long>(dropped));
+        }
+        if (!writeOut(options.traceOut,
+                      obs::EventTracer::global().renderJson())) {
+            obs_code = 1;
+        }
+    }
+    if (options.profile) {
+        obs::setProfilingEnabled(false);
+        // Stderr: machine-readable stdout stays clean, like the
+        // sweep accounting below.
+        std::fputs(report.renderProfile().c_str(), stderr);
+    }
 
     if (report.jobs > 1) {
         // Sweep accounting goes to stderr so machine-readable stdout
@@ -102,7 +162,8 @@ runResolved(const Scenario &scenario, const RunOptions &options)
                      wall_ms > 0.0 ? cpu_ms / wall_ms : 0.0);
     }
 
-    return emitReport(scenario, report, options);
+    const int code = emitReport(scenario, report, options);
+    return code != 0 ? code : obs_code;
 }
 
 } // namespace
@@ -111,6 +172,7 @@ int
 runScenarioCli(const ScenarioRegistry &registry,
                const std::string &scenario_name, int argc, char **argv)
 {
+    initLogLevelFromEnv();
     const Scenario *scenario = registry.find(scenario_name);
     if (!scenario) {
         std::fprintf(stderr, "error: unknown scenario '%s'\n",

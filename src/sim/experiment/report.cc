@@ -80,6 +80,20 @@ Report::renderJson() const
     out += "  \"points\": " + std::to_string(points.size()) + ",\n";
     out += "  \"wall_us\": " + std::to_string(wallUs) + ",\n";
     out += "  \"cpu_us\": " + std::to_string(cpuUs()) + ",\n";
+    if (!profile.empty()) {
+        // Only profiled runs emit this block, so default JSON output
+        // stays byte-identical with profiling off.
+        out += "  \"profile\": [";
+        for (std::size_t i = 0; i < profile.size(); ++i) {
+            if (i)
+                out += ", ";
+            out += "{\"phase\": " + jsonEscape(profile[i].name) +
+                   ", \"count\": " + std::to_string(profile[i].count) +
+                   ", \"total_us\": " +
+                   std::to_string(profile[i].totalUs) + "}";
+        }
+        out += "],\n";
+    }
     out += "  \"columns\": [";
     for (std::size_t i = 0; i < columns.size(); ++i) {
         if (i)
@@ -104,6 +118,48 @@ Report::renderJson() const
         }
     }
     out += "\n  ]\n}\n";
+    return out;
+}
+
+std::string
+Report::renderProfile() const
+{
+    if (profile.empty())
+        return "";
+    std::string out =
+        "[profile] " + scenario + ": wall " +
+        fmtDouble(static_cast<double>(wallUs) / 1000.0, 1) +
+        " ms, cpu " +
+        fmtDouble(static_cast<double>(cpuUs()) / 1000.0, 1) +
+        " ms on " + std::to_string(jobs) + " job(s)\n";
+
+    TextTable phases({"phase", "count", "total_ms", "mean_us"});
+    for (const ProfilePhase &p : profile) {
+        phases.addRow(
+            {p.name, std::to_string(p.count),
+             fmtDouble(static_cast<double>(p.totalUs) / 1000.0, 2),
+             fmtDouble(p.count ? static_cast<double>(p.totalUs) /
+                                     static_cast<double>(p.count)
+                               : 0.0,
+                       1)});
+    }
+    out += phases.render();
+
+    TextTable pts({"point", "cpu_ms"});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        std::string label = std::to_string(i);
+        const SweepPoint &pt = points[i].point;
+        for (std::size_t a = 0; a < pt.axisNames().size(); ++a) {
+            label += ' ';
+            label += pt.axisNames()[a] + "=" + pt.values()[a];
+        }
+        pts.addRow({label,
+                    fmtDouble(static_cast<double>(
+                                  points[i].durationUs) /
+                                  1000.0,
+                              2)});
+    }
+    out += pts.render();
     return out;
 }
 

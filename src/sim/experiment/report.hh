@@ -34,6 +34,15 @@ struct ReportPoint
     std::uint64_t durationUs = 0;
 };
 
+/** One named host-time phase of a profiled run (--profile). */
+struct ProfilePhase
+{
+    std::string name;
+    std::uint64_t count = 0;
+    /** Accumulated wall time, microseconds. */
+    std::uint64_t totalUs = 0;
+};
+
 /** Assembled results of one scenario run. */
 struct Report
 {
@@ -47,6 +56,9 @@ struct Report
     std::uint64_t seed = 0;
     /** Wall time of the whole sweep, microseconds. */
     std::uint64_t wallUs = 0;
+    /** Host-time phase breakdown; empty unless the run was profiled
+     *  (RunOptions::profile). */
+    std::vector<ProfilePhase> profile;
 
     /** All rows flattened in grid order. */
     std::vector<Row> allRows() const;
@@ -59,6 +71,9 @@ struct Report
     std::string renderCsv() const;
     /** JSON object with metadata, sweep stats and the row array. */
     std::string renderJson() const;
+    /** Human-readable host-time breakdown: the phase table plus the
+     *  per-point executor costs ("" when profile is empty). */
+    std::string renderProfile() const;
 };
 
 /** Write @p text to @p path ("" or "-" = stdout). Returns false and

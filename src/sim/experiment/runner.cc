@@ -15,6 +15,9 @@
 #include <mutex>
 #include <thread>
 
+#include "sim/obs/profile.hh"
+#include "sim/obs/trace.hh"
+
 namespace specint::experiment
 {
 
@@ -87,9 +90,14 @@ Report
 ExperimentRunner::run(const Scenario &scenario,
                       const RunOptions &options) const
 {
+    const Clock::time_point expand_start = Clock::now();
     const SweepSpec spec =
         scenario.sweep ? scenario.sweep(options) : SweepSpec{};
     const std::vector<SweepPoint> points = spec.expand();
+    if (options.profile) {
+        obs::HostProfiler::global().add("runner.expand",
+                                        elapsedUs(expand_start));
+    }
 
     Report report;
     report.scenario = scenario.name;
@@ -115,8 +123,17 @@ ExperimentRunner::run(const Scenario &scenario,
     // output.
     auto executePoint = [&](std::size_t i) {
         const std::uint64_t cpu_start = threadCpuUs();
+        // Tag this worker's trace events with the point index so the
+        // exported trace is independent of scheduling (one Perfetto
+        // process per sweep point).
+        obs::setTraceProcess(static_cast<std::uint32_t>(i));
         const PointContext ctx = makeContext(i);
-        PointResult res = scenario.run(ctx, options);
+        PointResult res;
+        {
+            const obs::ScopedTimer timer("runner.point");
+            res = scenario.run(ctx, options);
+        }
+        obs::setTraceProcess(0);
         ReportPoint &slot = report.points[i];
         slot.point = points[i];
         slot.rows = std::move(res.rows);
@@ -126,13 +143,29 @@ ExperimentRunner::run(const Scenario &scenario,
 
     const Clock::time_point wall_start = Clock::now();
 
+    // Close out the run: wall time, execution-phase cost, and (for
+    // profiled runs) the global phase table collected from every
+    // ScopedTimer that fired — runner phases and scenario-internal
+    // ones alike.
+    auto finalize = [&] {
+        report.wallUs = elapsedUs(wall_start);
+        if (!options.profile)
+            return;
+        obs::HostProfiler::global().add("runner.execute",
+                                        report.wallUs);
+        for (const obs::PhaseTotal &p :
+             obs::HostProfiler::global().phases()) {
+            report.profile.push_back({p.name, p.count, p.totalUs});
+        }
+    };
+
     const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
         jobs_, points.empty() ? 1 : points.size()));
 
     if (workers <= 1) {
         for (std::size_t i = 0; i < points.size(); ++i)
             executePoint(i);
-        report.wallUs = elapsedUs(wall_start);
+        finalize();
         return report;
     }
 
@@ -176,7 +209,7 @@ ExperimentRunner::run(const Scenario &scenario,
     if (first_error)
         std::rethrow_exception(first_error);
 
-    report.wallUs = elapsedUs(wall_start);
+    finalize();
     return report;
 }
 

@@ -26,6 +26,50 @@ setLogLevel(LogLevel level)
     g_level = level;
 }
 
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Silent: return "silent";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Info: return "info";
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Trace: return "trace";
+    }
+    return "?";
+}
+
+bool
+logLevelFromString(const std::string &text, LogLevel &out)
+{
+    for (LogLevel l : {LogLevel::Silent, LogLevel::Warn, LogLevel::Info,
+                       LogLevel::Debug, LogLevel::Trace}) {
+        if (text == logLevelName(l) ||
+            text == std::to_string(static_cast<int>(l))) {
+            out = l;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+initLogLevelFromEnv()
+{
+    const char *env = std::getenv("SPECSIM_LOG");
+    if (!env || !*env)
+        return;
+    LogLevel level;
+    if (logLevelFromString(env, level)) {
+        g_level = level;
+    } else {
+        warn(std::string("SPECSIM_LOG='") + env +
+             "' is not a log level (expected "
+             "silent|warn|info|debug|trace or 0-4); keeping '" +
+             logLevelName(g_level) + "'");
+    }
+}
+
 void
 logMessage(LogLevel level, const std::string &msg)
 {

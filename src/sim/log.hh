@@ -22,6 +22,25 @@ enum class LogLevel { Silent = 0, Warn = 1, Info = 2, Debug = 3, Trace = 4 };
 LogLevel logLevel();
 void setLogLevel(LogLevel level);
 
+/** Canonical lowercase name of @p level ("warn", "debug", ...). */
+const char *logLevelName(LogLevel level);
+
+/**
+ * Parse a level name ("silent", "warn", "info", "debug", "trace")
+ * or its numeric value ("0".."4") into @p out.
+ * @return false (out untouched) on anything else.
+ */
+bool logLevelFromString(const std::string &text, LogLevel &out);
+
+/**
+ * Initialise the global level from the SPECSIM_LOG environment
+ * variable. Unset leaves the default; an unparsable value keeps the
+ * default and emits a warning naming the accepted spellings. A CLI
+ * --log-level flag overrides the environment (drivers apply it after
+ * calling this).
+ */
+void initLogLevelFromEnv();
+
 /** Emit a message if @p level is enabled. */
 void logMessage(LogLevel level, const std::string &msg);
 

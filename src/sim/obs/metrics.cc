@@ -1,0 +1,248 @@
+/**
+ * @file
+ * MetricRegistry implementation: path-keyed storage, snapshot export
+ * (JSON/CSV) and snapshot diffing.
+ */
+
+#include "sim/obs/metrics.hh"
+
+#include <stdexcept>
+
+#include "sim/experiment/value.hh"
+
+namespace specint::obs
+{
+
+namespace detail
+{
+std::atomic<bool> g_metricsEnabled{false};
+} // namespace detail
+
+void
+setMetricsEnabled(bool enabled)
+{
+    detail::g_metricsEnabled.store(enabled, std::memory_order_relaxed);
+}
+
+const char *
+metricKindName(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::Counter: return "counter";
+      case MetricKind::Gauge: return "gauge";
+      case MetricKind::Distribution: return "distribution";
+    }
+    return "?";
+}
+
+MetricRegistry::Metric &
+MetricRegistry::getOrCreate(const std::string &path, MetricKind kind)
+{
+    auto [it, created] = metrics_.try_emplace(path);
+    if (created) {
+        it->second.kind = kind;
+    } else if (it->second.kind != kind) {
+        throw std::logic_error(
+            "metric '" + path + "' is a " +
+            metricKindName(it->second.kind) + ", not a " +
+            metricKindName(kind));
+    }
+    return it->second;
+}
+
+bool
+MetricRegistry::declare(const std::string &path, MetricKind kind)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::size_t before = metrics_.size();
+    getOrCreate(path, kind);
+    return metrics_.size() != before;
+}
+
+void
+MetricRegistry::counterAdd(const std::string &path, std::uint64_t delta)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    getOrCreate(path, MetricKind::Counter).count += delta;
+}
+
+void
+MetricRegistry::gaugeSet(const std::string &path, double value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    getOrCreate(path, MetricKind::Gauge).value = value;
+}
+
+void
+MetricRegistry::sampleAdd(const std::string &path, double x)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    getOrCreate(path, MetricKind::Distribution).dist.add(x);
+}
+
+std::size_t
+MetricRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return metrics_.size();
+}
+
+MetricsSnapshot
+MetricRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    snap.entries.reserve(metrics_.size());
+    // std::map iteration is already path-sorted.
+    for (const auto &[path, m] : metrics_) {
+        MetricSample s;
+        s.path = path;
+        s.kind = m.kind;
+        switch (m.kind) {
+          case MetricKind::Counter:
+            s.count = m.count;
+            break;
+          case MetricKind::Gauge:
+            s.value = m.value;
+            break;
+          case MetricKind::Distribution:
+            s.count = m.dist.count();
+            s.sum = m.dist.sum();
+            s.min = m.dist.min();
+            s.max = m.dist.max();
+            s.mean = m.dist.mean();
+            s.p50 = m.dist.percentile(0.50);
+            s.p95 = m.dist.percentile(0.95);
+            break;
+        }
+        snap.entries.push_back(std::move(s));
+    }
+    return snap;
+}
+
+void
+MetricRegistry::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    metrics_.clear();
+}
+
+MetricRegistry &
+MetricRegistry::global()
+{
+    static MetricRegistry registry;
+    return registry;
+}
+
+const MetricSample *
+MetricsSnapshot::find(const std::string &path) const
+{
+    for (const MetricSample &s : entries)
+        if (s.path == path)
+            return &s;
+    return nullptr;
+}
+
+namespace
+{
+
+/** Emit a double without trailing noise (integers stay integral). */
+std::string
+num(double v)
+{
+    return experiment::Value::real(v, 6).json();
+}
+
+} // namespace
+
+std::string
+MetricsSnapshot::renderJson() const
+{
+    using experiment::jsonEscape;
+    std::string out = "{\n  \"metrics\": [\n";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const MetricSample &s = entries[i];
+        out += "    {\"path\": " + jsonEscape(s.path) +
+               ", \"kind\": \"" + metricKindName(s.kind) + "\"";
+        switch (s.kind) {
+          case MetricKind::Counter:
+            out += ", \"value\": " + std::to_string(s.count);
+            break;
+          case MetricKind::Gauge:
+            out += ", \"value\": " + num(s.value);
+            break;
+          case MetricKind::Distribution:
+            out += ", \"count\": " + std::to_string(s.count) +
+                   ", \"sum\": " + num(s.sum) +
+                   ", \"min\": " + num(s.min) +
+                   ", \"max\": " + num(s.max) +
+                   ", \"mean\": " + num(s.mean) +
+                   ", \"p50\": " + num(s.p50) +
+                   ", \"p95\": " + num(s.p95);
+            break;
+        }
+        out += i + 1 < entries.size() ? "},\n" : "}\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+std::string
+MetricsSnapshot::renderCsv() const
+{
+    std::string out = "path,kind,count,value,sum,min,max,mean,p50,p95\n";
+    for (const MetricSample &s : entries) {
+        out += s.path;
+        out += ',';
+        out += metricKindName(s.kind);
+        out += ',' + std::to_string(s.count);
+        out += ',' + fmtDouble(s.value, 6);
+        out += ',' + fmtDouble(s.sum, 6);
+        out += ',' + fmtDouble(s.min, 6);
+        out += ',' + fmtDouble(s.max, 6);
+        out += ',' + fmtDouble(s.mean, 6);
+        out += ',' + fmtDouble(s.p50, 6);
+        out += ',' + fmtDouble(s.p95, 6);
+        out += '\n';
+    }
+    return out;
+}
+
+std::vector<MetricDelta>
+MetricsSnapshot::diff(const MetricsSnapshot &before,
+                      const MetricsSnapshot &after)
+{
+    std::vector<MetricDelta> deltas;
+    // Both entry lists are path-sorted: a single merge walk suffices.
+    std::size_t bi = 0;
+    for (const MetricSample &a : after.entries) {
+        while (bi < before.entries.size() &&
+               before.entries[bi].path < a.path) {
+            ++bi;
+        }
+        const MetricSample *b =
+            (bi < before.entries.size() &&
+             before.entries[bi].path == a.path)
+                ? &before.entries[bi]
+                : nullptr;
+
+        MetricDelta d;
+        d.path = a.path;
+        d.kind = a.kind;
+        d.added = b == nullptr;
+        const double after_v = a.kind == MetricKind::Gauge
+                                   ? a.value
+                                   : static_cast<double>(a.count);
+        const double before_v =
+            b ? (b->kind == MetricKind::Gauge
+                     ? b->value
+                     : static_cast<double>(b->count))
+              : 0.0;
+        d.delta = after_v - before_v;
+        if (d.added || d.delta != 0.0)
+            deltas.push_back(std::move(d));
+    }
+    return deltas;
+}
+
+} // namespace specint::obs

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * HostProfiler implementation: the global phase accumulator behind
+ * ScopedTimer.
+ */
+
+#include "sim/obs/profile.hh"
+
+#include <algorithm>
+
+namespace specint::obs
+{
+
+namespace detail
+{
+std::atomic<bool> g_profilingEnabled{false};
+} // namespace detail
+
+void
+setProfilingEnabled(bool enabled)
+{
+    detail::g_profilingEnabled.store(enabled,
+                                     std::memory_order_relaxed);
+}
+
+void
+HostProfiler::add(const char *name, std::uint64_t us)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[n, e] : entries_) {
+        if (n == name) {
+            ++e.count;
+            e.totalUs += us;
+            return;
+        }
+    }
+    entries_.emplace_back(name, Entry{1, us});
+}
+
+std::vector<PhaseTotal>
+HostProfiler::phases() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<PhaseTotal> out;
+    out.reserve(entries_.size());
+    for (const auto &[n, e] : entries_)
+        out.push_back({n, e.count, e.totalUs});
+    std::sort(out.begin(), out.end(),
+              [](const PhaseTotal &a, const PhaseTotal &b) {
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+void
+HostProfiler::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+}
+
+HostProfiler &
+HostProfiler::global()
+{
+    static HostProfiler profiler;
+    return profiler;
+}
+
+} // namespace specint::obs

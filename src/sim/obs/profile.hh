@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Host-time profiling for the experiment runner: named scoped
+ * wall-clock timers accumulating into a process-global phase table,
+ * so a sweep's Report can answer "where did the host time go" —
+ * expansion vs execution vs a scenario's own phases.
+ *
+ * Like the tracer and the metric registry, profiling is opt-in
+ * (`--profile`) and costs one relaxed atomic load per ScopedTimer when
+ * off. Phase totals are wall-clock (unlike ReportPoint::durationUs,
+ * which is thread-CPU) because the profile answers "what did the user
+ * wait for", including time blocked on I/O or descheduled workers.
+ */
+
+#ifndef SPECINT_SIM_OBS_PROFILE_HH
+#define SPECINT_SIM_OBS_PROFILE_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace specint::obs
+{
+
+/** Accumulated cost of one named phase. */
+struct PhaseTotal
+{
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t totalUs = 0;
+};
+
+class HostProfiler
+{
+  public:
+    /** Add @p us to @p name's total (thread-safe). */
+    void add(const char *name, std::uint64_t us);
+
+    /** All phases, sorted by name. */
+    std::vector<PhaseTotal> phases() const;
+
+    void clear();
+
+    static HostProfiler &global();
+
+  private:
+    struct Entry
+    {
+        std::uint64_t count = 0;
+        std::uint64_t totalUs = 0;
+    };
+
+    mutable std::mutex mutex_;
+    std::vector<std::pair<std::string, Entry>> entries_;
+};
+
+namespace detail
+{
+extern std::atomic<bool> g_profilingEnabled;
+} // namespace detail
+
+inline bool
+profilingEnabled()
+{
+    return detail::g_profilingEnabled.load(std::memory_order_relaxed);
+}
+
+void setProfilingEnabled(bool enabled);
+
+/**
+ * RAII wall-clock timer charging its scope to a named phase of the
+ * global profiler. @p name must outlive the timer (pass a literal).
+ * No-op when profiling is off.
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(const char *name)
+        : name_(profilingEnabled() ? name : nullptr)
+    {
+        if (name_)
+            start_ = std::chrono::steady_clock::now();
+    }
+
+    ~ScopedTimer()
+    {
+        if (!name_)
+            return;
+        const auto us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+        HostProfiler::global().add(
+            name_, static_cast<std::uint64_t>(us));
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    const char *name_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace specint::obs
+
+#endif // SPECINT_SIM_OBS_PROFILE_HH

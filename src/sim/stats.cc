@@ -52,7 +52,11 @@ SampleStat::stddev() const
 double
 SampleStat::percentile(double q) const
 {
-    assert(keepSamples_ && !samples_.empty());
+    // Defined on every state: without retained samples (keepSamples_
+    // off, or nothing added yet) there is no distribution to index,
+    // so return 0.0 like mean()/stddev() do instead of tripping UB.
+    if (!keepSamples_ || samples_.empty())
+        return 0.0;
     if (!sorted_) {
         std::sort(samples_.begin(), samples_.end());
         sorted_ = true;

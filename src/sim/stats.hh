@@ -39,8 +39,10 @@ class SampleStat
     double sum() const { return sum_; }
 
     /**
-     * q-th percentile (q in [0,1]) over retained samples.
-     * @pre keep_samples was true and at least one sample was added.
+     * q-th percentile (q in [0,1], linear interpolation) over the
+     * retained samples. Total like mean()/stddev(): returns 0.0 when
+     * samples were not kept or none were added, and the sample itself
+     * when only one was (no interpolation partner).
      */
     double percentile(double q) const;
 

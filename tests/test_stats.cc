@@ -34,6 +34,49 @@ TEST(SampleStat, Percentiles)
     EXPECT_NEAR(s.percentile(0.5), 50.5, 1e-9);
 }
 
+TEST(SampleStat, EmptyStatIsDefined)
+{
+    // Every accessor must return a defined value (not NaN / UB) on a
+    // stat nothing was added to: registry snapshots render whatever
+    // state a distribution is in.
+    const SampleStat s;
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 0.0);
+}
+
+TEST(SampleStat, SingleSampleIsItsOwnPercentile)
+{
+    SampleStat s;
+    s.add(7.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 7.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.5), 7.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 7.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+}
+
+TEST(SampleStat, PercentileWithoutKeptSamplesIsZero)
+{
+    SampleStat s(/*keep_samples=*/false);
+    s.add(3.0);
+    s.add(5.0);
+    // No retained distribution to index: defined zero, not UB.
+    EXPECT_DOUBLE_EQ(s.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+}
+
+TEST(SampleStat, PercentileClampsQuantile)
+{
+    SampleStat s;
+    s.add(1.0);
+    s.add(2.0);
+    EXPECT_DOUBLE_EQ(s.percentile(-0.5), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(2.0), 2.0);
+}
+
 TEST(SampleStat, ResetClears)
 {
     SampleStat s;
