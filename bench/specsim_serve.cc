@@ -1,0 +1,107 @@
+/**
+ * @file
+ * `specsim_serve`: the persistent sweep-service daemon.
+ *
+ * Listens on a Unix-domain socket for sweep jobs (one per client
+ * connection, line-delimited JSON), shards points across forked worker
+ * processes, memoizes results in a content-addressed cache, and
+ * streams each client its points in grid order. Clients are
+ * `specsim_bench <scenario> --connect <sock>`; see
+ * docs/experiments.md, "Sweep service & result cache".
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "scenarios/scenarios.hh"
+#include "sim/service/fingerprint.hh"
+#include "sim/service/server.hh"
+
+namespace
+{
+
+void
+usage(const char *prog, std::FILE *out)
+{
+    std::fprintf(
+        out,
+        "usage: %s --socket PATH [--workers N] [--cache-dir DIR]\n"
+        "  --socket PATH     Unix-domain socket to listen on "
+        "(required; created,\n"
+        "                    replacing any stale socket file)\n"
+        "  --workers N       worker processes (default 2; 0 = one per "
+        "hardware thread)\n"
+        "  --cache-dir DIR   persist point results content-addressed "
+        "under DIR\n"
+        "                    (shared with specsim_bench --cache-dir)\n",
+        prog);
+}
+
+bool
+parseUnsigned(const char *text, unsigned long &out)
+{
+    char *tail = nullptr;
+    out = std::strtoul(text, &tail, 10);
+    return tail && *tail == '\0' && tail != text;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *prog = argc > 0 ? argv[0] : "specsim_serve";
+    specint::service::ServeConfig config;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "error: %s needs a value\n",
+                             flag);
+                usage(prog, stderr);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(prog, stdout);
+            return 0;
+        } else if (arg == "--socket") {
+            config.socketPath = next("--socket");
+        } else if (arg == "--workers") {
+            unsigned long n = 0;
+            if (!parseUnsigned(next("--workers"), n) || n > 256) {
+                std::fprintf(stderr,
+                             "error: --workers must be 0..256\n");
+                return 2;
+            }
+            config.workers = static_cast<unsigned>(n);
+        } else if (arg == "--cache-dir") {
+            config.cacheDir = next("--cache-dir");
+        } else if (arg == "--test-crash-point") {
+            // Undocumented crash-injection hook for the test suite:
+            // the worker assigned this grid point index dies instead
+            // of executing it.
+            config.testCrashPoint = std::atol(
+                next("--test-crash-point"));
+        } else {
+            std::fprintf(stderr, "error: unknown flag '%s'\n",
+                         arg.c_str());
+            usage(prog, stderr);
+            return 2;
+        }
+    }
+    if (config.socketPath.empty()) {
+        std::fprintf(stderr, "error: --socket is required\n");
+        usage(prog, stderr);
+        return 2;
+    }
+
+    std::fprintf(stderr, "[serve] fingerprint %s\n",
+                 specint::service::buildFingerprint());
+    return specint::service::runServer(specint::scenarios::all(),
+                                       config);
+}

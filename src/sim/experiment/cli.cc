@@ -92,6 +92,18 @@ CliArgs::parse(int argc, char **argv) const
             opt.traceOut = argv[++i];
         } else if (arg == "--profile") {
             opt.profile = true;
+        } else if (arg == "--cache-dir") {
+            if (i + 1 >= argc) {
+                res.error = "--cache-dir requires a path";
+                return res;
+            }
+            opt.cacheDir = argv[++i];
+        } else if (arg == "--connect") {
+            if (i + 1 >= argc) {
+                res.error = "--connect requires a socket path";
+                return res;
+            }
+            opt.connectSock = argv[++i];
         } else if (arg == "--log-level") {
             if (i + 1 >= argc) {
                 res.error = "--log-level requires a value";
@@ -155,7 +167,8 @@ CliArgs::usage() const
                     " [--trials N] [--seed S] [--jobs J]"
                     " [--csv | --json] [--out FILE]"
                     " [--metrics-out FILE] [--trace-out FILE]"
-                    " [--profile] [--log-level L]";
+                    " [--profile] [--log-level L]"
+                    " [--cache-dir DIR] [--connect SOCK]";
     for (const ExtraFlag &f : extraFlags_)
         u += " [--" + f.name + " N]";
     u += "\n";
@@ -174,6 +187,10 @@ CliArgs::usage() const
          "trace (JSON) after the run\n";
     u += "  --profile    print a host-time phase/point breakdown to "
          "stderr\n";
+    u += "  --cache-dir DIR     memoize point results in a "
+         "content-addressed on-disk cache\n";
+    u += "  --connect SOCK      submit the sweep to a running "
+         "specsim_serve instance\n";
     u += "  --log-level L       silent|warn|info|debug|trace or 0-4 "
          "(overrides $SPECSIM_LOG)\n";
     for (const ExtraFlag &f : extraFlags_) {

@@ -6,13 +6,19 @@
 
 #include "sim/experiment/driver.hh"
 
+#include <algorithm>
+#include <csignal>
 #include <cstdio>
+#include <memory>
 
 #include "sim/experiment/runner.hh"
 #include "sim/log.hh"
 #include "sim/obs/metrics.hh"
 #include "sim/obs/profile.hh"
 #include "sim/obs/trace.hh"
+#include "sim/service/cache.hh"
+#include "sim/service/client.hh"
+#include "sim/service/fingerprint.hh"
 #include "sim/stats.hh"
 
 namespace specint::experiment
@@ -20,6 +26,139 @@ namespace specint::experiment
 
 namespace
 {
+
+/** Last SIGINT/SIGTERM received (0 = none). */
+volatile std::sig_atomic_t g_signal = 0;
+
+extern "C" void
+driverSignalHandler(int sig)
+{
+    g_signal = sig;
+    // Restore the default disposition so a second ^C kills the
+    // process immediately instead of re-requesting a graceful stop.
+    std::signal(sig, SIG_DFL);
+}
+
+/**
+ * Arm cooperative SIGINT/SIGTERM: the first signal sets a flag the
+ * run loop polls (finish in-flight points, flush partial results,
+ * exit 128+sig); the second one terminates. No SA_RESTART, so a
+ * --connect client blocked in read() wakes up to notice the flag.
+ */
+void
+installSignalHandlers()
+{
+    g_signal = 0;
+    struct sigaction sa = {};
+    sa.sa_handler = driverSignalHandler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+/**
+ * Streaming CSV emitter: writes rows as completed points cross the
+ * grid-order frontier, fflushing per point, so an interrupted sweep
+ * leaves a valid prefix of exactly the bytes renderCsv() would have
+ * produced. Opens lazily on the first point (a run that fails before
+ * producing anything writes nothing); finalize() writes the header
+ * even for a zero-row run so a successful stream always byte-matches
+ * the buffered rendering.
+ */
+class CsvStreamSink
+{
+  public:
+    ~CsvStreamSink()
+    {
+        if (file_ && !isStdout_)
+            std::fclose(file_);
+    }
+
+    void
+    arm(const std::vector<std::string> &columns,
+        const std::string &path)
+    {
+        columns_ = &columns;
+        path_ = path;
+        armed_ = true;
+    }
+
+    bool armed() const { return armed_; }
+
+    void
+    emit(const ReportPoint &p)
+    {
+        if (!ensureOpen())
+            return;
+        std::string text;
+        for (const Row &row : p.rows) {
+            for (std::size_t i = 0; i < row.size(); ++i) {
+                if (i)
+                    text += ',';
+                text += row[i].text();
+            }
+            text += '\n';
+        }
+        if (std::fwrite(text.data(), 1, text.size(), file_) !=
+            text.size())
+            failed_ = true;
+        std::fflush(file_);
+    }
+
+    /**
+     * Close the stream; @p force_header opens an untouched sink so a
+     * completed zero-row sweep still gets its header line (false for
+     * interrupted runs: a header-only file would masquerade as an
+     * empty result). Returns false if any write failed.
+     */
+    bool
+    finalize(bool force_header)
+    {
+        if (!armed_)
+            return true;
+        if (force_header)
+            ensureOpen();
+        if (file_ && !isStdout_) {
+            std::fclose(file_);
+            file_ = nullptr;
+        }
+        return !failed_;
+    }
+
+  private:
+    bool
+    ensureOpen()
+    {
+        if (file_)
+            return true;
+        if (failed_)
+            return false;
+        file_ = openOutStream(path_, isStdout_);
+        if (!file_) {
+            failed_ = true;
+            return false;
+        }
+        std::string header;
+        for (std::size_t i = 0; i < columns_->size(); ++i) {
+            if (i)
+                header += ',';
+            header += (*columns_)[i];
+        }
+        header += '\n';
+        if (std::fwrite(header.data(), 1, header.size(), file_) !=
+            header.size())
+            failed_ = true;
+        return !failed_;
+    }
+
+    const std::vector<std::string> *columns_ = nullptr;
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    bool isStdout_ = false;
+    bool armed_ = false;
+    bool failed_ = false;
+};
 
 /**
  * Render the scenario's legacy output into a buffer and return its
@@ -52,17 +191,22 @@ renderLegacyToString(const Scenario &scenario, const Report &report,
     return code;
 }
 
-/** Emit the report in the requested format; returns the exit code. */
+/** Emit the report in the requested format; returns the exit code.
+ *  @p csv_streamed: the CSV bytes already went out through the
+ *  streaming sink, so only the verdict is computed here. */
 int
 emitReport(const Scenario &scenario, const Report &report,
-           const RunOptions &options)
+           const RunOptions &options, bool csv_streamed)
 {
     if (options.format != OutputFormat::Legacy) {
-        const std::string out = options.format == OutputFormat::Csv
-                                    ? report.renderCsv()
-                                    : report.renderJson();
-        if (!writeOut(options.outPath, out))
-            return 1;
+        if (!csv_streamed) {
+            const std::string out =
+                options.format == OutputFormat::Csv
+                    ? report.renderCsv()
+                    : report.renderJson();
+            if (!writeOut(options.outPath, out))
+                return 1;
+        }
         // The scenario's verdict (shape checks, paper agreement) is
         // still the exit code: a CI job collecting CSV artifacts must
         // not mask a broken reproduction.
@@ -112,8 +256,123 @@ runResolved(const Scenario &scenario, const RunOptions &options)
         obs::setProfilingEnabled(true);
     }
 
-    const ExperimentRunner runner(options.jobs);
-    const Report report = runner.run(scenario, options);
+    installSignalHandlers();
+
+    // CSV streams point-by-point (both locally and over --connect) so
+    // an interrupted sweep still flushes every completed row; the
+    // bytes are identical to the buffered renderCsv() path.
+    CsvStreamSink csv;
+    if (options.format == OutputFormat::Csv)
+        csv.arm(scenario.columns, options.outPath);
+
+    const char *fingerprint = service::buildFingerprint();
+    std::unique_ptr<service::ResultCache> cache;
+    std::uint64_t failed_points = 0;
+
+    Report report;
+    if (!options.connectSock.empty()) {
+        // Remote path: the sweep runs on a `specsim_serve` pool; the
+        // server owns sharding, caching, and in-flight dedup.
+        if (!options.cacheDir.empty())
+            std::fprintf(stderr,
+                         "[service] --cache-dir is ignored with "
+                         "--connect (the server owns the cache)\n");
+        std::function<void(std::size_t, const ReportPoint &)> sink;
+        if (csv.armed())
+            sink = [&csv](std::size_t, const ReportPoint &p) {
+                csv.emit(p);
+            };
+        const service::ClientOutcome outcome =
+            service::runJobOverSocket(
+                options.connectSock, scenario, options, report, sink,
+                [] { return g_signal != 0; });
+        if (outcome.interrupted) {
+            csv.finalize(false);
+            std::fprintf(stderr,
+                         "[experiment] %s: interrupted; partial "
+                         "results flushed\n",
+                         scenario.name.c_str());
+            return 128 + static_cast<int>(g_signal);
+        }
+        if (!outcome.ok) {
+            std::fprintf(stderr, "error: %s\n",
+                         outcome.error.c_str());
+            return 1;
+        }
+        failed_points = outcome.failedPoints;
+        std::fprintf(
+            stderr,
+            "[service] %s: %llu points (%llu cached, %llu executed, "
+            "%llu failed) in %.1f ms\n",
+            scenario.name.c_str(),
+            static_cast<unsigned long long>(outcome.done.points),
+            static_cast<unsigned long long>(outcome.done.hits),
+            static_cast<unsigned long long>(outcome.done.executed),
+            static_cast<unsigned long long>(outcome.done.failed),
+            static_cast<double>(report.wallUs) / 1000.0);
+    } else {
+        RunHooks hooks;
+        hooks.cancelled = [] { return g_signal != 0; };
+        if (csv.armed())
+            hooks.onOrdered = [&csv](std::size_t,
+                                     const ReportPoint &p) {
+                csv.emit(p);
+            };
+        if (!options.cacheDir.empty()) {
+            if (!scenario.cacheable) {
+                std::fprintf(
+                    stderr,
+                    "[cache] scenario '%s' measures host time; "
+                    "--cache-dir ignored\n",
+                    scenario.name.c_str());
+            } else {
+                cache = std::make_unique<service::ResultCache>(
+                    options.cacheDir);
+            }
+        }
+        if (cache && cache->enabled()) {
+            const service::JobSpec spec =
+                service::JobSpec::fromOptions(scenario.name, options);
+            hooks.tryFetch = [&cache, spec, fingerprint](
+                                 const PointContext &ctx,
+                                 PointResult &result) {
+                return cache->lookup(
+                    service::makeCacheKey(spec, ctx.pointIndex,
+                                          ctx.pointSeed, ctx.point,
+                                          fingerprint),
+                    result.rows, result.legacy);
+            };
+            hooks.onExecuted = [&cache, spec, fingerprint](
+                                   const PointContext &ctx,
+                                   const PointResult &result) {
+                cache->store(
+                    service::makeCacheKey(spec, ctx.pointIndex,
+                                          ctx.pointSeed, ctx.point,
+                                          fingerprint),
+                    result.rows, result.legacy);
+            };
+        }
+
+        const ExperimentRunner runner(options.jobs);
+        report = runner.run(scenario, options, hooks);
+
+        if (cache) {
+            const service::CacheStats cs = cache->stats();
+            report.cacheEnabled = true;
+            report.cacheHits = cs.hits;
+            report.cacheMisses = cs.misses;
+            cache->flushIndex(fingerprint);
+            std::fprintf(
+                stderr,
+                "[cache] dir=%s hits=%llu misses=%llu stores=%llu "
+                "corrupt=%llu\n",
+                cache->dir().c_str(),
+                static_cast<unsigned long long>(cs.hits),
+                static_cast<unsigned long long>(cs.misses),
+                static_cast<unsigned long long>(cs.stores),
+                static_cast<unsigned long long>(cs.corrupt));
+        }
+    }
 
     int obs_code = 0;
     if (want_metrics) {
@@ -162,7 +421,26 @@ runResolved(const Scenario &scenario, const RunOptions &options)
                      wall_ms > 0.0 ? cpu_ms / wall_ms : 0.0);
     }
 
-    const int code = emitReport(scenario, report, options);
+    if (report.interrupted) {
+        // Completed rows (CSV) and the cache index are already on
+        // disk; everything else is abandoned. 128+sig mirrors what
+        // the default disposition would have reported.
+        csv.finalize(false);
+        std::size_t done = 0;
+        for (const ReportPoint &p : report.points)
+            done += p.done ? 1 : 0;
+        std::fprintf(stderr,
+                     "[experiment] %s: interrupted after %zu/%zu "
+                     "points; partial results flushed\n",
+                     scenario.name.c_str(), done,
+                     report.points.size());
+        return 128 + static_cast<int>(g_signal);
+    }
+
+    const bool csv_ok = csv.finalize(true);
+    int code = emitReport(scenario, report, options, csv.armed());
+    if (!csv_ok || failed_points > 0)
+        code = std::max(code, 1);
     return code != 0 ? code : obs_code;
 }
 

@@ -6,6 +6,8 @@
 #include "sim/experiment/report.hh"
 
 #include <cstdio>
+#include <filesystem>
+#include <system_error>
 
 #include "sim/stats.hh"
 
@@ -80,6 +82,14 @@ Report::renderJson() const
     out += "  \"points\": " + std::to_string(points.size()) + ",\n";
     out += "  \"wall_us\": " + std::to_string(wallUs) + ",\n";
     out += "  \"cpu_us\": " + std::to_string(cpuUs()) + ",\n";
+    if (cacheEnabled) {
+        // Only cache-backed runs emit this block, so default JSON
+        // output stays byte-identical with caching off. Consumers
+        // (scripts/check_bench_regression.py) use it to recognise
+        // warm timings that must not be treated as measurements.
+        out += "  \"cache\": {\"hits\": " + std::to_string(cacheHits) +
+               ", \"misses\": " + std::to_string(cacheMisses) + "},\n";
+    }
     if (!profile.empty()) {
         // Only profiled runs emit this block, so default JSON output
         // stays byte-identical with profiling off.
@@ -163,22 +173,46 @@ Report::renderProfile() const
     return out;
 }
 
+std::FILE *
+openOutStream(const std::string &path, bool &is_stdout)
+{
+    is_stdout = path.empty() || path == "-";
+    if (is_stdout)
+        return stdout;
+    // Create missing parent directories up front: an --out into a
+    // fresh results/ tree must not fail *after* a full sweep has
+    // already run.
+    const std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    if (!parent.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(parent, ec);
+        if (ec) {
+            std::fprintf(stderr,
+                         "error: cannot create directory '%s': %s\n",
+                         parent.string().c_str(),
+                         ec.message().c_str());
+            return nullptr;
+        }
+    }
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        std::fprintf(stderr, "error: cannot open '%s' for writing\n",
+                     path.c_str());
+    return f;
+}
+
 bool
 writeOut(const std::string &path, const std::string &text)
 {
-    if (path.empty() || path == "-") {
-        std::fwrite(text.data(), 1, text.size(), stdout);
-        return true;
-    }
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f) {
-        std::fprintf(stderr, "error: cannot open '%s' for writing\n",
-                     path.c_str());
+    bool is_stdout = false;
+    std::FILE *f = openOutStream(path, is_stdout);
+    if (!f)
         return false;
-    }
     const bool ok =
         std::fwrite(text.data(), 1, text.size(), f) == text.size();
-    std::fclose(f);
+    if (!is_stdout)
+        std::fclose(f);
     if (!ok)
         std::fprintf(stderr, "error: short write to '%s'\n",
                      path.c_str());

@@ -32,6 +32,9 @@ struct ReportPoint
      *  the sum estimates the serial cost even when workers
      *  oversubscribe the machine). */
     std::uint64_t durationUs = 0;
+    /** Set once the point completed (false only in interrupted or
+     *  point-failed runs). */
+    bool done = false;
 };
 
 /** One named host-time phase of a profiled run (--profile). */
@@ -56,6 +59,16 @@ struct Report
     std::uint64_t seed = 0;
     /** Wall time of the whole sweep, microseconds. */
     std::uint64_t wallUs = 0;
+    /** True when the run was cancelled (SIGINT/SIGTERM) before every
+     *  point completed; the assembled points up to each worker's stop
+     *  are still valid. */
+    bool interrupted = false;
+    /** Result-cache accounting (--cache-dir / --connect runs only;
+     *  cacheEnabled=false keeps the JSON emitter byte-identical for
+     *  uncached runs). */
+    bool cacheEnabled = false;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
     /** Host-time phase breakdown; empty unless the run was profiled
      *  (RunOptions::profile). */
     std::vector<ProfilePhase> profile;
@@ -79,6 +92,14 @@ struct Report
 /** Write @p text to @p path ("" or "-" = stdout). Returns false and
  *  prints a diagnostic to stderr on I/O failure. */
 bool writeOut(const std::string &path, const std::string &text);
+
+/**
+ * Open @p path for writing ("" or "-" = stdout), creating missing
+ * parent directories. Sets @p is_stdout so the caller knows not to
+ * fclose. Returns nullptr (with a stderr diagnostic) on failure.
+ * Streaming sinks use this directly; writeOut is built on it.
+ */
+std::FILE *openOutStream(const std::string &path, bool &is_stdout);
 
 } // namespace specint::experiment
 

@@ -88,7 +88,8 @@ ExperimentRunner::ExperimentRunner(unsigned jobs)
 
 Report
 ExperimentRunner::run(const Scenario &scenario,
-                      const RunOptions &options) const
+                      const RunOptions &options,
+                      const RunHooks &hooks) const
 {
     const Clock::time_point expand_start = Clock::now();
     const SweepSpec spec =
@@ -117,6 +118,29 @@ ExperimentRunner::run(const Scenario &scenario,
         return ctx;
     };
 
+    auto cancelled = [&] {
+        return hooks.cancelled && hooks.cancelled();
+    };
+
+    // Ordered streaming: completed slots are released to onOrdered
+    // strictly in grid order, whatever order workers finish in. Every
+    // done flag is written and read under order_mutex, which also
+    // sequences the sink's I/O and publishes the slot contents filled
+    // before the lock was taken.
+    std::mutex order_mutex;
+    std::size_t frontier = 0;
+    auto markDone = [&](std::size_t i) {
+        std::lock_guard<std::mutex> lock(order_mutex);
+        report.points[i].done = true;
+        if (!hooks.onOrdered)
+            return;
+        while (frontier < report.points.size() &&
+               report.points[frontier].done) {
+            hooks.onOrdered(frontier, report.points[frontier]);
+            ++frontier;
+        }
+    };
+
     // Execute point i and deposit the result into its grid slot: the
     // only write is to a distinct pre-sized element, so no worker ever
     // contends with another and assembly order cannot leak into the
@@ -129,9 +153,16 @@ ExperimentRunner::run(const Scenario &scenario,
         obs::setTraceProcess(static_cast<std::uint32_t>(i));
         const PointContext ctx = makeContext(i);
         PointResult res;
-        {
-            const obs::ScopedTimer timer("runner.point");
-            res = scenario.run(ctx, options);
+        bool fetched = false;
+        if (hooks.tryFetch)
+            fetched = hooks.tryFetch(ctx, res);
+        if (!fetched) {
+            {
+                const obs::ScopedTimer timer("runner.point");
+                res = scenario.run(ctx, options);
+            }
+            if (hooks.onExecuted)
+                hooks.onExecuted(ctx, res);
         }
         obs::setTraceProcess(0);
         ReportPoint &slot = report.points[i];
@@ -139,6 +170,7 @@ ExperimentRunner::run(const Scenario &scenario,
         slot.rows = std::move(res.rows);
         slot.legacy = std::move(res.legacy);
         slot.durationUs = threadCpuUs() - cpu_start;
+        markDone(i);
     };
 
     const Clock::time_point wall_start = Clock::now();
@@ -163,8 +195,13 @@ ExperimentRunner::run(const Scenario &scenario,
         jobs_, points.empty() ? 1 : points.size()));
 
     if (workers <= 1) {
-        for (std::size_t i = 0; i < points.size(); ++i)
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (cancelled()) {
+                report.interrupted = true;
+                break;
+            }
             executePoint(i);
+        }
         finalize();
         return report;
     }
@@ -182,7 +219,8 @@ ExperimentRunner::run(const Scenario &scenario,
 
     auto workerLoop = [&](unsigned self) {
         std::size_t task;
-        while (!failed.load(std::memory_order_relaxed)) {
+        while (!failed.load(std::memory_order_relaxed) &&
+               !cancelled()) {
             bool got = queues[self].popBack(task);
             for (unsigned v = 1; !got && v < workers; ++v)
                 got = queues[(self + v) % workers].stealFront(task);
@@ -209,6 +247,8 @@ ExperimentRunner::run(const Scenario &scenario,
     if (first_error)
         std::rethrow_exception(first_error);
 
+    if (cancelled())
+        report.interrupted = true;
     finalize();
     return report;
 }

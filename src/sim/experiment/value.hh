@@ -51,6 +51,16 @@ class Value
     bool truthy() const { return num() != 0.0; }
     const std::string &strValue() const { return s_; }
 
+    /** @name Exact per-kind views, used by the sweep-service codec to
+     *  round-trip cells losslessly (src/sim/service/). */
+    /// @{
+    std::int64_t intValue() const { return i_; }
+    std::uint64_t uintValue() const { return u_; }
+    double realValue() const { return d_; }
+    bool boolValue() const { return b_; }
+    int precision() const { return precision_; }
+    /// @}
+
   private:
     Kind kind_;
     std::string s_;

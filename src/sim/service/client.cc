@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Sweep-service client implementation.
+ */
+
+#include "sim/service/client.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace specint::service
+{
+
+using experiment::Report;
+using experiment::RunOptions;
+using experiment::Scenario;
+using experiment::SweepPoint;
+
+namespace
+{
+
+int
+connectUnix(const std::string &path, std::string &error)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        error = "socket path too long: " + path;
+        return -1;
+    }
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        error = std::string("socket: ") + std::strerror(errno);
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        error = "cannot connect to '" + path +
+                "': " + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+} // namespace
+
+ClientOutcome
+runJobOverSocket(
+    const std::string &sock_path, const Scenario &scenario,
+    const RunOptions &options, Report &report,
+    const std::function<void(std::size_t,
+                             const experiment::ReportPoint &)>
+        &on_ordered,
+    const std::function<bool()> &cancelled)
+{
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point start = Clock::now();
+
+    ClientOutcome outcome;
+
+    // The grid is expanded locally (same deterministic code the
+    // server runs) so each streamed point can be slotted under its
+    // axis values for profiling/labels.
+    const experiment::SweepSpec spec =
+        scenario.sweep ? scenario.sweep(options)
+                       : experiment::SweepSpec{};
+    const std::vector<SweepPoint> points = spec.expand();
+
+    report = Report{};
+    report.scenario = scenario.name;
+    report.columns = scenario.columns;
+    report.jobs = 1; // presentation: the server owns the real pool
+    report.trials = options.trials;
+    report.seed = options.seed;
+    report.cacheEnabled = true;
+    report.points.resize(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i)
+        report.points[i].point = points[i];
+
+    const int fd = connectUnix(sock_path, outcome.error);
+    if (fd < 0)
+        return outcome;
+
+    const JobSpec job =
+        JobSpec::fromOptions(scenario.name, options);
+    if (!writeLine(fd, makeJobMsg(job).dump())) {
+        outcome.error = "failed to send job request";
+        ::close(fd);
+        return outcome;
+    }
+
+    LineReader reader(fd);
+    if (cancelled)
+        reader.setInterruptCheck(cancelled);
+
+    bool got_done = false;
+    std::string line;
+    while (!got_done && reader.readLine(line)) {
+        Json msg;
+        std::string perr;
+        if (!Json::parse(line, msg, &perr) || !msg.isObj()) {
+            outcome.error = "malformed server message: " + perr;
+            ::close(fd);
+            return outcome;
+        }
+        const std::string type = msg.getStr("type");
+        if (type == "hello") {
+            const std::uint64_t protocol = msg.getU64("protocol");
+            if (protocol != kProtocolVersion) {
+                outcome.error =
+                    "protocol mismatch: server speaks v" +
+                    std::to_string(protocol) + ", client v" +
+                    std::to_string(kProtocolVersion);
+                ::close(fd);
+                return outcome;
+            }
+            continue;
+        }
+        if (type == "error") {
+            outcome.error = msg.getStr("message", "server error");
+            ::close(fd);
+            return outcome;
+        }
+        if (type == "point") {
+            PointMsg point;
+            if (!decodePointMsg(msg, point) ||
+                point.index >= report.points.size()) {
+                outcome.error = "malformed point message";
+                ::close(fd);
+                return outcome;
+            }
+            experiment::ReportPoint &slot =
+                report.points[point.index];
+            if (point.failed) {
+                ++outcome.failedPoints;
+                std::fprintf(stderr,
+                             "[service] point %zu failed: %s\n",
+                             point.index, point.error.c_str());
+                continue;
+            }
+            slot.rows = std::move(point.rows);
+            slot.legacy = std::move(point.legacy);
+            slot.durationUs = point.durationUs;
+            slot.done = true;
+            if (point.cached)
+                ++report.cacheHits;
+            else
+                ++report.cacheMisses;
+            if (on_ordered)
+                on_ordered(point.index, slot);
+            continue;
+        }
+        if (type == "done") {
+            decodeDoneMsg(msg, outcome.done);
+            got_done = true;
+            continue;
+        }
+        // Unknown message types are skipped (forward compatibility).
+    }
+    ::close(fd);
+
+    if (!got_done) {
+        if (cancelled && cancelled()) {
+            outcome.interrupted = true;
+            report.interrupted = true;
+            outcome.error = "interrupted while waiting for results";
+        } else {
+            outcome.error =
+                "connection closed before job completion";
+        }
+        return outcome;
+    }
+
+    report.wallUs = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - start)
+            .count());
+    outcome.ok = true;
+    return outcome;
+}
+
+} // namespace specint::service

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Sweep-service client: submits one job to a running `specsim_serve`
+ * over its Unix-domain socket and assembles the streamed results into
+ * the same Report a local run would produce.
+ *
+ * This is what `specsim_bench <scenario> --connect <sock>` runs
+ * instead of the in-process ExperimentRunner. Points arrive in grid
+ * order, so the caller's onOrdered sink can emit CSV rows as they
+ * land; the assembled Report then feeds the unchanged emitters and is
+ * byte-identical to a cold serial run (modulo host timing fields that
+ * only appear in JSON).
+ */
+
+#ifndef SPECINT_SIM_SERVICE_CLIENT_HH
+#define SPECINT_SIM_SERVICE_CLIENT_HH
+
+#include <functional>
+#include <string>
+
+#include "sim/experiment/report.hh"
+#include "sim/experiment/scenario.hh"
+#include "sim/service/wire.hh"
+
+namespace specint::service
+{
+
+/** Outcome of one job submission. */
+struct ClientOutcome
+{
+    /** Protocol ran to completion ("done" received). Individual
+     *  points may still have failed (failedPoints > 0). */
+    bool ok = false;
+    /** Set when !ok: connect/protocol/server error text. */
+    std::string error;
+    /** True when the local SIGINT/SIGTERM check cancelled the wait. */
+    bool interrupted = false;
+    DoneMsg done;
+    /** Points the server reported as failed (e.g. worker crash);
+     *  their Report slots stay empty with done=false. */
+    std::uint64_t failedPoints = 0;
+};
+
+/**
+ * Submit @p scenario under @p options to the server at @p sock_path
+ * and assemble @p report from the streamed points.
+ *
+ * @param on_ordered  optional sink invoked in grid order per point.
+ * @param cancelled   optional cooperative-cancel poll (checked when a
+ *                    blocking read is interrupted by a signal).
+ */
+ClientOutcome runJobOverSocket(
+    const std::string &sock_path,
+    const experiment::Scenario &scenario,
+    const experiment::RunOptions &options,
+    experiment::Report &report,
+    const std::function<void(std::size_t,
+                             const experiment::ReportPoint &)>
+        &on_ordered = {},
+    const std::function<bool()> &cancelled = {});
+
+} // namespace specint::service
+
+#endif // SPECINT_SIM_SERVICE_CLIENT_HH

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Build-fingerprint accessor. The literal itself is generated into the
+ * build tree by scripts/gen_fingerprint.cmake (see CMakeLists.txt).
+ */
+
+#include "sim/service/fingerprint.hh"
+
+namespace specint::service
+{
+
+const char *
+buildFingerprint()
+{
+    return
+#include "specsim_fingerprint.inc"
+        ;
+}
+
+} // namespace specint::service

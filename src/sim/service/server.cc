@@ -1,0 +1,837 @@
+/**
+ * @file
+ * Sweep-service server implementation: poll loop, forked worker pool
+ * with crash isolation, cache + in-flight dedup, ordered streaming.
+ */
+
+#include "sim/service/server.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "sim/experiment/runner.hh"
+#include "sim/service/cache.hh"
+#include "sim/service/client.hh"
+#include "sim/service/fingerprint.hh"
+#include "sim/service/wire.hh"
+
+namespace specint::service
+{
+
+namespace
+{
+
+using experiment::PointContext;
+using experiment::PointResult;
+using experiment::Scenario;
+using experiment::ScenarioRegistry;
+using experiment::SweepPoint;
+using Clock = std::chrono::steady_clock;
+
+/** Self-pipe written by signal handlers, polled by the main loop. */
+int g_signal_pipe[2] = {-1, -1};
+volatile std::sig_atomic_t g_shutdown_signal = 0;
+
+void
+onSignal(int sig)
+{
+    if (sig == SIGINT || sig == SIGTERM)
+        g_shutdown_signal = sig;
+    const char byte = static_cast<char>(sig);
+    // Best-effort: the poll loop also rechecks flags on every wake.
+    [[maybe_unused]] ssize_t n =
+        ::write(g_signal_pipe[1], &byte, 1);
+}
+
+std::uint64_t
+elapsedUs(Clock::time_point start)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - start)
+            .count());
+}
+
+/**
+ * Worker-process main: blocking request/response loop over the
+ * inherited socketpair end. Never returns.
+ */
+[[noreturn]] void
+workerMain(const ScenarioRegistry &registry, int fd,
+           long test_crash_point)
+{
+    // The parent owns signal-driven shutdown; workers die by SIGTERM
+    // default disposition or parent-fd EOF.
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    LineReader reader(fd);
+    std::string line;
+    // Memoized grid expansion: consecutive points of one job share
+    // the same (scenario, options) and the grids are small, but there
+    // is no reason to re-expand per point.
+    std::string memo_key;
+    std::vector<SweepPoint> memo_points;
+
+    while (reader.readLine(line)) {
+        Json msg;
+        JobSpec spec;
+        std::size_t index = 0;
+        if (!Json::parse(line, msg) ||
+            !decodeExecMsg(msg, spec, index)) {
+            writeLine(fd, makeErrorMsg("malformed exec request")
+                              .dump());
+            continue;
+        }
+
+        if (test_crash_point >= 0 &&
+            index == static_cast<std::size_t>(test_crash_point)) {
+            // Injected crash (tests): die without replying, exactly
+            // like a segfault would look to the parent.
+            _exit(42);
+        }
+
+        PointMsg out;
+        out.index = index;
+        const Scenario *scenario = registry.find(spec.scenario);
+        if (!scenario) {
+            out.failed = true;
+            out.error = "unknown scenario '" + spec.scenario + "'";
+            writeLine(fd, makePointMsg(out, "result").dump());
+            continue;
+        }
+
+        const experiment::RunOptions options = spec.toOptions();
+        const std::string key =
+            makeJobMsg(spec).dump(); // canonical enough for memoing
+        if (key != memo_key) {
+            const experiment::SweepSpec sweep =
+                scenario->sweep ? scenario->sweep(options)
+                                : experiment::SweepSpec{};
+            memo_points = sweep.expand();
+            memo_key = key;
+        }
+        if (index >= memo_points.size()) {
+            out.failed = true;
+            out.error = "point index out of range";
+            writeLine(fd, makePointMsg(out, "result").dump());
+            continue;
+        }
+
+        PointContext ctx;
+        ctx.point = memo_points[index];
+        ctx.pointIndex = index;
+        ctx.trials = options.trials;
+        ctx.baseSeed = options.seed;
+        ctx.pointSeed = experiment::splitSeed(options.seed, index);
+
+        const Clock::time_point start = Clock::now();
+        try {
+            PointResult res = scenario->run(ctx, options);
+            out.rows = std::move(res.rows);
+            out.legacy = std::move(res.legacy);
+            out.durationUs = elapsedUs(start);
+        } catch (const std::exception &e) {
+            out.failed = true;
+            out.error = std::string("executor threw: ") + e.what();
+        } catch (...) {
+            out.failed = true;
+            out.error = "executor threw";
+        }
+        if (!writeLine(fd, makePointMsg(out, "result").dump()))
+            break; // parent gone
+    }
+    _exit(0);
+}
+
+struct Job;
+
+/** One unique unit of work (deduped by canonical cache key). */
+struct Task
+{
+    CacheKey key;
+    JobSpec spec;
+    std::size_t index = 0;
+    bool cacheable = true;
+    /** Jobs waiting on this result (slot index == grid index). */
+    std::vector<Job *> waiters;
+};
+
+struct Worker
+{
+    pid_t pid = -1;
+    int fd = -1;
+    LineBuffer rx;
+    /** Key of the task being executed ("" = idle). */
+    std::string taskKey;
+};
+
+/** One client connection == one job. */
+struct Job
+{
+    int fd = -1;
+    LineBuffer rx;
+    bool started = false;
+    /** Client still reachable; a zombie job (client gone) stays until
+     *  its outstanding tasks resolve, but nothing is written to it. */
+    bool active = true;
+    const Scenario *scenario = nullptr;
+    JobSpec spec;
+    std::size_t totalPoints = 0;
+    std::vector<std::unique_ptr<PointMsg>> slots;
+    std::size_t emitted = 0;
+    std::size_t resolved = 0;
+    DoneMsg stats;
+    Clock::time_point start{};
+};
+
+/** The whole server state; one instance per runServer call. */
+class Server
+{
+  public:
+    Server(const ScenarioRegistry &registry, const ServeConfig &config)
+        : registry_(registry), config_(config),
+          fingerprint_(buildFingerprint())
+    {}
+
+    int run();
+
+  private:
+    bool setupSocket();
+    void spawnWorker();
+    void acceptClient();
+    void handleClientInput(Job &job);
+    void startJob(Job &job, const Json &msg);
+    void handleWorkerInput(Worker &worker);
+    void onWorkerDead(Worker &worker, const char *why);
+    void resolveTask(const std::string &key, PointMsg result,
+                     bool from_cache_store);
+    void deliver(Job &job, std::size_t index, const PointMsg &msg);
+    void tryEmit(Job &job);
+    void finishJob(Job &job);
+    void dispatch();
+    void reapChildren();
+    void shutdown();
+
+    const ScenarioRegistry &registry_;
+    ServeConfig config_;
+    std::string fingerprint_;
+    int listenFd_ = -1;
+    unsigned workerTarget_ = 2;
+    /** Forks consumed by crash replacements; bounded so a point that
+     *  kills every worker cannot fork-bomb the host. */
+    unsigned respawnBudget_ = 64;
+    std::unique_ptr<ResultCache> cache_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::unique_ptr<Job>> jobs_;
+    /** Pending + in-flight tasks by canonical key. */
+    std::map<std::string, std::unique_ptr<Task>> tasks_;
+    /** Keys waiting for a worker, in arrival order. */
+    std::deque<std::string> pending_;
+};
+
+bool
+Server::setupSocket()
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (config_.socketPath.empty() ||
+        config_.socketPath.size() >= sizeof(addr.sun_path)) {
+        std::fprintf(stderr, "[serve] bad socket path '%s'\n",
+                     config_.socketPath.c_str());
+        return false;
+    }
+    std::strncpy(addr.sun_path, config_.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        std::perror("[serve] socket");
+        return false;
+    }
+    // A previous unclean shutdown may have left the file; binding
+    // over it needs the unlink (connect() to a dead socket fails, so
+    // this cannot steal a live server's clients by accident... but a
+    // live server would still own the old inode; refuse if connectable).
+    ::unlink(config_.socketPath.c_str());
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        std::perror("[serve] bind");
+        return false;
+    }
+    if (::listen(listenFd_, 64) != 0) {
+        std::perror("[serve] listen");
+        return false;
+    }
+    return true;
+}
+
+void
+Server::spawnWorker()
+{
+    int pair[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, pair) != 0) {
+        std::perror("[serve] socketpair");
+        return;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        std::perror("[serve] fork");
+        ::close(pair[0]);
+        ::close(pair[1]);
+        return;
+    }
+    if (pid == 0) {
+        // Child: drop every parent-side fd, keep only our pair end.
+        ::close(pair[0]);
+        if (listenFd_ >= 0)
+            ::close(listenFd_);
+        if (g_signal_pipe[0] >= 0)
+            ::close(g_signal_pipe[0]);
+        if (g_signal_pipe[1] >= 0)
+            ::close(g_signal_pipe[1]);
+        for (const auto &w : workers_)
+            if (w->fd >= 0)
+                ::close(w->fd);
+        for (const auto &j : jobs_)
+            if (j->fd >= 0)
+                ::close(j->fd);
+        workerMain(registry_, pair[1], config_.testCrashPoint);
+    }
+    ::close(pair[1]);
+    auto worker = std::make_unique<Worker>();
+    worker->pid = pid;
+    worker->fd = pair[0];
+    workers_.push_back(std::move(worker));
+}
+
+void
+Server::acceptClient()
+{
+    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0)
+        return;
+    auto job = std::make_unique<Job>();
+    job->fd = fd;
+    if (!writeLine(fd, makeHelloMsg(workerTarget_, fingerprint_)
+                           .dump())) {
+        ::close(fd);
+        return;
+    }
+    jobs_.push_back(std::move(job));
+}
+
+void
+Server::startJob(Job &job, const Json &msg)
+{
+    JobSpec spec;
+    if (!decodeJobMsg(msg, spec)) {
+        writeLine(job.fd, makeErrorMsg("malformed job request")
+                              .dump());
+        job.active = false;
+        return;
+    }
+    const Scenario *scenario = registry_.find(spec.scenario);
+    if (!scenario) {
+        writeLine(job.fd,
+                  makeErrorMsg("unknown scenario '" + spec.scenario +
+                               "'")
+                      .dump());
+        job.active = false;
+        return;
+    }
+
+    job.started = true;
+    job.scenario = scenario;
+    job.spec = spec;
+    job.start = Clock::now();
+
+    const experiment::RunOptions options = spec.toOptions();
+    const experiment::SweepSpec sweep =
+        scenario->sweep ? scenario->sweep(options)
+                        : experiment::SweepSpec{};
+    const std::vector<SweepPoint> points = sweep.expand();
+    job.totalPoints = points.size();
+    job.slots.resize(points.size());
+    job.stats.points = points.size();
+
+    const bool cacheable = scenario->cacheable;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const std::uint64_t point_seed =
+            experiment::splitSeed(spec.seed, i);
+        const CacheKey key = makeCacheKey(spec, i, point_seed,
+                                          points[i], fingerprint_);
+
+        if (cacheable && cache_) {
+            auto hit = std::make_unique<PointMsg>();
+            hit->index = i;
+            hit->cached = true;
+            const Clock::time_point t0 = Clock::now();
+            if (cache_->lookup(key, hit->rows, hit->legacy)) {
+                hit->durationUs = elapsedUs(t0);
+                job.slots[i] = std::move(hit);
+                ++job.stats.hits;
+                ++job.resolved;
+                continue;
+            }
+        }
+
+        if (!cacheable) {
+            // Not memoizable => not dedupable either: give the task a
+            // job-unique key so concurrent jobs never share it.
+            CacheKey unique_key = key;
+            unique_key.canonical +=
+                ";job-fd=" + std::to_string(job.fd);
+            auto task = std::make_unique<Task>();
+            task->key = unique_key;
+            task->spec = spec;
+            task->index = i;
+            task->cacheable = false;
+            task->waiters.push_back(&job);
+            pending_.push_back(unique_key.canonical);
+            tasks_[unique_key.canonical] = std::move(task);
+            continue;
+        }
+
+        auto it = tasks_.find(key.canonical);
+        if (it != tasks_.end()) {
+            // In-flight dedup: another job already wants this point.
+            it->second->waiters.push_back(&job);
+            continue;
+        }
+        auto task = std::make_unique<Task>();
+        task->key = key;
+        task->spec = spec;
+        task->index = i;
+        task->waiters.push_back(&job);
+        pending_.push_back(key.canonical);
+        tasks_[key.canonical] = std::move(task);
+    }
+
+    dispatch();
+    tryEmit(job);
+}
+
+void
+Server::handleClientInput(Job &job)
+{
+    char chunk[4096];
+    const ssize_t n = ::read(job.fd, chunk, sizeof(chunk));
+    if (n <= 0) {
+        if (n < 0 && (errno == EINTR || errno == EAGAIN))
+            return;
+        // Client hung up. Outstanding shared tasks keep running (the
+        // cache still wants their results); nothing more is written
+        // and the job object is swept once its tasks resolve.
+        job.active = false;
+        ::close(job.fd);
+        job.fd = -1;
+        return;
+    }
+    job.rx.feed(chunk, static_cast<std::size_t>(n));
+    std::string line;
+    while (job.rx.next(line)) {
+        Json msg;
+        if (!Json::parse(line, msg) || !msg.isObj()) {
+            writeLine(job.fd, makeErrorMsg("malformed request")
+                                  .dump());
+            job.active = false;
+            return;
+        }
+        if (job.started) {
+            writeLine(job.fd,
+                      makeErrorMsg("one job per connection").dump());
+            continue;
+        }
+        startJob(job, msg);
+    }
+}
+
+void
+Server::deliver(Job &job, std::size_t index, const PointMsg &msg)
+{
+    if (index >= job.slots.size() || job.slots[index])
+        return;
+    job.slots[index] = std::make_unique<PointMsg>(msg);
+    job.slots[index]->index = index;
+    ++job.resolved;
+    if (msg.failed)
+        ++job.stats.failed;
+    else if (!msg.cached)
+        ++job.stats.executed;
+    tryEmit(job);
+}
+
+void
+Server::tryEmit(Job &job)
+{
+    while (job.emitted < job.totalPoints &&
+           job.slots[job.emitted]) {
+        if (job.active) {
+            if (!writeLine(job.fd,
+                           makePointMsg(*job.slots[job.emitted])
+                               .dump()))
+                job.active = false;
+        }
+        // Emitted slots are dropped eagerly: a 10k-point job holds at
+        // most the out-of-order window in memory.
+        job.slots[job.emitted].reset();
+        ++job.emitted;
+    }
+    if (job.emitted == job.totalPoints)
+        finishJob(job);
+}
+
+void
+Server::finishJob(Job &job)
+{
+    job.stats.wallUs = elapsedUs(job.start);
+    if (job.active)
+        writeLine(job.fd, makeDoneMsg(job.stats).dump());
+    std::fprintf(stderr,
+                 "[serve] job %s: %llu points, %llu hits, %llu "
+                 "executed, %llu failed, %.1f ms\n",
+                 job.spec.scenario.c_str(),
+                 static_cast<unsigned long long>(job.stats.points),
+                 static_cast<unsigned long long>(job.stats.hits),
+                 static_cast<unsigned long long>(job.stats.executed),
+                 static_cast<unsigned long long>(job.stats.failed),
+                 static_cast<double>(job.stats.wallUs) / 1000.0);
+    if (job.fd >= 0) {
+        ::close(job.fd);
+        job.fd = -1;
+    }
+    job.active = false;
+    // The job object itself is swept from jobs_ in the main loop once
+    // fd < 0 and no task lists it as a waiter.
+}
+
+void
+Server::resolveTask(const std::string &key, PointMsg result,
+                    bool store_to_cache)
+{
+    auto it = tasks_.find(key);
+    if (it == tasks_.end())
+        return;
+    Task &task = *it->second;
+    if (store_to_cache && task.cacheable && cache_ && !result.failed)
+        cache_->store(task.key, result.rows, result.legacy);
+    for (Job *job : task.waiters)
+        deliver(*job, task.index, result);
+    tasks_.erase(it);
+}
+
+void
+Server::handleWorkerInput(Worker &worker)
+{
+    char chunk[65536];
+    const ssize_t n = ::read(worker.fd, chunk, sizeof(chunk));
+    if (n <= 0) {
+        if (n < 0 && (errno == EINTR || errno == EAGAIN))
+            return;
+        onWorkerDead(worker, "socket closed");
+        return;
+    }
+    worker.rx.feed(chunk, static_cast<std::size_t>(n));
+    std::string line;
+    while (worker.rx.next(line)) {
+        Json msg;
+        PointMsg result;
+        if (!Json::parse(line, msg) ||
+            !decodePointMsg(msg, result))
+            continue; // unknown chatter; drop
+        const std::string key = worker.taskKey;
+        worker.taskKey.clear();
+        if (!key.empty())
+            resolveTask(key, std::move(result), true);
+        dispatch();
+    }
+}
+
+void
+Server::onWorkerDead(Worker &worker, const char *why)
+{
+    if (worker.fd < 0)
+        return; // already handled (EOF + SIGCHLD both fire)
+    ::close(worker.fd);
+    worker.fd = -1;
+    const std::string key = worker.taskKey;
+    worker.taskKey.clear();
+
+    if (!key.empty()) {
+        // Crash isolation: the in-flight point fails — for every
+        // waiter — but nothing else does. It is NOT requeued: a point
+        // that reliably kills workers would otherwise cycle through
+        // the whole pool forever.
+        auto it = tasks_.find(key);
+        std::fprintf(stderr,
+                     "[serve] worker %d died (%s) executing point "
+                     "%zu; failing that point only\n",
+                     static_cast<int>(worker.pid), why,
+                     it != tasks_.end() ? it->second->index
+                                        : static_cast<std::size_t>(0));
+        PointMsg failure;
+        failure.failed = true;
+        failure.error = std::string("worker crashed (") + why + ")";
+        if (it != tasks_.end())
+            failure.index = it->second->index;
+        resolveTask(key, std::move(failure), false);
+    }
+
+    if (g_shutdown_signal == 0 && respawnBudget_ > 0) {
+        --respawnBudget_;
+        spawnWorker();
+    }
+    dispatch();
+}
+
+void
+Server::dispatch()
+{
+    while (!pending_.empty()) {
+        Worker *idle = nullptr;
+        for (const auto &w : workers_) {
+            if (w->fd >= 0 && w->taskKey.empty()) {
+                idle = w.get();
+                break;
+            }
+        }
+        if (!idle)
+            return;
+        const std::string key = pending_.front();
+        pending_.pop_front();
+        auto it = tasks_.find(key);
+        if (it == tasks_.end())
+            continue; // task resolved while queued (shutdown path)
+        idle->taskKey = key;
+        if (!writeLine(idle->fd,
+                       makeExecMsg(it->second->spec,
+                                   it->second->index)
+                           .dump())) {
+            // Worker died before the assignment arrived: the point
+            // never started, so requeueing it is safe (unlike a
+            // crash mid-execution).
+            idle->taskKey.clear();
+            pending_.push_front(key);
+            onWorkerDead(*idle, "assignment write failed");
+            if (workers_.empty())
+                return;
+        }
+    }
+}
+
+void
+Server::reapChildren()
+{
+    while (true) {
+        int status = 0;
+        const pid_t pid = ::waitpid(-1, &status, WNOHANG);
+        if (pid <= 0)
+            return;
+        for (const auto &w : workers_) {
+            if (w->pid == pid) {
+                w->pid = -1;
+                onWorkerDead(*w, WIFSIGNALED(status)
+                                     ? "killed by signal"
+                                     : "exited");
+                break;
+            }
+        }
+    }
+}
+
+void
+Server::shutdown()
+{
+    // Flush clients first: every already-resolved prefix has been
+    // streamed (tryEmit is eager), so just tell them why it ends.
+    for (const auto &job : jobs_) {
+        if (job->fd >= 0 && job->active)
+            writeLine(job->fd,
+                      makeErrorMsg("server shutting down").dump());
+        if (job->fd >= 0)
+            ::close(job->fd);
+    }
+    for (const auto &w : workers_) {
+        if (w->pid > 0)
+            ::kill(w->pid, SIGTERM);
+        if (w->fd >= 0)
+            ::close(w->fd);
+    }
+    for (const auto &w : workers_) {
+        if (w->pid > 0) {
+            int status = 0;
+            ::waitpid(w->pid, &status, 0);
+        }
+    }
+    if (cache_)
+        cache_->flushIndex(fingerprint_);
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+    ::unlink(config_.socketPath.c_str());
+    std::fprintf(stderr, "[serve] shut down (signal %d)\n",
+                 static_cast<int>(g_shutdown_signal));
+}
+
+int
+Server::run()
+{
+    workerTarget_ = config_.workers == 0
+                        ? std::max(1u,
+                                   std::thread::hardware_concurrency())
+                        : config_.workers;
+
+    if (::pipe(g_signal_pipe) != 0) {
+        std::perror("[serve] pipe");
+        return 1;
+    }
+    // Nonblocking on both ends: the handler must never block, and
+    // the drain loop below reads until EAGAIN.
+    for (int end : {0, 1})
+        ::fcntl(g_signal_pipe[end], F_SETFL,
+                ::fcntl(g_signal_pipe[end], F_GETFL) | O_NONBLOCK);
+    std::signal(SIGPIPE, SIG_IGN);
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGCHLD, onSignal);
+
+    if (!config_.cacheDir.empty())
+        cache_ = std::make_unique<ResultCache>(config_.cacheDir);
+
+    if (!setupSocket())
+        return 1;
+    for (unsigned i = 0; i < workerTarget_; ++i)
+        spawnWorker();
+    if (workers_.empty()) {
+        std::fprintf(stderr, "[serve] no workers could be forked\n");
+        return 1;
+    }
+
+    std::fprintf(stderr,
+                 "[serve] listening on %s (%zu workers, cache %s, "
+                 "fingerprint %.12s)\n",
+                 config_.socketPath.c_str(), workers_.size(),
+                 cache_ ? cache_->dir().c_str() : "off",
+                 fingerprint_.c_str());
+
+    while (g_shutdown_signal == 0) {
+        std::vector<pollfd> fds;
+        fds.push_back({g_signal_pipe[0], POLLIN, 0});
+        fds.push_back({listenFd_, POLLIN, 0});
+        const std::size_t worker_base = fds.size();
+        for (const auto &w : workers_)
+            if (w->fd >= 0)
+                fds.push_back({w->fd, POLLIN, 0});
+        const std::size_t job_base = fds.size();
+        for (const auto &j : jobs_)
+            if (j->fd >= 0)
+                fds.push_back({j->fd, POLLIN, 0});
+
+        const int ready = ::poll(fds.data(), fds.size(), 1000);
+        if (ready < 0 && errno != EINTR) {
+            std::perror("[serve] poll");
+            break;
+        }
+        if (g_shutdown_signal != 0)
+            break;
+        if (ready <= 0)
+            continue;
+
+        if (fds[0].revents & POLLIN) {
+            char drain[64];
+            while (::read(g_signal_pipe[0], drain, sizeof(drain)) >
+                   0) {
+            }
+            reapChildren();
+        }
+        if (fds[1].revents & POLLIN)
+            acceptClient();
+
+        // Match revents back to live objects by fd (the vectors may
+        // have been resized by accept/respawn above; match by value).
+        for (std::size_t k = worker_base; k < fds.size(); ++k) {
+            if (!(fds[k].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            if (k < job_base) {
+                for (const auto &w : workers_)
+                    if (w->fd == fds[k].fd) {
+                        handleWorkerInput(*w);
+                        break;
+                    }
+            } else {
+                for (const auto &j : jobs_)
+                    if (j->fd == fds[k].fd) {
+                        handleClientInput(*j);
+                        break;
+                    }
+            }
+        }
+
+        // Sweep dead workers and completed/abandoned jobs. A job may
+        // only be freed when no task still points at it.
+        workers_.erase(
+            std::remove_if(workers_.begin(), workers_.end(),
+                           [](const std::unique_ptr<Worker> &w) {
+                               return w->fd < 0;
+                           }),
+            workers_.end());
+        for (auto it = jobs_.begin(); it != jobs_.end();) {
+            Job *job = it->get();
+            const bool finished =
+                job->fd < 0 ||
+                (!job->active && job->resolved == job->totalPoints);
+            bool referenced = false;
+            if (finished) {
+                for (const auto &[key, task] : tasks_) {
+                    (void)key;
+                    if (std::find(task->waiters.begin(),
+                                  task->waiters.end(),
+                                  job) != task->waiters.end()) {
+                        referenced = true;
+                        break;
+                    }
+                }
+            }
+            if (finished && !referenced) {
+                if (job->fd >= 0)
+                    ::close(job->fd);
+                it = jobs_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+
+        dispatch();
+    }
+
+    shutdown();
+    return g_shutdown_signal != 0 ? 128 + g_shutdown_signal : 1;
+}
+
+} // namespace
+
+int
+runServer(const ScenarioRegistry &registry, const ServeConfig &config)
+{
+    Server server(registry, config);
+    return server.run();
+}
+
+} // namespace specint::service

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The sweep-service server: a persistent simulation daemon.
+ *
+ * `runServer` listens on a Unix-domain socket, accepts concurrent
+ * clients (one sweep job per connection, line-delimited JSON — see
+ * wire.hh), and executes sweep points on a pool of forked worker
+ * processes:
+ *
+ * - **Dynamic sharding.** All misses land in one pending frontier;
+ *   every idle worker immediately pulls the next point, so a worker
+ *   stuck on a heavyweight point never idles the rest of the pool
+ *   (the multi-process analogue of the in-process runner's
+ *   work-stealing deques, with the queue centralized in the parent).
+ * - **Crash isolation.** A worker dying (segfault, OOM kill, injected
+ *   crash) fails only the point it was executing: its waiters get a
+ *   failed-point message, a replacement worker is forked, and the
+ *   rest of the job completes.
+ * - **Result cache.** With a cache directory configured, every
+ *   computed point is persisted content-addressed (see cache.hh) and
+ *   later jobs — from any client — hit without simulating.
+ * - **In-flight dedup.** Overlapping concurrent jobs that need the
+ *   same (scenario, options, point, fingerprint) share one execution:
+ *   later requesters attach as waiters instead of re-enqueueing.
+ * - **Ordered streaming.** Each client receives its points in grid
+ *   order as they land (out-of-order completions are held back), so
+ *   clients can emit CSV rows incrementally and still byte-match a
+ *   cold serial run.
+ *
+ * SIGINT/SIGTERM shut the server down gracefully: active clients get
+ * an error message after their already-complete points were streamed,
+ * workers are terminated and reaped, the cache index is flushed, the
+ * socket file is unlinked, and the process exits nonzero (128+sig).
+ */
+
+#ifndef SPECINT_SIM_SERVICE_SERVER_HH
+#define SPECINT_SIM_SERVICE_SERVER_HH
+
+#include <string>
+
+#include "sim/experiment/registry.hh"
+
+namespace specint::service
+{
+
+/** Server configuration (CLI flags of `specsim_serve`). */
+struct ServeConfig
+{
+    std::string socketPath;
+    /** Worker processes; 0 = one per hardware thread. */
+    unsigned workers = 2;
+    /** Result-cache root ("" = in-flight dedup only, no persistence). */
+    std::string cacheDir;
+    /**
+     * Crash injection for tests: a worker assigned this grid point
+     * index _exit()s instead of executing it (-1 = off). The parent
+     * must fail exactly that point and finish the job.
+     */
+    long testCrashPoint = -1;
+};
+
+/**
+ * Run the server until SIGINT/SIGTERM. Returns the process exit code
+ * (128+signal on graceful shutdown, 1 on setup failure).
+ */
+int runServer(const experiment::ScenarioRegistry &registry,
+              const ServeConfig &config);
+
+} // namespace specint::service
+
+#endif // SPECINT_SIM_SERVICE_SERVER_HH

@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Wire codec implementation: cell/row round-trip, message builders and
+ * decoders, newline framing over blocking fds.
+ */
+
+#include "sim/service/wire.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <unistd.h>
+
+namespace specint::service
+{
+
+using experiment::Row;
+using experiment::RunOptions;
+using experiment::Value;
+
+Json
+encodeValue(const Value &v)
+{
+    Json j = Json::object();
+    switch (v.kind()) {
+      case Value::Kind::Str:
+        j.set("t", Json::str("s"));
+        j.set("v", Json::str(v.strValue()));
+        break;
+      case Value::Kind::Int:
+        j.set("t", Json::str("i"));
+        j.set("v", Json::integer(v.intValue()));
+        break;
+      case Value::Kind::UInt:
+        j.set("t", Json::str("u"));
+        j.set("v", Json::uinteger(v.uintValue()));
+        break;
+      case Value::Kind::Real: {
+        j.set("t", Json::str("r"));
+        // As text: %.17g round-trips the double exactly, and the
+        // display precision rides along so text()/csv() renderings of
+        // the decoded cell are byte-identical.
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g", v.realValue());
+        j.set("v", Json::str(buf));
+        j.set("p", Json::integer(v.precision()));
+        break;
+      }
+      case Value::Kind::Bool:
+        j.set("t", Json::str("b"));
+        j.set("v", Json::boolean(v.boolValue()));
+        break;
+    }
+    return j;
+}
+
+bool
+decodeValue(const Json &j, Value &out)
+{
+    if (!j.isObj())
+        return false;
+    const std::string t = j.getStr("t");
+    const Json &v = j.get("v");
+    if (t == "s") {
+        if (!v.isStr())
+            return false;
+        out = Value::str(v.strValue());
+        return true;
+    }
+    if (t == "i") {
+        if (!v.isNumber())
+            return false;
+        out = Value::integer(v.i64());
+        return true;
+    }
+    if (t == "u") {
+        if (!v.isNumber())
+            return false;
+        out = Value::uinteger(v.u64());
+        return true;
+    }
+    if (t == "r") {
+        if (!v.isStr())
+            return false;
+        errno = 0;
+        char *tail = nullptr;
+        const double d = std::strtod(v.strValue().c_str(), &tail);
+        if (errno != 0 || !tail || *tail != '\0')
+            return false;
+        out = Value::real(d,
+                          static_cast<int>(j.get("p").i64()));
+        return true;
+    }
+    if (t == "b") {
+        if (!v.isBool())
+            return false;
+        out = Value::boolean(v.boolValue());
+        return true;
+    }
+    return false;
+}
+
+Json
+encodeRows(const std::vector<Row> &rows)
+{
+    Json arr = Json::array();
+    for (const Row &row : rows) {
+        Json jrow = Json::array();
+        for (const Value &cell : row)
+            jrow.push(encodeValue(cell));
+        arr.push(std::move(jrow));
+    }
+    return arr;
+}
+
+bool
+decodeRows(const Json &j, std::vector<Row> &out)
+{
+    if (!j.isArr())
+        return false;
+    out.clear();
+    out.reserve(j.items().size());
+    for (const Json &jrow : j.items()) {
+        if (!jrow.isArr())
+            return false;
+        Row row;
+        row.reserve(jrow.items().size());
+        for (const Json &jcell : jrow.items()) {
+            Value cell;
+            if (!decodeValue(jcell, cell))
+                return false;
+            row.push_back(std::move(cell));
+        }
+        out.push_back(std::move(row));
+    }
+    return true;
+}
+
+JobSpec
+JobSpec::fromOptions(const std::string &scenario_name,
+                     const RunOptions &opt)
+{
+    JobSpec spec;
+    spec.scenario = scenario_name;
+    spec.trials = opt.trials;
+    spec.seed = opt.seed;
+    spec.extra = opt.extra;
+    return spec;
+}
+
+RunOptions
+JobSpec::toOptions() const
+{
+    RunOptions opt;
+    opt.trials = trials;
+    opt.seed = seed;
+    opt.extra = extra;
+    return opt;
+}
+
+namespace
+{
+
+Json
+encodeSpecInto(Json j, const JobSpec &spec)
+{
+    j.set("scenario", Json::str(spec.scenario));
+    j.set("trials", Json::uinteger(spec.trials));
+    j.set("seed", Json::uinteger(spec.seed));
+    Json extra = Json::object();
+    for (const auto &[k, v] : spec.extra)
+        extra.set(k, Json::uinteger(v));
+    j.set("extra", std::move(extra));
+    return j;
+}
+
+bool
+decodeSpecFrom(const Json &j, JobSpec &out)
+{
+    if (!j.get("scenario").isStr())
+        return false;
+    out.scenario = j.getStr("scenario");
+    out.trials = static_cast<unsigned>(j.getU64("trials", 1));
+    out.seed = j.getU64("seed", 0);
+    out.extra.clear();
+    const Json &extra = j.get("extra");
+    if (extra.isObj()) {
+        for (const auto &[k, v] : extra.fields()) {
+            if (!v.isNumber())
+                return false;
+            out.extra[k] = v.u64();
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+Json
+makeJobMsg(const JobSpec &spec)
+{
+    Json j = Json::object();
+    j.set("type", Json::str("job"));
+    return encodeSpecInto(std::move(j), spec);
+}
+
+Json
+makeHelloMsg(unsigned workers, const std::string &fingerprint)
+{
+    Json j = Json::object();
+    j.set("type", Json::str("hello"));
+    j.set("protocol", Json::uinteger(kProtocolVersion));
+    j.set("workers", Json::uinteger(workers));
+    j.set("fingerprint", Json::str(fingerprint));
+    return j;
+}
+
+Json
+makeExecMsg(const JobSpec &spec, std::size_t index)
+{
+    Json j = Json::object();
+    j.set("type", Json::str("exec"));
+    j.set("index", Json::uinteger(index));
+    return encodeSpecInto(std::move(j), spec);
+}
+
+Json
+makePointMsg(const PointMsg &point, const char *type)
+{
+    Json j = Json::object();
+    j.set("type", Json::str(type));
+    j.set("index", Json::uinteger(point.index));
+    if (point.failed) {
+        j.set("failed", Json::boolean(true));
+        j.set("error", Json::str(point.error));
+        return j;
+    }
+    if (point.cached)
+        j.set("cached", Json::boolean(true));
+    j.set("duration_us", Json::uinteger(point.durationUs));
+    j.set("rows", encodeRows(point.rows));
+    j.set("legacy", Json::str(point.legacy));
+    return j;
+}
+
+Json
+makeDoneMsg(const DoneMsg &done)
+{
+    Json j = Json::object();
+    j.set("type", Json::str("done"));
+    j.set("points", Json::uinteger(done.points));
+    j.set("hits", Json::uinteger(done.hits));
+    j.set("executed", Json::uinteger(done.executed));
+    j.set("failed", Json::uinteger(done.failed));
+    j.set("wall_us", Json::uinteger(done.wallUs));
+    return j;
+}
+
+Json
+makeErrorMsg(const std::string &message)
+{
+    Json j = Json::object();
+    j.set("type", Json::str("error"));
+    j.set("message", Json::str(message));
+    return j;
+}
+
+bool
+decodeJobMsg(const Json &j, JobSpec &out)
+{
+    return j.isObj() && j.getStr("type") == "job" &&
+           decodeSpecFrom(j, out);
+}
+
+bool
+decodeExecMsg(const Json &j, JobSpec &spec, std::size_t &index)
+{
+    if (!j.isObj() || j.getStr("type") != "exec" ||
+        !j.get("index").isNumber())
+        return false;
+    index = static_cast<std::size_t>(j.getU64("index"));
+    return decodeSpecFrom(j, spec);
+}
+
+bool
+decodePointMsg(const Json &j, PointMsg &out)
+{
+    if (!j.isObj() || !j.get("index").isNumber())
+        return false;
+    const std::string type = j.getStr("type");
+    if (type != "point" && type != "result")
+        return false;
+    out = PointMsg{};
+    out.index = static_cast<std::size_t>(j.getU64("index"));
+    if (j.getBool("failed")) {
+        out.failed = true;
+        out.error = j.getStr("error", "unknown failure");
+        return true;
+    }
+    out.cached = j.getBool("cached");
+    out.durationUs = j.getU64("duration_us");
+    out.legacy = j.getStr("legacy");
+    return decodeRows(j.get("rows"), out.rows);
+}
+
+bool
+decodeDoneMsg(const Json &j, DoneMsg &out)
+{
+    if (!j.isObj() || j.getStr("type") != "done")
+        return false;
+    out.points = j.getU64("points");
+    out.hits = j.getU64("hits");
+    out.executed = j.getU64("executed");
+    out.failed = j.getU64("failed");
+    out.wallUs = j.getU64("wall_us");
+    return true;
+}
+
+bool
+LineReader::readLine(std::string &out)
+{
+    while (true) {
+        const std::size_t nl = buf_.find('\n');
+        if (nl != std::string::npos) {
+            out.assign(buf_, 0, nl);
+            buf_.erase(0, nl + 1);
+            return true;
+        }
+        char chunk[4096];
+        const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        if (n > 0) {
+            buf_.append(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR) {
+            if (interrupted_ && interrupted_())
+                return false;
+            continue;
+        }
+        eof_ = (n == 0);
+        return false;
+    }
+}
+
+bool
+writeLine(int fd, const std::string &line)
+{
+    std::string framed = line;
+    framed += '\n';
+    std::size_t off = 0;
+    while (off < framed.size()) {
+        const ssize_t n =
+            ::write(fd, framed.data() + off, framed.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace specint::service

@@ -11,9 +11,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <stdexcept>
 #include <thread>
+
+#include <unistd.h>
 
 #include "scenarios/scenarios.hh"
 #include "sim/experiment/cli.hh"
@@ -287,7 +291,7 @@ syntheticScenario(std::atomic<unsigned> *executions = nullptr)
         volatile std::uint64_t sink = 0;
         for (std::uint64_t i = 0;
              i < 10'000 * (1 + ctx.pointIndex % 7); ++i)
-            sink += i;
+            sink = sink + i; // (compound volatile ops are deprecated)
         std::uint64_t checksum = 0;
         for (unsigned t = 0; t < ctx.trials; ++t)
             checksum ^= ctx.trialSeed(t);
@@ -473,4 +477,30 @@ TEST(Report, JsonIsStructurallySound)
               std::count(json.begin(), json.end(), '}'));
     EXPECT_EQ(std::count(json.begin(), json.end(), '['),
               std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(Report, WriteOutCreatesMissingParentDirectories)
+{
+    // --out/--metrics-out/--trace-out all route through writeOut: an
+    // output path in a not-yet-existing results tree must be created,
+    // not fail after the sweep already ran.
+    namespace fs = std::filesystem;
+    const fs::path root =
+        fs::temp_directory_path() /
+        ("specsim_writeout_" + std::to_string(::getpid()));
+    const fs::path nested = root / "a" / "b" / "out.csv";
+    ASSERT_FALSE(fs::exists(root));
+
+    EXPECT_TRUE(writeOut(nested.string(), "col\n1\n"));
+    std::ifstream in(nested);
+    std::string body((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_EQ(body, "col\n1\n");
+
+    // A path whose "parent" is a file, not a directory, fails loudly.
+    EXPECT_FALSE(
+        writeOut((nested / "impossible.csv").string(), "x"));
+
+    std::error_code ec;
+    fs::remove_all(root, ec);
 }
