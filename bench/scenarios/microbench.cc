@@ -22,7 +22,9 @@
 
 #include "attack/receiver.hh"
 #include "attack/sender.hh"
+#include "attack/trial_fixture.hh"
 #include "cpu/core.hh"
+#include "sim/experiment/fixture_pool.hh"
 #include "sim/experiment/report.hh"
 #include "sim/stats.hh"
 #include "smt/smt_core.hh"
@@ -313,6 +315,45 @@ benchEndToEndAttackTrial(unsigned trials)
         trials);
 }
 
+/** Cost of standing up a full attack substrate (hierarchy + memory +
+ *  victim core + attacker + harness) from scratch — what every trial
+ *  paid before the per-worker fixture pool existed. */
+KernelResult
+benchTrialSetupFresh(unsigned trials)
+{
+    const CoreConfig core;
+    const HierarchyConfig hier = HierarchyConfig::small();
+    return measure(
+        [&](std::uint64_t n) {
+            for (std::uint64_t i = 0; i < n; ++i) {
+                AttackFixture fx(core, hier);
+                keep(fx.harness);
+            }
+            return std::uint64_t{0};
+        },
+        trials);
+}
+
+/** Cost of acquiring the same substrate through the per-worker
+ *  fixture pool: key lookup plus resetForRun() on a cached fixture.
+ *  The fresh/reuse ratio is the per-trial setup saving the sweep
+ *  runner banks on short-trial sweeps. */
+KernelResult
+benchTrialSetupReuse(unsigned trials)
+{
+    const CoreConfig core;
+    const HierarchyConfig hier = HierarchyConfig::small();
+    return measure(
+        [&](std::uint64_t n) {
+            for (std::uint64_t i = 0; i < n; ++i) {
+                AttackFixture &fx = acquireAttackFixture(core, hier);
+                keep(fx.harness);
+            }
+            return std::uint64_t{0};
+        },
+        trials);
+}
+
 struct Kernel
 {
     const char *name;
@@ -363,6 +404,8 @@ const Kernel kKernels[] = {
      }},
     {"ReceiverPrimeDecode", benchReceiverPrimeDecode},
     {"EndToEndAttackTrial", benchEndToEndAttackTrial},
+    {"TrialSetup/fresh", benchTrialSetupFresh},
+    {"TrialSetup/reuse", benchTrialSetupReuse},
 };
 
 PointResult
@@ -425,10 +468,22 @@ registerMicrobench(experiment::ScenarioRegistry &r)
     sc.cacheable = false;
     sc.columns = {"bench", "iterations", "ns_per_op",
                   "sim_cycles_per_sec"};
-    sc.sweep = [](const RunOptions &) {
+    sc.extraFlags = {{"sim-only",
+                      "1 = only the core/SMT/System simulation and "
+                      "trial-setup rows (CI perf-layout smoke)",
+                      0}};
+    sc.sweep = [](const RunOptions &opts) {
+        const bool simOnly = opts.extraOr("sim-only", 0) != 0;
         std::vector<std::string> names;
-        for (const Kernel &k : kKernels)
-            names.push_back(k.name);
+        for (const Kernel &k : kKernels) {
+            const std::string name = k.name;
+            if (simOnly &&
+                name.find("Simulation") == std::string::npos &&
+                name.find("TrialSetup") == std::string::npos) {
+                continue;
+            }
+            names.push_back(name);
+        }
         SweepSpec spec;
         spec.axis("bench", std::move(names));
         return spec;

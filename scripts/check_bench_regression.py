@@ -22,6 +22,13 @@ applied instead:
    fast-forward + arena + stats-lite) earning less over the baseline
    engine is exactly the regression this gate exists to catch.
 
+With --trajectory the run also appends its machine-normalized numbers
+(the machine-speed factor, each kernel's ratio-over-factor, and the
+raw-engine speedup pairs) to a BENCH_trajectory.json artifact. Those
+normalized medians are comparable across runners, so the artifact
+accumulates a perf trajectory of the repo over time that CI can upload
+alongside the gate result.
+
 Exit status: 0 = pass, 1 = regression, 2 = usage/data error.
 """
 
@@ -61,6 +68,42 @@ def median(values):
     return s[mid] if n % 2 else (s[mid - 1] + s[mid]) / 2.0
 
 
+def append_trajectory(path, label, factor, ratios, speedups):
+    """Append one normalized measurement to the trajectory artifact.
+
+    Each entry carries only machine-independent numbers: the median
+    current/baseline factor, each kernel's ratio normalized by that
+    factor (1.0 = moved with the suite, >1 = outpaced it), and the
+    same-machine raw-engine speedups. A corrupt or missing artifact
+    starts a fresh one rather than failing the gate.
+    """
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+        if not isinstance(doc.get("entries"), list):
+            raise ValueError("no entries list")
+    except (OSError, ValueError):
+        doc = {"schema": "specsim-bench-trajectory-v1", "entries": []}
+    doc["entries"].append({
+        "label": label,
+        "machine_factor": round(factor, 6),
+        "normalized": {k: round(r / factor, 6)
+                       for k, r in sorted(ratios.items())},
+        "raw_speedups": {k: round(v, 6)
+                         for k, v in sorted(speedups.items())},
+    })
+    try:
+        with open(path, "w") as f:
+            json.dump(doc, f, indent=1)
+            f.write("\n")
+    except OSError as e:
+        print(f"warning: cannot write trajectory {path}: {e}",
+              file=sys.stderr)
+        return
+    print(f"trajectory: appended entry '{label}' to {path} "
+          f"({len(doc['entries'])} total)")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("current", help="freshly measured BENCH json")
@@ -70,6 +113,12 @@ def main():
     ap.add_argument("--allow-missing", action="store_true",
                     help="warn (instead of error) when a measured kernel "
                          "has no baseline row")
+    ap.add_argument("--trajectory", metavar="PATH",
+                    help="append the normalized medians of this run to "
+                         "the given BENCH_trajectory.json artifact")
+    ap.add_argument("--label", default="local",
+                    help="label for the trajectory entry (e.g. a commit "
+                         "sha; default: local)")
     args = ap.parse_args()
 
     # A cache-warm measurement (specsim_bench --cache-dir replayed
@@ -129,6 +178,7 @@ def main():
               f"ratio={ratios[k]:.3f} [{status}]")
 
     # Check 2: raw-engine speedup pairs.
+    speedups = {}
     print("raw-engine speedups (kernel/raw vs kernel):")
     for k in common:
         if not k.endswith("/raw"):
@@ -138,6 +188,7 @@ def main():
             continue
         cur_sp = cur[k] / cur[sib]
         base_sp = base[k] / base[sib]
+        speedups[sib] = cur_sp
         status = "ok"
         if cur_sp < base_sp * (1.0 - args.tolerance):
             status = "REGRESSED"
@@ -146,6 +197,12 @@ def main():
                 f"{base_sp:.2f}x")
         print(f"  {sib}: cur={cur_sp:.2f}x base={base_sp:.2f}x "
               f"[{status}]")
+
+    # The trajectory records regressing runs too — a dip in the artifact
+    # is exactly the signal it exists to preserve.
+    if args.trajectory:
+        append_trajectory(args.trajectory, args.label, factor, ratios,
+                          speedups)
 
     if failures:
         print("\nperf regression detected:", file=sys.stderr)

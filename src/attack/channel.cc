@@ -10,6 +10,7 @@
 
 #include "attack/receiver.hh"
 #include "attack/sender.hh"
+#include "attack/trial_fixture.hh"
 #include "cpu/core.hh"
 #include "memory/eviction_set.hh"
 #include "memory/hierarchy.hh"
@@ -59,28 +60,31 @@ trialOverhead(const ChannelConfig &cfg, bool dcache)
     return dcache ? kDCacheTrialOverhead : kICacheTrialOverhead;
 }
 
-/** Shared fixture for one channel run. */
+/** Shared fixture for one channel run: a pooled per-worker substrate
+ *  (attack/trial_fixture.hh) plus the run-specific state — scheme,
+ *  seeded noise model, sender program. The noise pointer installed on
+ *  the victim lives only for this run; the next acquire's
+ *  resetForRun() detaches it before the pooled core is ticked again. */
 struct ChannelSystem
 {
-    Hierarchy hier;
-    MainMemory mem;
-    Core victim;
-    AttackerAgent attacker;
-    TrialHarness harness;
+    AttackFixture &fx;
     NoiseModel noise;
+    Hierarchy &hier;
+    Core &victim;
+    AttackerAgent &attacker;
+    TrialHarness &harness;
+    SenderProgram sender;
 
     ChannelSystem(const ChannelConfig &cfg, SenderParams params)
-        : hier(cfg.hier),
-          victim(cfg.core, 0, hier, mem), attacker(hier, 1),
-          harness(hier, mem, victim, attacker),
-          noise(cfg.noise, cfg.seed)
+        : fx(acquireAttackFixture(cfg.core, cfg.hier)),
+          noise(cfg.noise, cfg.seed), hier(fx.hier),
+          victim(fx.victim), attacker(fx.attacker),
+          harness(fx.harness)
     {
         victim.setScheme(makeScheme(cfg.scheme));
         victim.setNoise(&noise);
         sender = buildSender(params, hier);
     }
-
-    SenderProgram sender;
 };
 
 /** End-of-run channel counters for the metric registry. (statsLite is

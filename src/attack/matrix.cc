@@ -10,6 +10,7 @@
 #include <algorithm>
 
 #include "attack/sender.hh"
+#include "attack/trial_fixture.hh"
 #include "cpu/core.hh"
 #include "memory/hierarchy.hh"
 
@@ -112,12 +113,12 @@ evaluateCell(GadgetKind g, OrderingKind o, SchemeKind s,
     params.gadget = g;
     params.ordering = o;
 
-    Hierarchy hier(env.hier);
-    MainMemory mem;
-    Core victim(env.core, 0, hier, mem);
-    victim.setScheme(makeScheme(s));
-    AttackerAgent attacker(hier, 1);
-    TrialHarness harness(hier, mem, victim, attacker);
+    // Pooled per-worker fixture (reset to cold state); only the
+    // scheme below is cell-specific.
+    AttackFixture &fx = acquireAttackFixture(env.core, env.hier);
+    Hierarchy &hier = fx.hier;
+    TrialHarness &harness = fx.harness;
+    fx.victim.setScheme(makeScheme(s));
 
     const SenderProgram sp = buildSender(params, hier);
 

@@ -61,6 +61,11 @@ class Core
     /** Execute @p prog to completion (or maxCycles). */
     CoreStats run(const Program &prog);
 
+    /** Restore the just-constructed state (scheme, predictor, hooks)
+     *  so a pooled core can host a history-independent trial; see
+     *  PipelineEngine::resetForRun. */
+    void resetForRun() { engine_.resetForRun(); }
+
     /** Timing trace of labeled retired instructions (last run). */
     const std::vector<InstTraceEntry> &trace() const
     {

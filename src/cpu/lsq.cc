@@ -100,31 +100,32 @@ Lsq::clear()
 }
 
 DisambigResult
-Lsq::check(const DynInst &load, const Rob &rob) const
+Lsq::check(const DynInst &load, const Rob &rob,
+           const std::vector<SeqNum> &storeSeqs) const
 {
     assert(load.isLoad());
     DisambigResult res;
-    const Addr word = load.effAddr & ~static_cast<Addr>(7);
+    const Addr word = load.effAddr() & ~static_cast<Addr>(7);
 
-    // Scan older stores youngest-first so the nearest matching store
-    // provides the forwarded value.
+    // Walk the older stores oldest-first; the last (nearest) matching
+    // store provides the forwarded value.
     const DynInst *match = nullptr;
-    for (const auto &inst : rob) {
-        if (inst.seq >= load.seq)
-            break;
-        if (!inst.isStore())
-            continue;
-        if (!inst.executed()) {
+    for (const SeqNum seq : storeSeqs) {
+        if (seq >= load.seq)
+            break; // younger than the load: cannot conflict
+        const DynInst *inst = rob.find(seq);
+        assert(inst && inst->isStore());
+        if (!inst->executed()) {
             // Address (and data) not known yet: conservative stall.
             res.blocked = true;
             return res;
         }
-        if ((inst.effAddr & ~static_cast<Addr>(7)) == word)
-            match = &inst;
+        if ((inst->effAddr() & ~static_cast<Addr>(7)) == word)
+            match = inst;
     }
     if (match) {
         res.forward = true;
-        res.forwardValue = match->result;
+        res.forwardValue = match->result();
     }
     return res;
 }

@@ -73,9 +73,12 @@ class Lsq
     /**
      * Check whether @p load (already address-resolved) may issue given
      * the older stores in @p rob, and whether it can forward. @p rob
-     * must be the load's own thread's ROB.
+     * must be the load's own thread's ROB and @p storeSeqs that
+     * thread's age-sorted in-flight store list — the walk visits only
+     * stores instead of the whole window prefix below the load.
      */
-    DisambigResult check(const DynInst &load, const Rob &rob) const;
+    DisambigResult check(const DynInst &load, const Rob &rob,
+                         const std::vector<SeqNum> &storeSeqs) const;
 
     void clear();
 

@@ -49,48 +49,53 @@ CommitUnit::retire(std::vector<std::unique_ptr<ThreadContext>> &threads,
                 // point. Write intent acquires Modified ownership
                 // under the coherence model (the deferred upgrade of
                 // schemes that held it back at issue).
-                mem_.write(h.effAddr, h.result);
-                hier_.access(id_, h.effAddr, AccessType::Data, now,
+                mem_.write(h.effAddr(), h.result());
+                hier_.access(id_, h.effAddr(), AccessType::Data, now,
                              MemIntent::Write, /*train=*/false);
+                // Retirement is age-ordered, so this store is the
+                // oldest one the disambiguation list tracks.
+                assert(!th.storeSeqs.empty() &&
+                       th.storeSeqs.front() == h.seq);
+                th.storeSeqs.erase(th.storeSeqs.begin());
             }
             if (h.isLoad()) {
                 if (h.exposurePending) {
                     // The prefetcher trained (scheme permitting) when
                     // the invisible request was issued; the exposure
                     // replay must not train it a second time.
-                    hier_.access(id_, h.effAddr, AccessType::Data, now,
+                    hier_.access(id_, h.effAddr(), AccessType::Data, now,
                                  MemIntent::Read, /*train=*/false);
                     h.exposurePending = false;
                     --th.pendingVisibility;
                 }
                 if (h.deferredTouchPending) {
-                    hier_.l1DeferredTouch(id_, h.effAddr,
+                    hier_.l1DeferredTouch(id_, h.effAddr(),
                                           AccessType::Data);
                     h.deferredTouchPending = false;
                     --th.pendingVisibility;
                 }
             }
-            if (h.ifetchExposureLine != kAddrInvalid) {
-                hier_.access(id_, h.ifetchExposureLine, AccessType::Instr,
+            if (h.ifetchExposureLine() != kAddrInvalid) {
+                hier_.access(id_, h.ifetchExposureLine(), AccessType::Instr,
                              now);
             }
 
-            if (h.si.writesReg())
-                th.archRegs[h.si.dst] = h.result;
-            if (h.si.writesReg() && th.renameMap[h.si.dst] == h.seq)
-                th.renameMap[h.si.dst] = kSeqNumInvalid;
+            if (h.writesReg())
+                th.archRegs[h.si().dst] = h.result();
+            if (h.writesReg() && th.renameMap[h.si().dst] == h.seq)
+                th.renameMap[h.si().dst] = kSeqNumInvalid;
 
             rs_.release(h); // no-op unless entries are held until retire
             lsq_.release(h);
             if (h.isBranch())
                 th.checkpoints.erase(h.seq);
-            if (h.si.op == Op::Halt) {
+            if (h.isHalt()) {
                 th.haltRetired = true;
                 th.stats.cycles = now;
             }
 
             h.state = InstState::Retired;
-            h.retiredAt = now;
+            h.retiredAt() = now;
             ++th.stats.retired;
 
             if (obs::tracingEnabled() && !cfg_.statsLite) {
@@ -99,16 +104,16 @@ CommitUnit::retire(std::vector<std::unique_ptr<ThreadContext>> &threads,
                 // ROB slot.
                 obs::EventTracer::global().complete(
                     threadTraceTrack(th.tid), "inst", "pipeline",
-                    h.dispatchedAt, now - h.dispatchedAt, "pc", h.pc,
+                    h.dispatchedAt(), now - h.dispatchedAt(), "pc", h.pc(),
                     "seq", h.seq);
             }
 
             if (cfg_.recordTrace && !cfg_.statsLite &&
-                !h.si.label.empty()) {
-                th.trace.push_back({h.si.label, h.pc, h.seq,
-                                    h.dispatchedAt, h.issuedAt,
-                                    h.completeAt, h.retiredAt,
-                                    h.effAddr});
+                !h.si().label.empty()) {
+                th.trace.push_back({h.si().label, h.pc(), h.seq,
+                                    h.dispatchedAt(), h.issuedAt(),
+                                    h.completeAt, h.retiredAt(),
+                                    h.effAddr()});
             }
             th.rob.popHead();
         }
@@ -120,14 +125,14 @@ CommitUnit::wakeIfConsumer(ThreadContext &th, DynInst &inst,
                            const DynInst &producer, Tick now)
 {
     bool woke = false;
-    if (!inst.src1Ready && inst.src1Prod == producer.seq) {
+    if (!inst.src1Ready && inst.src1Prod() == producer.seq) {
         inst.src1Ready = true;
-        inst.src1Val = producer.result;
+        inst.src1Val() = producer.result();
         woke = true;
     }
-    if (!inst.src2Ready && inst.src2Prod == producer.seq) {
+    if (!inst.src2Ready && inst.src2Prod() == producer.seq) {
         inst.src2Ready = true;
-        inst.src2Val = producer.result;
+        inst.src2Val() = producer.result();
         woke = true;
     }
     if (woke) {
@@ -144,12 +149,12 @@ void
 CommitUnit::wakeConsumers(ThreadContext &th, const DynInst &producer,
                           Tick now)
 {
-    if (!producer.waiterOverflow) {
+    if (!producer.c().waiterOverflow) {
         // Wake the consumers registered at rename. Every entry is
         // re-validated (presence, state, srcProd match), so duplicates
         // and seqs reused after a squash are harmless no-ops.
-        for (unsigned i = 0; i < producer.numWaiters; ++i) {
-            DynInst *inst = th.rob.find(producer.waiters[i]);
+        for (unsigned i = 0; i < producer.c().numWaiters; ++i) {
+            DynInst *inst = th.rob.find(producer.c().waiters[i]);
             if (inst && inst->state == InstState::Dispatched)
                 wakeIfConsumer(th, *inst, producer, now);
         }
@@ -171,13 +176,13 @@ void
 CommitUnit::resolveBranch(ThreadContext &th, DynInst &br, Tick now)
 {
     assert(br.isBranch() && !br.resolved);
-    br.actualTaken = evalCond(br.si.cond, br.src1Val, br.src2Val);
-    br.mispredicted = br.actualTaken != br.predictedTaken;
+    br.actualTaken() = evalCond(br.si().cond, br.src1Val(), br.src2Val());
+    br.mispredicted() = br.actualTaken() != br.predictedTaken();
     br.resolved = true;
     --th.numUnresolvedBranches;
-    th.predictor.update(br.pc, br.actualTaken);
+    th.predictor.update(br.pc(), br.actualTaken());
     ++th.stats.branches;
-    if (br.mispredicted) {
+    if (br.mispredicted()) {
         ++th.stats.mispredicts;
         squashAfter(th, br, now);
     }
@@ -187,25 +192,63 @@ void
 CommitUnit::writeback(std::vector<std::unique_ptr<ThreadContext>> &threads,
                       Tick now)
 {
-    // Branches resolve per thread as soon as they complete; they
-    // produce no value and do not contend for CDB slots. Index-based
-    // loop: a squash removes that thread's younger entries from the
-    // deque's tail mid-iteration.
+    // One pass over each thread's inflight queue (maintained at issue,
+    // self-compacting like the ready queue) replaces the two
+    // full-window walks this stage used to make: the few Issued
+    // entries are the only ones that can complete. Within a thread,
+    // completions act in age order — branches resolve (and a
+    // mispredict squashes every younger completion) before value
+    // producers join the global CDB arbitration below. Branches
+    // produce no value and do not contend for CDB slots.
+    cands_.clear();
     for (auto &tp : threads) {
         ThreadContext &th = *tp;
         if (now < th.minWbAt)
             continue; // no Issued entry of this thread completes yet
-        for (std::size_t idx = 0; idx < th.rob.size(); ++idx) {
-            DynInst &inst = *std::next(
-                th.rob.begin(), static_cast<std::ptrdiff_t>(idx));
-            if (inst.isBranch() && inst.state == InstState::Issued &&
-                inst.completeAt <= now) {
-                inst.state = InstState::WrittenBack;
-                inst.wbAt = now;
-                ports_.releaseIfHeldBy(inst.seq, th.tid);
-                resolveBranch(th, inst, now);
-                if (inst.mispredicted)
-                    break; // this thread's younger entries are gone
+        // Recompute the thread's writeback bound while collecting: the
+        // earliest completion among Issued entries still in flight.
+        // Completed entries that lose CDB arbitration below re-arm it
+        // to now + 1. (Entries a squash below removes may be counted
+        // here — a harmlessly early bound: the next pass drops them.)
+        wbDone_.clear();
+        Tick new_min = kTickMax;
+        std::size_t keep = 0;
+        for (const SeqNum seq : th.inflightQ) {
+            DynInst *inst = th.rob.find(seq);
+            if (!inst || inst->state != InstState::Issued)
+                continue; // stale: written back, squashed, or reused
+            th.inflightQ[keep++] = seq;
+            if (inst->completeAt <= now)
+                wbDone_.push_back(inst);
+            else
+                new_min = std::min(new_min, inst->completeAt);
+        }
+        th.inflightQ.resize(keep);
+        th.minWbAt = new_min;
+        if (wbDone_.empty())
+            continue;
+        // Queue order is issue order, not age order; a squashed,
+        // reused and re-issued seq can also appear twice, resolving to
+        // the same (adjacent after the sort) instruction — acting on
+        // it twice would double-count a CDB slot.
+        std::sort(wbDone_.begin(), wbDone_.end(),
+                  [](const DynInst *a, const DynInst *b) {
+                      return a->seq < b->seq;
+                  });
+        const DynInst *prev = nullptr;
+        for (DynInst *inst : wbDone_) {
+            if (inst == prev)
+                continue; // duplicate queue entry for a reused seq
+            prev = inst;
+            if (inst->isBranch()) {
+                inst->state = InstState::WrittenBack;
+                inst->wbAt() = now;
+                ports_.releaseIfHeldBy(inst->seq, th.tid);
+                resolveBranch(th, *inst, now);
+                if (inst->mispredicted())
+                    break; // every younger completion was just squashed
+            } else {
+                cands_.emplace_back(&th, inst);
             }
         }
     }
@@ -214,26 +257,6 @@ CommitUnit::writeback(std::vector<std::unique_ptr<ThreadContext>> &threads,
     // shared cdbWidth slots in global age (dispatch-stamp) order.
     // Losing the arbitration delays the result broadcast — the CDB
     // contention channel of Fig. 1.
-    cands_.clear();
-    for (auto &tp : threads) {
-        ThreadContext &th = *tp;
-        if (now < th.minWbAt)
-            continue;
-        // Recompute the thread's writeback bound while collecting:
-        // the earliest completion among Issued entries still in
-        // flight. Completed entries that lose CDB arbitration below
-        // re-arm it to now + 1.
-        Tick new_min = kTickMax;
-        for (auto &inst : th.rob) {
-            if (inst.state != InstState::Issued)
-                continue;
-            if (!inst.isBranch() && inst.completeAt <= now)
-                cands_.emplace_back(&th, &inst);
-            else
-                new_min = std::min(new_min, inst.completeAt);
-        }
-        th.minWbAt = new_min;
-    }
     // A single thread's ROB is already in dispatch (stamp) order;
     // only a real cross-thread merge needs the sort.
     if (threads.size() > 1) {
@@ -251,7 +274,7 @@ CommitUnit::writeback(std::vector<std::unique_ptr<ThreadContext>> &threads,
             continue;
         }
         inst->state = InstState::WrittenBack;
-        inst->wbAt = now;
+        inst->wbAt() = now;
         if (inst->isLoad())
             --th->numIncompleteLoads;
         else if (inst->isStore())
@@ -290,6 +313,8 @@ CommitUnit::squashAfter(ThreadContext &th, const DynInst &br, Tick now)
         }
     }
     th.rob.squashYoungerThan(bound);
+    while (!th.storeSeqs.empty() && th.storeSeqs.back() > bound)
+        th.storeSeqs.pop_back();
     ports_.squashThread(th.tid, bound);
     mshr_.squashThread(th.tid, bound);
     th.scheme->filterSquashYoungerThan(bound);
@@ -310,14 +335,14 @@ CommitUnit::squashAfter(ThreadContext &th, const DynInst &br, Tick now)
     th.nextSeq = bound + 1;
 
     const std::uint32_t new_pc =
-        br.actualTaken ? br.si.target : br.pc + 1;
+        br.actualTaken() ? br.si().target : br.pc() + 1;
     th.frontend.redirect(new_pc, now + cfg_.squashPenalty);
     ++th.stats.squashes;
 
     if (obs::tracingEnabled() && !cfg_.statsLite) {
         obs::EventTracer::global().instant(
             threadTraceTrack(th.tid), "squash", "pipeline", now,
-            "branch_pc", br.pc, "redirect_pc", new_pc);
+            "branch_pc", br.pc(), "redirect_pc", new_pc);
     }
 }
 

@@ -15,6 +15,7 @@
 #include "sim/log.hh"
 #include "sim/obs/metrics.hh"
 #include "sim/obs/trace.hh"
+#include "spec/unsafe.hh"
 
 namespace specint
 {
@@ -106,6 +107,23 @@ PipelineEngine::contention(ThreadId tid) const
 // ---------------------------------------------------------------------
 
 void
+PipelineEngine::resetForRun()
+{
+    noise_ = nullptr;
+    cycleHook_ = nullptr;
+    // The cached trace track is only valid for one tracer arming; a
+    // reused engine re-interns on first use.
+    stallTraceTrack_ = 0;
+    for (auto &tp : threads_) {
+        tp->predictor.reset();
+        // ThreadContext::resetRun keeps the installed scheme (a run
+        // boundary is not a trial boundary); a trial boundary must
+        // restore the constructed default.
+        tp->scheme = std::make_unique<UnsafeScheme>();
+    }
+}
+
+void
 PipelineEngine::beginRun(const std::vector<const Program *> &progs)
 {
     assert(progs.size() == threads_.size());
@@ -186,6 +204,16 @@ PipelineEngine::publishMetrics()
         reg.counterAdd(t + "stalls.mshr_contended",
                        s.mshrContendedCycles);
         reg.counterAdd(t + "stalls.rs_blocked", s.rsBlockedCycles);
+        if (!cfg_.statsLite) {
+            // SoA-bank usage: allocations this run and peak occupancy
+            // against the bank's fixed capacity (reuse pressure).
+            const Rob &rob = tp->rob;
+            reg.counterAdd(t + "pool.rob.pushes", rob.pushes());
+            reg.sampleAdd(t + "pool.rob.high_water",
+                          static_cast<double>(rob.highWater()));
+            reg.sampleAdd(t + "pool.rob.capacity",
+                          static_cast<double>(rob.capacity()));
+        }
     }
     // The Hierarchy is shared by every engine of a System; publishing
     // from core 0 only keeps the shared counters single-sourced.
@@ -290,7 +318,7 @@ PipelineEngine::nextTransitionAt() const
                 !th.isSafe(inst, sh, sp)) {
                 continue;
             }
-            if (inst.si.op == Op::Fence &&
+            if (inst.isFence() &&
                 th.rob.head().seq != inst.seq) {
                 continue;
             }

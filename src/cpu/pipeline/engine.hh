@@ -103,6 +103,16 @@ class PipelineEngine
     /** Run one program per thread to completion (or maxCycles). */
     EngineRunResult run(const std::vector<const Program *> &progs);
 
+    /**
+     * Restore the engine to its just-constructed state so it can host
+     * a fresh, history-independent trial without reallocation: drops
+     * the noise model, cycle hook and any installed schemes (back to
+     * UnsafeScheme), and clears predictor state. beginRun() covers
+     * everything else (ROB/RS/LSQ/ports/MSHRs/clock). The ROB's SoA
+     * banks and the shared structures keep their storage.
+     */
+    void resetForRun();
+
     /** @name Incremental run API (the System layer's tick loop). */
     /// @{
     /** Reset the pipeline and start executing @p progs (one per

@@ -62,18 +62,7 @@ FrontUnit::dispatch(std::vector<std::unique_ptr<ThreadContext>> &threads,
         const FetchedInst &fi = th->frontend.front();
         const StaticInst &si = th->prog->at(fi.pc);
 
-        DynInst d;
-        d.seq = th->nextSeq;
-        d.tid = th->tid;
-        d.stamp = nextStamp_;
-        d.pc = fi.pc;
-        d.si = si;
-        d.dispatchedAt = now;
-        d.readyAt = now + 1;
-        d.predictedTaken = fi.predictedTaken;
-        d.ifetchExposureLine = fi.exposureLine;
-
-        if (si.isMem() && !lsq_.allocate(d)) {
+        if (si.isMem() && !lsq_.canAllocate(si, th->tid)) {
             // LQ/SQ share exhausted: this thread is done for the
             // cycle (with siblings the slot may still go to another
             // thread).
@@ -81,25 +70,39 @@ FrontUnit::dispatch(std::vector<std::unique_ptr<ThreadContext>> &threads,
             continue;
         }
 
-        th->renameSource(d, si.src1, true);
+        DynInst &stored = th->rob.allocTail(th->nextSeq);
+        stored.tid = th->tid;
+        stored.stamp = nextStamp_;
+        stored.pc() = fi.pc;
+        stored.setStaticInst(&si);
+        stored.dispatchedAt() = now;
+        stored.readyAt = now + 1;
+        stored.predictedTaken() = fi.predictedTaken;
+        stored.ifetchExposureLine() = fi.exposureLine;
+
+        if (si.isMem())
+            lsq_.allocate(stored);
+
+        th->renameSource(stored, si.src1, true);
         // Loads use src1 only as the address base; src2 is unused.
-        th->renameSource(d, si.isLoad() ? kNoReg : si.src2, false);
+        th->renameSource(stored, si.isLoad() ? kNoReg : si.src2, false);
 
         if (si.isBranch())
-            th->checkpoints[d.seq] = th->renameMap;
+            th->checkpoints[stored.seq] = th->renameMap;
         if (si.writesReg())
-            th->renameMap[si.dst] = d.seq;
+            th->renameMap[si.dst] = stored.seq;
 
-        DynInst &stored = th->rob.push(std::move(d));
         rs_.allocate(stored);
         if (stored.src1Ready && stored.src2Ready)
             th->readyQ.push_back(stored.seq);
-        if (stored.isBranch())
+        if (stored.isBranch()) {
             ++th->numUnresolvedBranches;
-        else if (stored.isLoad())
+        } else if (stored.isLoad()) {
             ++th->numIncompleteLoads;
-        else if (stored.isStore())
+        } else if (stored.isStore()) {
             ++th->numIncompleteStores;
+            th->storeSeqs.push_back(stored.seq);
+        }
         ++th->nextSeq;
         ++nextStamp_;
         th->frontend.popFront();
@@ -120,12 +123,16 @@ FrontUnit::fetch(std::vector<std::unique_ptr<ThreadContext>> &threads,
                  Tick now)
 {
     fetchCands_.resize(threads.size());
+    bool any_fetchable = false;
     for (unsigned t = 0; t < threads.size(); ++t) {
         const ThreadContext &th = *threads[t];
         fetchCands_[t].fetchable = th.frontend.canFetch(now);
+        any_fetchable |= fetchCands_[t].fetchable;
         fetchCands_[t].icount = static_cast<unsigned>(
             th.rob.size() + th.frontend.queueSize());
     }
+    if (!any_fetchable)
+        return; // pick() grants nothing and rotates no state
     const int pick = arbiter_.pick(fetchCands_);
     if (pick < 0)
         return;
@@ -133,13 +140,9 @@ FrontUnit::fetch(std::vector<std::unique_ptr<ThreadContext>> &threads,
     ++th.stats.fetchGrants;
 
     const auto ifetch = [&](Addr line) -> IFetchResult {
-        bool speculative = false;
-        for (const auto &inst : th.rob) {
-            if (inst.isBranch() && !inst.resolved) {
-                speculative = true;
-                break;
-            }
-        }
+        // The unresolved-branch counter is exactly the old whole-ROB
+        // "any unresolved branch" scan.
+        const bool speculative = th.numUnresolvedBranches > 0;
         if (th.scheme->protectsIFetch() && speculative) {
             const MemAccessResult res = hier_.accessInvisible(
                 id_, line, AccessType::Instr, now);

@@ -44,14 +44,14 @@ Scheduler::safety(std::vector<std::unique_ptr<ThreadContext>> &threads,
                 // fill happens now, when it ceases to be speculative.
                 // The prefetcher saw this load when its request went
                 // out; the exposure replay must not train it again.
-                hier_.access(id_, inst.effAddr, AccessType::Data, now,
+                hier_.access(id_, inst.effAddr(), AccessType::Data, now,
                              MemIntent::Read, /*train=*/false);
                 inst.exposurePending = false;
                 --th.pendingVisibility;
             }
             if (inst.deferredTouchPending) {
                 // DoM deferred replacement update.
-                hier_.l1DeferredTouch(id_, inst.effAddr,
+                hier_.l1DeferredTouch(id_, inst.effAddr(),
                                       AccessType::Data);
                 inst.deferredTouchPending = false;
                 --th.pendingVisibility;
@@ -63,18 +63,18 @@ Scheduler::safety(std::vector<std::unique_ptr<ThreadContext>> &threads,
 std::uint64_t
 Scheduler::execute(const DynInst &inst)
 {
-    switch (inst.si.op) {
+    switch (inst.si().op) {
       case Op::IntAlu:
-        return inst.src1Val + inst.src2Val +
-               static_cast<std::uint64_t>(inst.si.imm);
+        return inst.src1Val() + inst.src2Val() +
+               static_cast<std::uint64_t>(inst.si().imm);
       case Op::IntMul:
-        return inst.src1Val * (inst.si.src2 == kNoReg ? 1 : inst.src2Val) +
-               static_cast<std::uint64_t>(inst.si.imm);
+        return inst.src1Val() * (inst.si().src2 == kNoReg ? 1 : inst.src2Val()) +
+               static_cast<std::uint64_t>(inst.si().imm);
       case Op::FpSqrt:
       case Op::FpDiv:
         // Value semantics are irrelevant for the experiments; preserve
         // the dependency chain by passing the operand through.
-        return inst.src1Val;
+        return inst.src1Val();
       default:
         return 0;
     }
@@ -186,7 +186,7 @@ Scheduler::issue(std::vector<std::unique_ptr<ThreadContext>> &threads,
         }
 
         // Fences serialise: issue only from the ROB head.
-        if (inst.si.op == Op::Fence && th.rob.head().seq != inst.seq)
+        if (inst.isFence() && th.rob.head().seq != inst.seq)
             continue;
 
         // Scheme issue gate (fence defenses).
@@ -207,11 +207,11 @@ bool
 Scheduler::tryIssue(ThreadContext &th, DynInst &inst,
                     const ShadowInfo &sh, Tick now, NoiseModel *noise)
 {
-    const OpTraits &traits = opTraits(inst.si.op);
+    const OpTraits &traits = opTraits(inst.si().op);
     const SchedFlags flags = th.scheme->schedFlags();
     const bool speculative = sh.olderUnresolvedBranch;
 
-    int port = ports_.selectPort(inst.si.op, now);
+    int port = ports_.selectPort(inst.si().op, now);
     if (port < 0 && flags.strictAgePriority && !traits.pipelined) {
         // Advanced defense rule 2, thread-local: a younger speculative
         // instruction must never delay an older one — preempt the
@@ -226,13 +226,13 @@ Scheduler::tryIssue(ThreadContext &th, DynInst &inst,
             // The preempted instruction is re-issued later; with the
             // hold-until-retire rule its RS entry still exists.
             v->state = InstState::Dispatched;
-            v->issuedAt = kTickMax;
+            v->issuedAt() = kTickMax;
             v->completeAt = kTickMax;
             v->retryAt = now + 1;
             // Back to Dispatched with both sources still ready: a
             // candidate again from the next cycle on.
             th.readyQ.push_back(v->seq);
-            if (!v->inRs)
+            if (!v->inRs())
                 rs_.allocate(*v);
             port = p;
             break;
@@ -242,7 +242,7 @@ Scheduler::tryIssue(ThreadContext &th, DynInst &inst,
         // The per-cycle observable of the SMT port-contention channel:
         // a ready instruction denied a port a sibling occupies.
         if (smt_.numThreads > 1 &&
-            ports_.opContendedByOther(inst.si.op, th.tid, now)) {
+            ports_.opContendedByOther(inst.si().op, th.tid, now)) {
             th.portContended = true;
         }
         return false;
@@ -255,9 +255,9 @@ Scheduler::tryIssue(ThreadContext &th, DynInst &inst,
             return false;
         }
     } else if (inst.isStore()) {
-        inst.effAddr = inst.src1Val * inst.si.scale +
-                       static_cast<std::uint64_t>(inst.si.imm);
-        inst.result = inst.src2Val;
+        inst.effAddr() = inst.src1Val() * inst.si().scale +
+                       static_cast<std::uint64_t>(inst.si().imm);
+        inst.result() = inst.src2Val();
         inst.completeAt = now + traits.latency;
         // A speculative store's coherence transition (RFO) happens at
         // issue, per the scheme's declared policy: the invalidations
@@ -270,21 +270,22 @@ Scheduler::tryIssue(ThreadContext &th, DynInst &inst,
                 th.scheme->specCoherencePolicy();
             if (cp != SpecCoherencePolicy::DeferAll) {
                 inst.completeAt += hier_.specStoreUpgrade(
-                    id_, inst.effAddr, now,
+                    id_, inst.effAddr(), now,
                     cp == SpecCoherencePolicy::EagerUpgrade);
             }
         }
     } else {
-        inst.result = execute(inst);
+        inst.result() = execute(inst);
         inst.completeAt = now + traits.latency;
     }
 
-    ports_.issue(static_cast<std::uint8_t>(port), inst.si.op, now,
+    ports_.issue(static_cast<std::uint8_t>(port), inst.si().op, now,
                  inst.completeAt, inst.seq, speculative, th.tid);
-    inst.port = port;
+    inst.port() = port;
     inst.state = InstState::Issued;
+    th.inflightQ.push_back(inst.seq);
     th.minWbAt = std::min(th.minWbAt, inst.completeAt);
-    inst.issuedAt = now;
+    inst.issuedAt() = now;
     ++th.stats.issued;
     if (!th.scheme->schedFlags().holdRsUntilRetire)
         rs_.release(inst);
@@ -295,12 +296,12 @@ bool
 Scheduler::issueLoad(ThreadContext &th, DynInst &inst, bool safe,
                      bool speculative, Tick now, NoiseModel *noise)
 {
-    inst.effAddr = (inst.si.src1 == kNoReg ? 0
-                        : inst.src1Val * inst.si.scale) +
-                   static_cast<std::uint64_t>(inst.si.imm);
+    inst.effAddr() = (inst.si().src1 == kNoReg ? 0
+                        : inst.src1Val() * inst.si().scale) +
+                   static_cast<std::uint64_t>(inst.si().imm);
 
     // Memory disambiguation against this thread's own older stores.
-    const DisambigResult dis = lsq_.check(inst, th.rob);
+    const DisambigResult dis = lsq_.check(inst, th.rob, th.storeSeqs);
     if (dis.blocked) {
         inst.retryAt = now + 1;
         return false;
@@ -308,8 +309,8 @@ Scheduler::issueLoad(ThreadContext &th, DynInst &inst, bool safe,
     if (inst.loadPhase == LoadPhase::None)
         ++th.stats.loads; // count each load once, not per retry
     if (dis.forward) {
-        inst.forwarded = true;
-        inst.result = dis.forwardValue;
+        inst.forwarded() = true;
+        inst.result() = dis.forwardValue;
         inst.completeAt = now + cfg_.storeForwardLatency;
         inst.loadPhase = LoadPhase::Done;
         return true;
@@ -318,7 +319,7 @@ Scheduler::issueLoad(ThreadContext &th, DynInst &inst, bool safe,
     const SpecLoadPolicy policy =
         safe ? SpecLoadPolicy::Visible : th.scheme->specLoadPolicy();
     const Tick jitter = noise ? noise->loadJitter() : 0;
-    const Addr line = lineAlign(inst.effAddr);
+    const Addr line = lineAlign(inst.effAddr());
     const SchedFlags flags = th.scheme->schedFlags();
 
     auto need_mshr = [&](bool l1_hit) -> bool { return !l1_hit; };
@@ -344,13 +345,13 @@ Scheduler::issueLoad(ThreadContext &th, DynInst &inst, bool safe,
 
     switch (policy) {
       case SpecLoadPolicy::Visible: {
-        const bool l1_hit = hier_.l1Probe(id_, inst.effAddr,
+        const bool l1_hit = hier_.l1Probe(id_, inst.effAddr(),
                                           AccessType::Data);
         if (need_mshr(l1_hit)) {
             // Reserve the MSHR before touching any cache state; the
             // latency peek is a pure query (no bandwidth consumed).
             const MemAccessResult probe = hier_.peekLatency(
-                id_, inst.effAddr, AccessType::Data);
+                id_, inst.effAddr(), AccessType::Data);
             if (!acquire_mshr(now + probe.latency + jitter,
                               speculative)) {
                 const Tick earliest = mshr_.earliestReady(now);
@@ -363,26 +364,26 @@ Scheduler::issueLoad(ThreadContext &th, DynInst &inst, bool safe,
         // A safe load always trains the prefetcher; a speculative one
         // only under schemes whose requests leave the core.
         const MemAccessResult res = hier_.access(
-            id_, inst.effAddr, AccessType::Data, now, MemIntent::Read,
+            id_, inst.effAddr(), AccessType::Data, now, MemIntent::Read,
             safe || th.scheme->trainsPrefetcher());
         if (res.l1Hit)
             ++th.stats.loadL1Hits;
-        inst.servedBy = res.servedBy;
+        inst.servedBy() = res.servedBy;
         inst.completeAt = now + res.latency + jitter;
-        inst.result = mem_.read(inst.effAddr);
+        inst.result() = mem_.read(inst.effAddr());
         inst.loadPhase = LoadPhase::InFlight;
         return true;
       }
 
       case SpecLoadPolicy::DelayOnMiss: {
-        if (hier_.l1Probe(id_, inst.effAddr, AccessType::Data)) {
+        if (hier_.l1Probe(id_, inst.effAddr(), AccessType::Data)) {
             // Speculative L1 hit: serve the data, defer the
             // replacement-state update until the load is safe.
-            inst.servedBy = ServedBy::L1;
+            inst.servedBy() = ServedBy::L1;
             ++th.stats.loadL1Hits;
             inst.completeAt =
                 now + hier_.config().l1Latency + jitter;
-            inst.result = mem_.read(inst.effAddr);
+            inst.result() = mem_.read(inst.effAddr());
             inst.deferredTouchPending = true;
             ++th.pendingVisibility;
             inst.loadPhase = LoadPhase::InFlight;
@@ -399,10 +400,10 @@ Scheduler::issueLoad(ThreadContext &th, DynInst &inst, bool safe,
         if (policy == SpecLoadPolicy::InvisibleFilter &&
             th.scheme->filterProbe(line)) {
             // MuonTrap filter-cache hit: core-local, fast.
-            inst.servedBy = ServedBy::L1;
+            inst.servedBy() = ServedBy::L1;
             inst.completeAt =
                 now + hier_.config().l1Latency + jitter;
-            inst.result = mem_.read(inst.effAddr);
+            inst.result() = mem_.read(inst.effAddr());
             inst.exposurePending = true;
             ++th.pendingVisibility;
             inst.loadPhase = LoadPhase::InFlight;
@@ -414,7 +415,7 @@ Scheduler::issueLoad(ThreadContext &th, DynInst &inst, bool safe,
         // the load actually goes out — a denied load must not charge
         // shared-level occupancy on every retry.
         const MemAccessResult probe =
-            hier_.peekLatency(id_, inst.effAddr, AccessType::Data);
+            hier_.peekLatency(id_, inst.effAddr(), AccessType::Data);
         if (need_mshr(probe.l1Hit)) {
             // Invisible speculative misses still occupy MSHRs — the
             // pressure point G^D_MSHR exploits (Fig. 4), per-core and,
@@ -432,13 +433,13 @@ Scheduler::issueLoad(ThreadContext &th, DynInst &inst, bool safe,
         // InvisiSpec-style designs — the leak the PrefetchTraining
         // channel exploits).
         const MemAccessResult res = hier_.accessInvisible(
-            id_, inst.effAddr, AccessType::Data, now,
+            id_, inst.effAddr(), AccessType::Data, now,
             th.scheme->trainsPrefetcher());
         if (res.l1Hit)
             ++th.stats.loadL1Hits;
-        inst.servedBy = res.servedBy;
+        inst.servedBy() = res.servedBy;
         inst.completeAt = now + res.latency + jitter;
-        inst.result = mem_.read(inst.effAddr);
+        inst.result() = mem_.read(inst.effAddr());
         inst.exposurePending = true;
         ++th.pendingVisibility;
         inst.loadPhase = LoadPhase::InFlight;

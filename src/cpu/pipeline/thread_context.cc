@@ -40,6 +40,8 @@ ThreadContext::resetRun(const Program *p)
     minWbAt = 0;
     pendingVisibility = 0;
     readyQ.clear();
+    inflightQ.clear();
+    storeSeqs.clear();
     numUnresolvedBranches = 0;
     numIncompleteLoads = 0;
     numIncompleteStores = 0;
@@ -79,8 +81,8 @@ void
 ThreadContext::renameSource(DynInst &inst, RegId src, bool first)
 {
     bool *ready = first ? &inst.src1Ready : &inst.src2Ready;
-    std::uint64_t *val = first ? &inst.src1Val : &inst.src2Val;
-    SeqNum *prod = first ? &inst.src1Prod : &inst.src2Prod;
+    std::uint64_t *val = first ? &inst.src1Val() : &inst.src2Val();
+    SeqNum *prod = first ? &inst.src1Prod() : &inst.src2Prod();
 
     if (src == kNoReg) {
         *ready = true;
@@ -102,7 +104,7 @@ ThreadContext::renameSource(DynInst &inst, RegId src, bool first)
     }
     if (pi->writtenBack()) {
         *ready = true;
-        *val = pi->result;
+        *val = pi->result();
         return;
     }
     *ready = false;

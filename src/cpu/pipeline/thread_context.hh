@@ -171,6 +171,22 @@ struct ThreadContext
     unsigned numIncompleteStores = 0;
     /// @}
 
+    /** Seqs of instructions currently Issued (in flight toward
+     *  writeback), pushed at issue. A superset under the same rules as
+     *  readyQ: the writeback stage revalidates and compacts it each
+     *  pass, so entries stranded by a squash, an EU preemption or a
+     *  reused seq are dropped there. Bounds the writeback scan to the
+     *  few in-flight instructions instead of the whole window. */
+    std::vector<SeqNum> inflightQ;
+
+    /** Seqs of this thread's in-flight stores, sorted by age. Unlike
+     *  readyQ/inflightQ this list is exact, not self-compacting: a
+     *  store is appended at dispatch, dropped from the front when it
+     *  retires (retirement is age-ordered) and from the back when a
+     *  squash discards it — so disambiguating a load walks only the
+     *  older stores instead of the whole window prefix. */
+    std::vector<SeqNum> storeSeqs;
+
     /** Reset all run state and start executing @p p from its entry. */
     void resetRun(const Program *p);
 

@@ -16,7 +16,7 @@ namespace specint
 unsigned
 ReservationStation::occupancy() const
 {
-    return std::accumulate(used_.begin(), used_.end(), 0u);
+    return total_;
 }
 
 bool
@@ -27,32 +27,35 @@ ReservationStation::full(ThreadId tid) const
                partitionedShare(capacity_,
                                 static_cast<unsigned>(used_.size()));
     }
-    return occupancy() >= capacity_;
+    return total_ >= capacity_;
 }
 
 void
 ReservationStation::allocate(DynInst &inst)
 {
     assert(!full(inst.tid));
-    assert(!inst.inRs);
-    inst.inRs = true;
+    assert(!inst.inRs());
+    inst.inRs() = true;
     ++used_[inst.tid];
+    ++total_;
 }
 
 void
 ReservationStation::release(DynInst &inst)
 {
-    if (!inst.inRs)
+    if (!inst.inRs())
         return;
-    inst.inRs = false;
+    inst.inRs() = false;
     assert(used_[inst.tid] > 0);
     --used_[inst.tid];
+    --total_;
 }
 
 void
 ReservationStation::clear()
 {
     std::fill(used_.begin(), used_.end(), 0u);
+    total_ = 0;
 }
 
 } // namespace specint

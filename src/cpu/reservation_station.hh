@@ -65,6 +65,9 @@ class ReservationStation
     unsigned capacity_;
     SharingPolicy policy_;
     std::vector<unsigned> used_;
+    /** Sum of used_, maintained on allocate/release — full() runs on
+     *  every dispatch attempt and back-pressure check. */
+    unsigned total_ = 0;
 };
 
 } // namespace specint

@@ -1,26 +1,59 @@
 /**
  * @file
- * Reorder buffer implementation: bounded, arena-pooled ring with
- * contiguous sequence numbers and O(1) SeqNum lookup.
+ * Reorder buffer implementation: bounded ring over parallel hot/cold
+ * banks with contiguous sequence numbers and O(1) SeqNum lookup.
+ * Alloc/free is index arithmetic plus an in-place slot reset — no
+ * allocation on the per-instruction path.
  */
 
 #include "cpu/rob.hh"
 
 #include <cassert>
-#include <utility>
 
 namespace specint
 {
 
 DynInst &
-Rob::push(DynInst inst)
+Rob::resetSlot(std::size_t pos)
+{
+    DynInst &rec = hot_[pos];
+    DynInstCold *bank = rec.cold_;
+    rec = DynInst{};
+    rec.cold_ = bank;
+    *bank = DynInstCold{};
+    return rec;
+}
+
+DynInst &
+Rob::allocTail(SeqNum seq)
+{
+    assert(!full());
+    assert(empty() || seq == at(count_ - 1)->seq + 1);
+    DynInst &rec = resetSlot(wrap(head_ + count_));
+    rec.seq = seq;
+    ++count_;
+    ++pushes_;
+    if (count_ > highWater_)
+        highWater_ = count_;
+    return rec;
+}
+
+DynInst &
+Rob::push(const DynInst &inst)
 {
     assert(!full());
     assert(empty() || inst.seq == at(count_ - 1)->seq + 1);
-    DynInst *rec = pool_.create(std::move(inst));
-    ring_[wrap(head_ + count_)] = rec;
+    assert(inst.cold_ != nullptr);
+    DynInst &rec = hot_[wrap(head_ + count_)];
+    DynInstCold *bank = rec.cold_;
+    *bank = *inst.cold_;
+    rec = inst;
+    rec.cold_ = bank;
     ++count_;
-    return *rec;
+    ++pushes_;
+    if (count_ > highWater_)
+        highWater_ = count_;
+    return rec;
 }
 
 DynInst *
@@ -44,8 +77,6 @@ void
 Rob::popHead()
 {
     assert(!empty());
-    pool_.destroy(ring_[head_]);
-    ring_[head_] = nullptr;
     head_ = wrap(head_ + 1);
     --count_;
 }
@@ -55,9 +86,6 @@ Rob::squashYoungerThan(SeqNum bound)
 {
     unsigned n = 0;
     while (!empty() && at(count_ - 1)->seq > bound) {
-        const std::size_t tail = wrap(head_ + count_ - 1);
-        pool_.destroy(ring_[tail]);
-        ring_[tail] = nullptr;
         --count_;
         ++n;
     }
@@ -67,11 +95,10 @@ Rob::squashYoungerThan(SeqNum bound)
 void
 Rob::clear()
 {
-    pool_.reset();
-    for (auto &slot : ring_)
-        slot = nullptr;
     head_ = 0;
     count_ = 0;
+    pushes_ = 0;
+    highWater_ = 0;
 }
 
 } // namespace specint

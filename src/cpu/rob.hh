@@ -2,17 +2,23 @@
  * @file
  * Dynamic instruction record and reorder buffer.
  *
- * DynInst carries everything a dynamic instruction accumulates on its
- * way through the pipeline — renamed operands, issue/complete/writeback
- * times, memory state, and the defense-related flags (deferred
- * replacement updates, pending exposure accesses, delayed-until-safe
- * phases) that the speculation schemes manipulate.
+ * DynInst is split into a hot/cold pair banked by the ROB. The hot
+ * record is exactly one cache line and carries only the fields the
+ * per-cycle scans read — issue revalidation, oldest-instance search,
+ * CDB collection, shadow (safety) walks and the retire head check all
+ * touch `state`, the readiness bits, the tick fields and the cached
+ * kind flags. Everything an instruction accumulates at discrete
+ * pipeline events (renamed operand values, the decoded StaticInst,
+ * memory results, trace timestamps, the consumer waiter list) lives in
+ * a parallel DynInstCold bank reached through one pointer hop, touched
+ * only at dispatch/execute/writeback/retire.
  *
- * The ROB is a bounded ring of arena-pooled records with contiguous
- * sequence numbers, so lookup by SeqNum is O(1) and the per-instruction
- * alloc/free traffic of the old std::deque backing is gone.  Records
- * never move while in the ROB: stages may hold DynInst pointers across
- * the cycle (the scheduler's issue order list does).
+ * The ROB owns both banks as capacity-sized parallel arrays indexed by
+ * a dense ring slot id, with contiguous sequence numbers, so lookup by
+ * SeqNum is O(1) and pushing/popping entries is pure index arithmetic
+ * — no allocation anywhere on the per-instruction path. Records never
+ * move while in the ROB: stages may hold DynInst pointers across the
+ * cycle (the scheduler's issue order list does).
  */
 
 #ifndef SPECINT_CPU_ROB_HH
@@ -25,7 +31,6 @@
 
 #include "cpu/isa.hh"
 #include "memory/transaction.hh"
-#include "sim/arena.hh"
 #include "sim/types.hh"
 
 namespace specint
@@ -51,33 +56,59 @@ enum class LoadPhase : std::uint8_t
     Done,
 };
 
-/** One dynamic instruction. */
-struct DynInst
+/**
+ * Cold remainder of a dynamic instruction: everything touched only at
+ * discrete pipeline events, banked beside the hot record so per-cycle
+ * scans never drag these bytes through the cache.
+ */
+struct DynInstCold
 {
-    SeqNum seq = kSeqNumInvalid;
-    /** Hardware (SMT) thread this instruction belongs to. SeqNums are
-     *  per-thread; cross-thread age comparisons must use @ref stamp. */
-    ThreadId tid = 0;
-    /** Core-global dispatch order, shared by all SMT threads: the age
-     *  key for cross-thread arbitration (CDB slots, issue ports). */
-    std::uint64_t stamp = 0;
     std::uint32_t pc = 0;
-    StaticInst si;
+    /** Decoded static instruction. Points into the owning Program's
+     *  code store, which is immutable and outlives the run — the old
+     *  by-value copy (with its std::string label) is gone. */
+    const StaticInst *si = nullptr;
 
-    InstState state = InstState::Dispatched;
-
-    /** @name Renamed operands */
+    /** @name Renamed operands (written at dispatch/writeback) */
     /// @{
-    bool src1Ready = true;
-    bool src2Ready = true;
     std::uint64_t src1Val = 0;
     std::uint64_t src2Val = 0;
     SeqNum src1Prod = kSeqNumInvalid;
     SeqNum src2Prod = kSeqNumInvalid;
-    /** Earliest cycle the instruction may issue (operand readiness,
-     *  including the +1 writeback-to-issue delay). */
-    Tick readyAt = 0;
     /// @}
+
+    std::uint64_t result = 0;
+
+    /** @name Memory */
+    /// @{
+    Addr effAddr = kAddrInvalid;
+    /** Level that served this load's data (L1 until known). */
+    ServedBy servedBy = ServedBy::L1;
+    /** Load was served by store-to-load forwarding. */
+    bool forwarded = false;
+    /// @}
+
+    /** @name Branch outcome (written at execute) */
+    /// @{
+    bool predictedTaken = false;
+    bool actualTaken = false;
+    bool mispredicted = false;
+    /// @}
+
+    bool inRs = false;
+    int port = -1;
+
+    /** @name Event timestamps (trace metadata) */
+    /// @{
+    Tick dispatchedAt = 0;
+    Tick issuedAt = kTickMax;
+    Tick wbAt = kTickMax;
+    Tick retiredAt = kTickMax;
+    /// @}
+
+    /** I-fetch exposure: line whose visible fetch happens at retire
+     *  (schemes that protect the I-cache). */
+    Addr ifetchExposureLine = kAddrInvalid;
 
     /** @name Consumer waiter list
      *  Seqs of younger instructions renamed against this producer,
@@ -91,95 +122,219 @@ struct DynInst
     std::array<SeqNum, kMaxInlineWaiters> waiters{};
     std::uint8_t numWaiters = 0;
     bool waiterOverflow = false;
-
-    void
-    addWaiter(SeqNum consumer)
-    {
-        if (numWaiters < kMaxInlineWaiters)
-            waiters[numWaiters++] = consumer;
-        else
-            waiterOverflow = true;
-    }
     /// @}
+};
 
-    /** @name Execution */
-    /// @{
-    int port = -1;
-    Tick dispatchedAt = 0;
-    Tick issuedAt = kTickMax;
-    Tick completeAt = kTickMax;
-    Tick wbAt = kTickMax;
-    Tick retiredAt = kTickMax;
-    std::uint64_t result = 0;
-    bool inRs = false;
+/**
+ * One dynamic instruction — the hot record. Exactly one cache line;
+ * the cold remainder hangs off @ref cold_ (wired once by the owning
+ * Rob, or by OwnedDynInst for standalone records in unit tests).
+ */
+struct alignas(64) DynInst
+{
+    SeqNum seq = kSeqNumInvalid;
+    /** Core-global dispatch order, shared by all SMT threads: the age
+     *  key for cross-thread arbitration (CDB slots, issue ports). */
+    std::uint64_t stamp = 0;
+    /** Earliest cycle the instruction may issue (operand readiness,
+     *  including the +1 writeback-to-issue delay). */
+    Tick readyAt = 0;
     /** Next cycle a blocked load should re-attempt issue. */
     Tick retryAt = 0;
-    /// @}
+    Tick completeAt = kTickMax;
+    /** Cold bank slot of this record (never null once banked). */
+    DynInstCold *cold_ = nullptr;
 
-    /** @name Memory */
-    /// @{
-    Addr effAddr = kAddrInvalid;
-    /** Level that served this load's data (L1 until known). */
-    ServedBy servedBy = ServedBy::L1;
+    /** Hardware (SMT) thread this instruction belongs to. SeqNums are
+     *  per-thread; cross-thread age comparisons must use @ref stamp. */
+    ThreadId tid = 0;
+    InstState state = InstState::Dispatched;
     LoadPhase loadPhase = LoadPhase::None;
+    /** Instruction-kind bits cached from the StaticInst at dispatch so
+     *  the hot scans never chase @ref cold_. */
+    std::uint8_t kind_ = 0;
+
+    bool src1Ready = true;
+    bool src2Ready = true;
+    bool resolved = false;
     /** DoM: speculative L1 hit whose replacement update is deferred. */
     bool deferredTouchPending = false;
     /** InvisiSpec/SafeSpec/MuonTrap: visible exposure access pending. */
     bool exposurePending = false;
-    /** Load was served by store-to-load forwarding. */
-    bool forwarded = false;
-    /// @}
 
-    /** @name Branch */
+    enum : std::uint8_t
+    {
+        kKindLoad = 1,
+        kKindStore = 2,
+        kKindBranch = 4,
+        kKindFence = 8,
+        kKindHalt = 16,
+        kKindWritesReg = 32,
+    };
+
+    static constexpr unsigned kMaxInlineWaiters =
+        DynInstCold::kMaxInlineWaiters;
+
+    /** The cold bank slot. */
+    DynInstCold &c() { return *cold_; }
+    const DynInstCold &c() const { return *cold_; }
+
+    const StaticInst &si() const { return *cold_->si; }
+
+    /** Install the decoded instruction and cache its kind bits. */
+    void
+    setStaticInst(const StaticInst *s)
+    {
+        cold_->si = s;
+        kind_ = (s->isLoad() ? kKindLoad : 0) |
+                (s->isStore() ? kKindStore : 0) |
+                (s->isBranch() ? kKindBranch : 0) |
+                (s->op == Op::Fence ? kKindFence : 0) |
+                (s->op == Op::Halt ? kKindHalt : 0) |
+                (s->writesReg() ? kKindWritesReg : 0);
+    }
+
+    bool isLoad() const { return kind_ & kKindLoad; }
+    bool isStore() const { return kind_ & kKindStore; }
+    bool isBranch() const { return kind_ & kKindBranch; }
+    bool isFence() const { return kind_ & kKindFence; }
+    bool isHalt() const { return kind_ & kKindHalt; }
+    bool isMem() const { return kind_ & (kKindLoad | kKindStore); }
+    bool writesReg() const { return kind_ & kKindWritesReg; }
+
+    /** @name Cold-field accessors (reference-returning, so call sites
+     *  read and assign through one spelling). */
     /// @{
-    bool predictedTaken = false;
-    bool actualTaken = false;
-    bool mispredicted = false;
-    bool resolved = false;
+    std::uint32_t &pc() { return cold_->pc; }
+    std::uint32_t pc() const { return cold_->pc; }
+    std::uint64_t &src1Val() { return cold_->src1Val; }
+    std::uint64_t src1Val() const { return cold_->src1Val; }
+    std::uint64_t &src2Val() { return cold_->src2Val; }
+    std::uint64_t src2Val() const { return cold_->src2Val; }
+    SeqNum &src1Prod() { return cold_->src1Prod; }
+    SeqNum src1Prod() const { return cold_->src1Prod; }
+    SeqNum &src2Prod() { return cold_->src2Prod; }
+    SeqNum src2Prod() const { return cold_->src2Prod; }
+    std::uint64_t &result() { return cold_->result; }
+    std::uint64_t result() const { return cold_->result; }
+    Addr &effAddr() { return cold_->effAddr; }
+    Addr effAddr() const { return cold_->effAddr; }
+    ServedBy &servedBy() { return cold_->servedBy; }
+    ServedBy servedBy() const { return cold_->servedBy; }
+    bool &forwarded() { return cold_->forwarded; }
+    bool forwarded() const { return cold_->forwarded; }
+    bool &predictedTaken() { return cold_->predictedTaken; }
+    bool predictedTaken() const { return cold_->predictedTaken; }
+    bool &actualTaken() { return cold_->actualTaken; }
+    bool actualTaken() const { return cold_->actualTaken; }
+    bool &mispredicted() { return cold_->mispredicted; }
+    bool mispredicted() const { return cold_->mispredicted; }
+    bool &inRs() { return cold_->inRs; }
+    bool inRs() const { return cold_->inRs; }
+    int &port() { return cold_->port; }
+    int port() const { return cold_->port; }
+    Tick &dispatchedAt() { return cold_->dispatchedAt; }
+    Tick dispatchedAt() const { return cold_->dispatchedAt; }
+    Tick &issuedAt() { return cold_->issuedAt; }
+    Tick issuedAt() const { return cold_->issuedAt; }
+    Tick &wbAt() { return cold_->wbAt; }
+    Tick wbAt() const { return cold_->wbAt; }
+    Tick &retiredAt() { return cold_->retiredAt; }
+    Tick retiredAt() const { return cold_->retiredAt; }
+    Addr &ifetchExposureLine() { return cold_->ifetchExposureLine; }
+    Addr ifetchExposureLine() const { return cold_->ifetchExposureLine; }
     /// @}
 
-    /** I-fetch exposure: line whose visible fetch happens at retire
-     *  (schemes that protect the I-cache). */
-    Addr ifetchExposureLine = kAddrInvalid;
+    void
+    addWaiter(SeqNum consumer)
+    {
+        DynInstCold &cc = *cold_;
+        if (cc.numWaiters < DynInstCold::kMaxInlineWaiters)
+            cc.waiters[cc.numWaiters++] = consumer;
+        else
+            cc.waiterOverflow = true;
+    }
 
-    bool isLoad() const { return si.isLoad(); }
-    bool isStore() const { return si.isStore(); }
-    bool isBranch() const { return si.isBranch(); }
-
-    bool executed() const
+    bool
+    executed() const
     {
         return state == InstState::Completed ||
                state == InstState::WrittenBack ||
                state == InstState::Retired;
     }
-    bool writtenBack() const
+    bool
+    writtenBack() const
     {
         return state == InstState::WrittenBack ||
                state == InstState::Retired;
     }
 };
 
+static_assert(sizeof(DynInst) == 64,
+              "hot DynInst record must stay one cache line");
+
+/**
+ * Self-contained dynamic instruction owning its cold bank. For unit
+ * tests and tools that build standalone records outside a Rob; copies
+ * re-wire the hot record to the copy's own cold slot, so values may
+ * live in resizable containers.
+ */
+struct OwnedDynInst
+{
+    DynInstCold cold;
+    DynInst inst;
+
+    OwnedDynInst() { inst.cold_ = &cold; }
+    OwnedDynInst(const OwnedDynInst &o) : cold(o.cold), inst(o.inst)
+    {
+        inst.cold_ = &cold;
+    }
+    OwnedDynInst &
+    operator=(const OwnedDynInst &o)
+    {
+        cold = o.cold;
+        inst = o.inst;
+        inst.cold_ = &cold;
+        return *this;
+    }
+};
+
 /**
  * Reorder buffer: bounded, ordered by SeqNum, contiguous.
  *
- * Storage is an Arena<DynInst> (one chunk covering the full capacity)
- * plus a pointer ring, so entries are pool-recycled and stable in
- * memory for their whole ROB lifetime.
+ * Storage is two capacity-sized parallel arrays — hot records and
+ * their cold bank — indexed by ring slot. Entries live at fixed slots
+ * for their whole ROB lifetime (stable pointers); alloc/free is index
+ * arithmetic plus an in-place slot reset, so a run performs zero
+ * allocation after construction and the buffer is trivially reusable
+ * across runs.
  */
 class Rob
 {
   public:
     explicit Rob(unsigned capacity = 224)
-        : capacity_(capacity), pool_(capacity), ring_(capacity, nullptr)
-    {}
+        : capacity_(capacity), hot_(capacity), cold_(capacity)
+    {
+        for (unsigned i = 0; i < capacity; ++i)
+            hot_[i].cold_ = &cold_[i];
+    }
+
+    // Self-referential banks: slots point into cold_.
+    Rob(const Rob &) = delete;
+    Rob &operator=(const Rob &) = delete;
 
     unsigned capacity() const { return capacity_; }
     bool full() const { return count_ >= capacity_; }
     bool empty() const { return count_ == 0; }
     std::size_t size() const { return count_; }
 
-    /** Append at the tail. @return reference to the stored record. */
-    DynInst &push(DynInst inst);
+    /** Allocate the tail slot for @p seq, reset to a fresh record
+     *  in place (hot and cold). @return reference to the record. */
+    DynInst &allocTail(SeqNum seq);
+
+    /** Append a copy of a standalone record (tests). Copies the hot
+     *  fields and @p inst's cold bank into the tail slot. */
+    DynInst &push(const DynInst &inst);
 
     /** O(1) lookup; nullptr if the seq is not in the ROB. */
     DynInst *find(SeqNum seq);
@@ -198,8 +353,11 @@ class Rob
     unsigned squashYoungerThan(SeqNum bound);
 
     /** Age-order index (0 = oldest). */
-    DynInst *at(std::size_t i) { return ring_[wrap(head_ + i)]; }
-    const DynInst *at(std::size_t i) const { return ring_[wrap(head_ + i)]; }
+    DynInst *at(std::size_t i) { return &hot_[wrap(head_ + i)]; }
+    const DynInst *at(std::size_t i) const
+    {
+        return &hot_[wrap(head_ + i)];
+    }
 
     /** Random-access iterator over entries in age order, dereferencing
      *  to DynInst& (entries themselves never move). */
@@ -289,18 +447,31 @@ class Rob
 
     void clear();
 
+    /** @name SoA-bank usage counters (core<N>.pool.rob.* metrics) */
+    /// @{
+    /** Slots allocated since the last clear() (run boundary). */
+    std::uint64_t pushes() const { return pushes_; }
+    /** Peak occupancy since the last clear(). */
+    std::size_t highWater() const { return highWater_; }
+    /// @}
+
   private:
     std::size_t
     wrap(std::size_t i) const
     {
-        return i >= ring_.size() ? i - ring_.size() : i;
+        return i >= hot_.size() ? i - hot_.size() : i;
     }
 
+    /** Reset a slot to default-constructed hot/cold state. */
+    DynInst &resetSlot(std::size_t pos);
+
     unsigned capacity_;
-    Arena<DynInst> pool_;
-    std::vector<DynInst *> ring_;
+    std::vector<DynInst> hot_;
+    std::vector<DynInstCold> cold_;
     std::size_t head_ = 0;
     std::size_t count_ = 0;
+    std::uint64_t pushes_ = 0;
+    std::size_t highWater_ = 0;
 };
 
 } // namespace specint

@@ -506,7 +506,7 @@ Hierarchy::trainPrefetcher(const MemTransaction &txn)
         // A real transaction: fills L2/LLC, occupies slice ports and
         // shared MSHRs, appears in the C(E) trace — and is *visible*
         // even when the demand access that trained it was invisible.
-        MemTransaction &p = *txnPool_.create();
+        MemTransaction &p = *txnPool_.acquire();
         p.core = txn.core;
         p.addr = cand;
         p.type = AccessType::Data;
@@ -519,7 +519,7 @@ Hierarchy::trainPrefetcher(const MemTransaction &txn)
         ++pf.stats().issued;
         if (p.result.servedBy == ServedBy::Mem)
             ++pf.stats().llcFills;
-        txnPool_.destroy(&p);
+        txnPool_.release(&p);
     }
 }
 
@@ -527,7 +527,7 @@ MemAccessResult
 Hierarchy::access(CoreId core, Addr addr, AccessType type, Tick now,
                   MemIntent intent, bool train)
 {
-    MemTransaction &txn = *txnPool_.create();
+    MemTransaction &txn = *txnPool_.acquire();
     txn.core = core;
     txn.addr = addr;
     txn.type = type;
@@ -537,7 +537,7 @@ Hierarchy::access(CoreId core, Addr addr, AccessType type, Tick now,
     txn.train = train;
     txn.issuedAt = now;
     const MemAccessResult res = execute(txn);
-    txnPool_.destroy(&txn);
+    txnPool_.release(&txn);
     return res;
 }
 
@@ -545,7 +545,7 @@ MemAccessResult
 Hierarchy::accessInvisible(CoreId core, Addr addr, AccessType type,
                            Tick now, bool train)
 {
-    MemTransaction &txn = *txnPool_.create();
+    MemTransaction &txn = *txnPool_.acquire();
     txn.core = core;
     txn.addr = addr;
     txn.type = type;
@@ -555,7 +555,7 @@ Hierarchy::accessInvisible(CoreId core, Addr addr, AccessType type,
     txn.train = train;
     txn.issuedAt = now;
     const MemAccessResult res = execute(txn);
-    txnPool_.destroy(&txn);
+    txnPool_.release(&txn);
     return res;
 }
 
@@ -592,7 +592,7 @@ Hierarchy::peekLatency(CoreId core, Addr addr, AccessType type) const
 MemAccessResult
 Hierarchy::accessDirect(CoreId core, Addr addr, Tick now)
 {
-    MemTransaction &txn = *txnPool_.create();
+    MemTransaction &txn = *txnPool_.acquire();
     txn.core = core;
     txn.addr = addr;
     txn.type = AccessType::Data;
@@ -602,7 +602,7 @@ Hierarchy::accessDirect(CoreId core, Addr addr, Tick now)
     txn.train = false;
     txn.issuedAt = now;
     const MemAccessResult res = execute(txn);
-    txnPool_.destroy(&txn);
+    txnPool_.release(&txn);
     return res;
 }
 
@@ -670,6 +670,8 @@ Hierarchy::reset()
     cohPublished_.assign(cfg_.cores + 1, CoherenceStats{});
     pfPublished_.assign(cfg_.cores, PrefetchStats{});
     tracePublished_ = 0;
+    txnPool_.reset();
+    slabAcquiresPublished_ = 0;
     resetContention();
 }
 
@@ -707,6 +709,15 @@ Hierarchy::publishMetrics()
 
     reg.counterAdd("llc.visible_accesses",
                    publishDelta(trace_.size(), tracePublished_));
+    if (!cfg_.statsLite) {
+        reg.counterAdd("llc.txnslab.acquires",
+                       publishDelta(txnPool_.acquires(),
+                                    slabAcquiresPublished_));
+        reg.sampleAdd("llc.txnslab.high_water",
+                      static_cast<double>(txnPool_.highWater()));
+        reg.sampleAdd("llc.txnslab.capacity",
+                      static_cast<double>(txnPool_.capacity()));
+    }
     for (unsigned s = 0; s < cfg_.llcSlices; ++s) {
         // Occupancy is a point-in-time sample, not a cumulative
         // counter: record the valid-line count per slice as a

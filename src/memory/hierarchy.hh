@@ -402,9 +402,11 @@ class Hierarchy
     std::vector<Prefetcher> prefetchers_;
     /** Reused candidate buffer (no per-access allocation). */
     std::vector<Addr> prefetchCands_;
-    /** Transaction pool for the entry points and the prefetch fan-out
-     *  (nested create/destroy is fine: slots recycle LIFO). */
-    Arena<MemTransaction> txnPool_{16};
+    /** Flattened transaction slab for the entry points and the
+     *  prefetch fan-out.  Usage is strictly nested (a demand access
+     *  releases only after any prefetch transactions it spawned), so
+     *  the in-flight stack is a contiguous run of one-line records. */
+    TxnSlab<MemTransaction> txnPool_{16};
 
     /** @name Shared-level contention state */
     /// @{
@@ -439,6 +441,7 @@ class Hierarchy
     std::vector<CoherenceStats> cohPublished_;
     std::vector<PrefetchStats> pfPublished_;
     std::uint64_t tracePublished_ = 0;
+    std::uint64_t slabAcquiresPublished_ = 0;
     /// @}
 };
 

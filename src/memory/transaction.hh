@@ -28,7 +28,7 @@ namespace specint
 {
 
 /** Data vs instruction-fetch access. */
-enum class AccessType { Data, Instr };
+enum class AccessType : std::uint8_t { Data, Instr };
 
 /** Read vs write (ownership-acquiring) intent of a transaction. */
 enum class MemIntent : std::uint8_t
@@ -95,10 +95,15 @@ struct MemAccessResult
  * invisible access, direct access) and by the prefetcher layer;
  * executed by Hierarchy::execute().
  */
-struct MemTransaction
+struct alignas(64) MemTransaction
 {
-    CoreId core = 0;
+    // Request description first: the fields every level of the walk
+    // reads sit in the line's leading bytes, ahead of the result
+    // block the walk writes into.
     Addr addr = 0;
+    /** Cycle the request was issued. */
+    Tick issuedAt = 0;
+    CoreId core = 0;
     AccessType type = AccessType::Data;
     MemIntent intent = MemIntent::Read;
     TxnSource source = TxnSource::Demand;
@@ -107,12 +112,13 @@ struct MemTransaction
      *  transactions only; the issuing scheme decides for speculative
      *  requests.) */
     bool train = false;
-    /** Cycle the request was issued. */
-    Tick issuedAt = 0;
 
     /** Per-level outcomes, filled in by the walk. */
     MemAccessResult result;
 };
+
+static_assert(sizeof(MemTransaction) == 64,
+              "an in-flight transaction must stay one cache line");
 
 } // namespace specint
 

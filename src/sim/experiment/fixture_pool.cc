@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fixture-reuse switch and per-thread cache counters.
+ */
+
+#include "sim/experiment/fixture_pool.hh"
+
+#include <atomic>
+
+namespace specint::experiment
+{
+
+namespace
+{
+
+std::atomic<bool> reuseEnabled{true};
+
+} // namespace
+
+bool
+fixtureReuseEnabled()
+{
+    return reuseEnabled.load(std::memory_order_relaxed);
+}
+
+void
+setFixtureReuse(bool on)
+{
+    reuseEnabled.store(on, std::memory_order_relaxed);
+}
+
+FixtureCacheStats &
+fixtureCacheStats()
+{
+    thread_local FixtureCacheStats stats;
+    return stats;
+}
+
+} // namespace specint::experiment

@@ -73,6 +73,15 @@ System::System(SystemConfig cfg)
 }
 
 void
+System::resetForRun()
+{
+    for (auto &core : cores_)
+        core->resetForRun();
+    hier_.reset();
+    mem_.clear();
+}
+
+void
 System::beginRun(const std::vector<std::vector<const Program *>> &progs)
 {
     if (progs.size() != cores_.size()) {

@@ -98,6 +98,17 @@ class System
     SystemRunResult
     run(const std::vector<std::vector<const Program *>> &progs);
 
+    /**
+     * Restore the system to its just-constructed state — engines back
+     * to default schemes/predictors with hooks and noise detached, the
+     * hierarchy's caches/directory/prefetchers/contention state and
+     * transaction slab cleared, main memory emptied — while keeping
+     * every allocation (cache arrays, ROB SoA banks, slabs) alive.
+     * After resetForRun() a run is bit-identical to the same run on a
+     * freshly constructed System of the same config.
+     */
+    void resetForRun();
+
     /** @name Incremental run API */
     /// @{
     /** Reset every core and start the given workloads from cycle 0. */

@@ -22,6 +22,7 @@
 #include "scenarios/scenarios.hh"
 #include "sim/experiment/cli.hh"
 #include "sim/experiment/driver.hh"
+#include "sim/experiment/fixture_pool.hh"
 #include "sim/experiment/registry.hh"
 #include "sim/experiment/report.hh"
 #include "sim/experiment/runner.hh"
@@ -399,6 +400,49 @@ TEST(RegisteredScenarios, AllBenchesRegistered)
     EXPECT_EQ(reg.size(), 12u);
 }
 
+namespace
+{
+
+/** JSON with the run-metadata lines that legitimately differ between
+ *  equivalent runs removed: host timings (wall_us / cpu_us) and the
+ *  job count. Everything else must be byte-identical. */
+std::string
+redactTimings(const std::string &json)
+{
+    std::string out;
+    out.reserve(json.size());
+    std::size_t pos = 0;
+    while (pos < json.size()) {
+        std::size_t end = json.find('\n', pos);
+        if (end == std::string::npos)
+            end = json.size();
+        const std::string line = json.substr(pos, end - pos);
+        if (line.find("\"wall_us\"") == std::string::npos &&
+            line.find("\"cpu_us\"") == std::string::npos &&
+            line.find("\"jobs\"") == std::string::npos) {
+            out += line;
+            out += '\n';
+        }
+        pos = end + 1;
+    }
+    return out;
+}
+
+/** Run under an explicit fixture-reuse setting, restoring the
+ *  previous one. */
+Report
+runWithReuse(const Scenario &sc, const RunOptions &opt, bool reuse)
+{
+    const bool prev = fixtureReuseEnabled();
+    setFixtureReuse(reuse);
+    const Report rep =
+        ExperimentRunner(opt.jobs ? opt.jobs : 1).run(sc, opt);
+    setFixtureReuse(prev);
+    return rep;
+}
+
+} // namespace
+
 TEST(RegisteredScenarios, Table1ParallelMatchesSerial)
 {
     const Scenario *sc = scenarios::all().find("table1");
@@ -414,7 +458,50 @@ TEST(RegisteredScenarios, Table1ParallelMatchesSerial)
     const Report parallel = ExperimentRunner(4).run(*sc, par_opt);
 
     EXPECT_EQ(parallel.renderCsv(), serial.renderCsv());
-    EXPECT_EQ(parallel.renderJson().size(), serial.renderJson().size());
+    EXPECT_EQ(redactTimings(parallel.renderJson()),
+              redactTimings(serial.renderJson()));
+}
+
+TEST(RegisteredScenarios, Table1FixtureReuseIsByteIdentical)
+{
+    // The per-worker pooled fixture (attack/trial_fixture.hh) must be
+    // invisible in the results: a sweep over reused fixtures emits
+    // exactly the bytes a construct-per-cell sweep does, for both the
+    // serial and the work-stealing parallel paths.
+    const Scenario *sc = scenarios::all().find("table1");
+    ASSERT_NE(sc, nullptr);
+
+    RunOptions opt;
+    opt.jobs = 1;
+    const Report fresh = runWithReuse(*sc, opt, false);
+    const Report reused = runWithReuse(*sc, opt, true);
+    EXPECT_EQ(fresh.renderCsv(), reused.renderCsv());
+    EXPECT_EQ(redactTimings(fresh.renderJson()),
+              redactTimings(reused.renderJson()));
+
+    opt.jobs = 4;
+    const Report par_reused = runWithReuse(*sc, opt, true);
+    EXPECT_EQ(fresh.renderCsv(), par_reused.renderCsv());
+}
+
+TEST(RegisteredScenarios, Fig11FixtureReuseIsByteIdentical)
+{
+    // Same property for the covert-channel scenario, which exercises
+    // the pooled fixture through both channel entry points and the
+    // per-run noise/seed plumbing: per-trial seeding with reuse must
+    // match construct-per-trial exactly.
+    const Scenario *sc = scenarios::all().find("fig11");
+    ASSERT_NE(sc, nullptr);
+
+    RunOptions opt;
+    opt.jobs = 1;
+    opt.trials = 6; // short message; identity, not error rates
+    opt.seed = sc->defaultSeed;
+    const Report fresh = runWithReuse(*sc, opt, false);
+    const Report reused = runWithReuse(*sc, opt, true);
+    EXPECT_EQ(fresh.renderCsv(), reused.renderCsv());
+    EXPECT_EQ(redactTimings(fresh.renderJson()),
+              redactTimings(reused.renderJson()));
 }
 
 TEST(RegisteredScenarios, Table1ParallelSweepIsFaster)
@@ -448,7 +535,7 @@ TEST(RegisteredScenarios, SweepSizesMatchLegacyGrids)
         {"fig12", 12},   {"ablation_advanced", 5},
         {"ablation_mshr", 7}, {"ablation_rs", 6},
         {"ablation_smt", 72}, {"ablation_cross_core", 24},
-        {"microbench", 20},
+        {"microbench", 22},
     };
     for (const auto &e : expected) {
         const Scenario *sc = reg.find(e.name);
@@ -459,6 +546,23 @@ TEST(RegisteredScenarios, SweepSizesMatchLegacyGrids)
         for (const ExtraFlag &f : sc->extraFlags)
             defaults.extra[f.name] = f.defaultValue;
         EXPECT_EQ(sc->sweep(defaults).size(), e.points) << e.name;
+    }
+}
+
+TEST(RegisteredScenarios, MicrobenchSimOnlyFiltersToSimulationRows)
+{
+    const Scenario *sc = scenarios::all().find("microbench");
+    ASSERT_NE(sc, nullptr);
+    RunOptions opts;
+    opts.trials = sc->defaultTrials;
+    opts.extra["sim-only"] = 1;
+    const SweepSpec spec = sc->sweep(opts);
+    EXPECT_EQ(spec.size(), 17u); // 15 simulation + 2 trial-setup rows
+    for (const SweepPoint &pt : spec.expand()) {
+        const std::string &name = pt.at("bench");
+        EXPECT_TRUE(name.find("Simulation") != std::string::npos ||
+                    name.find("TrialSetup") != std::string::npos)
+            << name;
     }
 }
 

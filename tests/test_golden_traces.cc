@@ -263,6 +263,99 @@ systemSpec(std::uint64_t seed, Addr data_base, Addr code_base)
     return spec;
 }
 
+// ---------------------------------------------------------------------
+// Trial-reuse differential: a fixture reset with resetForRun() must be
+// indistinguishable from a freshly constructed one. The sweep runner
+// pools fixtures per worker thread (sim/experiment/fixture_pool.hh);
+// these tests pin the reset contract against the same golden rows the
+// fresh-construction tests use.
+// ---------------------------------------------------------------------
+
+TEST(ReusedFixtureGoldenTest, ReusedCoreMatchesGoldenUnderEveryVariant)
+{
+    for (const EngineVariant &v : kVariants) {
+        // One long-lived substrate per variant, reused across all 18
+        // golden points in sequence — every row must still match the
+        // numbers a fresh Core produces.
+        Hierarchy hier(variantHierConfig(v));
+        MainMemory mem;
+        Core core(variantCoreConfig(v), 0, hier, mem);
+        for (const GoldenTrace &g : kGoldenTraces) {
+            core.resetForRun();
+            hier.reset();
+            mem.clear();
+            const GeneratedWorkload wl = generateWorkload(fuzzSpec(g.seed));
+            for (const auto &[a, val] : wl.memInit)
+                mem.write(a, val);
+            core.setScheme(makeScheme(g.kind));
+            const CoreStats s = core.run(wl.prog);
+            ASSERT_TRUE(s.finished)
+                << schemeName(g.kind) << " reused " << v.name;
+            ThreadStats st;
+            st.retired = s.retired;
+            st.issued = s.issued;
+            st.squashes = s.squashes;
+            st.branches = s.branches;
+            st.mispredicts = s.mispredicts;
+            st.loads = s.loads;
+            st.loadL1Hits = s.loadL1Hits;
+            expectMatchesGolden(
+                g, st, s.cycles,
+                fnv1aRegs([&](RegId r) { return core.archReg(r); }),
+                (std::string("reused ") + v.name).c_str());
+        }
+    }
+}
+
+TEST(ReusedFixtureGoldenTest, SystemResetForRunErasesAllRunHistory)
+{
+    const GeneratedWorkload wl0 =
+        generateWorkload(systemSpec(5, 0x01000000, 0x400000));
+    const GeneratedWorkload wl1 =
+        generateWorkload(systemSpec(8, 0x02000000, 0x500000));
+
+    SystemConfig cfg;
+    cfg.numCores = 2;
+
+    auto load = [](System &sys, const GeneratedWorkload &wl) {
+        for (const auto &[a, val] : wl.memInit)
+            sys.memory().write(a, val);
+    };
+
+    // Cold reference: a fresh System running the target workloads.
+    System fresh(cfg);
+    load(fresh, wl0);
+    load(fresh, wl1);
+    const SystemRunResult want = fresh.run({{&wl0.prog}, {&wl1.prog}});
+    ASSERT_TRUE(want.finished);
+
+    // Dirty a second System with an unrelated workload pair (different
+    // seeds, footprints and address bases), then reset and rerun the
+    // target pair: predictor state, cache contents, arena/slab
+    // occupancy and memory must all have been restored.
+    const GeneratedWorkload other0 =
+        generateWorkload(systemSpec(13, 0x03000000, 0x600000));
+    const GeneratedWorkload other1 =
+        generateWorkload(systemSpec(21, 0x04000000, 0x700000));
+    System reused(cfg);
+    load(reused, other0);
+    load(reused, other1);
+    ASSERT_TRUE(reused.run({{&other0.prog}, {&other1.prog}}).finished);
+
+    reused.resetForRun();
+    load(reused, wl0);
+    load(reused, wl1);
+    const SystemRunResult got = reused.run({{&wl0.prog}, {&wl1.prog}});
+    ASSERT_TRUE(got.finished);
+    EXPECT_EQ(got.cycles, want.cycles);
+    for (unsigned c = 0; c < 2; ++c) {
+        expectThreadStatsEqual(got.cores[c].threads[0],
+                               want.cores[c].threads[0],
+                               "reused core " + std::to_string(c));
+        EXPECT_EQ(got.cores[c].cycles, want.cores[c].cycles);
+    }
+}
+
 TEST(SystemGoldenTest, FastForwardMatchesBaselineWithContentionModel)
 {
     const GeneratedWorkload wl0 =

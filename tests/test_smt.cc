@@ -233,17 +233,17 @@ TEST(SmtUnitTest, MshrSquashAndAccountingAreThreadLocal)
 TEST(SmtUnitTest, ReservationStationPartitionedVsShared)
 {
     auto make_inst = [](ThreadId tid) {
-        DynInst d;
-        d.tid = tid;
+        OwnedDynInst d;
+        d.inst.tid = tid;
         return d;
     };
 
     ReservationStation part(8, 2, SharingPolicy::Partitioned);
-    std::vector<DynInst> insts;
+    std::vector<OwnedDynInst> insts;
     insts.reserve(16);
     for (unsigned i = 0; i < 4; ++i) {
         insts.push_back(make_inst(0));
-        part.allocate(insts.back());
+        part.allocate(insts.back().inst);
     }
     EXPECT_TRUE(part.full(0));  // thread 0 exhausted its 8/2 share
     EXPECT_FALSE(part.full(1)); // thread 1's share untouched
@@ -251,11 +251,11 @@ TEST(SmtUnitTest, ReservationStationPartitionedVsShared)
     EXPECT_EQ(part.occupancyOther(1), 4u);
 
     ReservationStation shared(8, 2, SharingPolicy::Shared);
-    std::vector<DynInst> insts2;
+    std::vector<OwnedDynInst> insts2;
     insts2.reserve(16);
     for (unsigned i = 0; i < 8; ++i) {
         insts2.push_back(make_inst(0));
-        shared.allocate(insts2.back());
+        shared.allocate(insts2.back().inst);
     }
     EXPECT_TRUE(shared.full(0));
     EXPECT_TRUE(shared.full(1)); // one thread can starve the sibling
@@ -263,29 +263,34 @@ TEST(SmtUnitTest, ReservationStationPartitionedVsShared)
 
 TEST(SmtUnitTest, LsqPartitionedVsShared)
 {
+    static const StaticInst load_si = [] {
+        StaticInst s;
+        s.op = Op::Load;
+        return s;
+    }();
     auto load_inst = [](ThreadId tid) {
-        DynInst d;
-        d.tid = tid;
-        d.si.op = Op::Load;
+        OwnedDynInst d;
+        d.inst.tid = tid;
+        d.inst.setStaticInst(&load_si);
         return d;
     };
 
     Lsq part(4, 4, 2, SharingPolicy::Partitioned, SharingPolicy::Shared);
     for (unsigned i = 0; i < 2; ++i) {
-        const DynInst d = load_inst(0);
-        ASSERT_TRUE(part.allocate(d));
+        const OwnedDynInst d = load_inst(0);
+        ASSERT_TRUE(part.allocate(d.inst));
     }
     EXPECT_TRUE(part.lqFull(0));
     EXPECT_FALSE(part.lqFull(1));
 
     Lsq shared(4, 4, 2, SharingPolicy::Shared, SharingPolicy::Shared);
     for (unsigned i = 0; i < 4; ++i) {
-        const DynInst d = load_inst(0);
-        ASSERT_TRUE(shared.allocate(d));
+        const OwnedDynInst d = load_inst(0);
+        ASSERT_TRUE(shared.allocate(d.inst));
     }
     EXPECT_TRUE(shared.lqFull(1));
-    const DynInst d = load_inst(1);
-    EXPECT_FALSE(shared.allocate(d));
+    const OwnedDynInst d = load_inst(1);
+    EXPECT_FALSE(shared.allocate(d.inst));
 }
 
 TEST(SmtCoreTest, PartitionedRsProtectsSiblingFromCongestion)
