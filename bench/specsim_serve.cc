@@ -2,12 +2,14 @@
  * @file
  * `specsim_serve`: the persistent sweep-service daemon.
  *
- * Listens on a Unix-domain socket for sweep jobs (one per client
- * connection, line-delimited JSON), shards points across forked worker
- * processes, memoizes results in a content-addressed cache, and
- * streams each client its points in grid order. Clients are
- * `specsim_bench <scenario> --connect <sock>`; see
- * docs/experiments.md, "Sweep service & result cache".
+ * Listens on a Unix-domain socket and/or a TCP endpoint for sweep
+ * jobs (one per client connection, line-delimited JSON), shards
+ * points across forked worker processes, memoizes results in a
+ * content-addressed cache, and streams each client its points in grid
+ * order. Clients are `specsim_bench <scenario> --connect <endpoint>`;
+ * several TCP daemons form a fleet a single client can shard one
+ * sweep across. See docs/experiments.md, "Sweep service & result
+ * cache".
  */
 
 #include <cstdio>
@@ -27,15 +29,23 @@ usage(const char *prog, std::FILE *out)
 {
     std::fprintf(
         out,
-        "usage: %s --socket PATH [--workers N] [--cache-dir DIR]\n"
-        "  --socket PATH     Unix-domain socket to listen on "
-        "(required; created,\n"
+        "usage: %s [--socket PATH] [--tcp [HOST:]PORT]\n"
+        "       [--port-file PATH] [--workers N] [--cache-dir DIR]\n"
+        "  --socket PATH     Unix-domain socket to listen on (created,\n"
         "                    replacing any stale socket file)\n"
+        "  --tcp [HOST:]PORT TCP endpoint to listen on (HOST defaults "
+        "to 127.0.0.1;\n"
+        "                    use 0.0.0.0 to serve other hosts; PORT 0 "
+        "= ephemeral)\n"
+        "  --port-file PATH  write the bound TCP port here once "
+        "listening\n"
+        "                    (rendezvous for ephemeral ports)\n"
         "  --workers N       worker processes (default 2; 0 = one per "
         "hardware thread)\n"
         "  --cache-dir DIR   persist point results content-addressed "
         "under DIR\n"
-        "                    (shared with specsim_bench --cache-dir)\n",
+        "                    (shared with specsim_bench --cache-dir)\n"
+        "at least one of --socket / --tcp is required\n",
         prog);
 }
 
@@ -71,6 +81,10 @@ main(int argc, char **argv)
             return 0;
         } else if (arg == "--socket") {
             config.socketPath = next("--socket");
+        } else if (arg == "--tcp") {
+            config.tcpBind = next("--tcp");
+        } else if (arg == "--port-file") {
+            config.portFile = next("--port-file");
         } else if (arg == "--workers") {
             unsigned long n = 0;
             if (!parseUnsigned(next("--workers"), n) || n > 256) {
@@ -94,8 +108,9 @@ main(int argc, char **argv)
             return 2;
         }
     }
-    if (config.socketPath.empty()) {
-        std::fprintf(stderr, "error: --socket is required\n");
+    if (config.socketPath.empty() && config.tcpBind.empty()) {
+        std::fprintf(stderr,
+                     "error: need --socket and/or --tcp\n");
         usage(prog, stderr);
         return 2;
     }

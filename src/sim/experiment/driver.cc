@@ -19,6 +19,7 @@
 #include "sim/service/cache.hh"
 #include "sim/service/client.hh"
 #include "sim/service/fingerprint.hh"
+#include "sim/service/fleet.hh"
 #include "sim/stats.hh"
 
 namespace specint::experiment
@@ -271,21 +272,24 @@ runResolved(const Scenario &scenario, const RunOptions &options)
 
     Report report;
     if (!options.connectSock.empty()) {
-        // Remote path: the sweep runs on a `specsim_serve` pool; the
-        // server owns sharding, caching, and in-flight dedup.
+        // Remote path: the sweep runs on one or more `specsim_serve`
+        // daemons; each owns its sharding, caching, and in-flight
+        // dedup, and the fleet client shards/merges across them.
         if (!options.cacheDir.empty())
             std::fprintf(stderr,
                          "[service] --cache-dir is ignored with "
-                         "--connect (the server owns the cache)\n");
+                         "--connect (the daemons own their caches)\n");
         std::function<void(std::size_t, const ReportPoint &)> sink;
         if (csv.armed())
             sink = [&csv](std::size_t, const ReportPoint &p) {
                 csv.emit(p);
             };
-        const service::ClientOutcome outcome =
-            service::runJobOverSocket(
-                options.connectSock, scenario, options, report, sink,
-                [] { return g_signal != 0; });
+        const std::vector<std::string> endpoints =
+            service::parseEndpointList(options.connectSock);
+        const service::FleetOutcome outcome =
+            service::runJobOverFleet(endpoints, scenario, options,
+                                     report, sink,
+                                     [] { return g_signal != 0; });
         if (outcome.interrupted) {
             csv.finalize(false);
             std::fprintf(stderr,
@@ -302,13 +306,18 @@ runResolved(const Scenario &scenario, const RunOptions &options)
         failed_points = outcome.failedPoints;
         std::fprintf(
             stderr,
-            "[service] %s: %llu points (%llu cached, %llu executed, "
-            "%llu failed) in %.1f ms\n",
+            "[service] %s: %llu points over %zu endpoint%s (%llu "
+            "cached, %llu executed, %llu failed, %llu rebalanced, "
+            "%llu endpoint deaths) in %.1f ms\n",
             scenario.name.c_str(),
             static_cast<unsigned long long>(outcome.done.points),
+            outcome.endpointsUsed,
+            outcome.endpointsUsed == 1 ? "" : "s",
             static_cast<unsigned long long>(outcome.done.hits),
             static_cast<unsigned long long>(outcome.done.executed),
             static_cast<unsigned long long>(outcome.done.failed),
+            static_cast<unsigned long long>(outcome.done.revoked),
+            static_cast<unsigned long long>(outcome.endpointDeaths),
             static_cast<double>(report.wallUs) / 1000.0);
     } else {
         RunHooks hooks;

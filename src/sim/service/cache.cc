@@ -6,12 +6,15 @@
 
 #include "sim/service/cache.hh"
 
+#include <cerrno>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <system_error>
 
+#include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
 namespace fs = std::filesystem;
@@ -226,7 +229,21 @@ ResultCache::flushIndex(const std::string &fingerprint)
     if (!enabled_)
         return;
     // Cumulative counters: merge this handle's stats into whatever a
-    // previous run recorded, atomically like any entry.
+    // previous run recorded, atomically like any entry. The
+    // read-merge-write below is a classic lost-update race when
+    // several daemons share one --cache-dir, so it runs under an
+    // exclusive flock on a sidecar lockfile (advisory, but every
+    // writer is this code). Object files need no lock: they are
+    // content-addressed and published by rename.
+    const std::string lock_path =
+        (fs::path(dir_) / "index.lock").string();
+    const int lock_fd =
+        ::open(lock_path.c_str(), O_CREAT | O_RDWR, 0644);
+    if (lock_fd >= 0) {
+        while (::flock(lock_fd, LOCK_EX) != 0 && errno == EINTR) {
+        }
+    }
+
     std::uint64_t hits = stats_.hits, misses = stats_.misses,
                   stores = stats_.stores, corrupt = stats_.corrupt;
     const std::string index_path =
@@ -260,13 +277,19 @@ ResultCache::flushIndex(const std::string &fingerprint)
     std::error_code ec;
     {
         std::ofstream out(tmp_path, std::ios::binary);
-        if (!out)
+        if (out)
+            out << index.dump() << '\n';
+        if (!out) {
+            if (lock_fd >= 0)
+                ::close(lock_fd);
             return;
-        out << index.dump() << '\n';
+        }
     }
     fs::rename(tmp_path, index_path, ec);
     if (ec)
         fs::remove(tmp_path, ec);
+    if (lock_fd >= 0)
+        ::close(lock_fd); // releases the flock
 }
 
 } // namespace specint::service

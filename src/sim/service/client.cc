@@ -9,6 +9,9 @@
 #include <chrono>
 #include <cstring>
 
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -51,7 +54,102 @@ connectUnix(const std::string &path, std::string &error)
     return fd;
 }
 
+int
+connectTcp(const std::string &host, const std::string &port,
+           const std::string &display, std::string &error)
+{
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = AI_NUMERICSERV;
+    addrinfo *res = nullptr;
+    const int gai =
+        ::getaddrinfo(host.c_str(), port.c_str(), &hints, &res);
+    if (gai != 0) {
+        error = "cannot resolve '" + display +
+                "': " + ::gai_strerror(gai);
+        return -1;
+    }
+    int fd = -1;
+    int last_errno = 0;
+    for (addrinfo *ai = res; ai; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype,
+                      ai->ai_protocol);
+        if (fd < 0) {
+            last_errno = errno;
+            continue;
+        }
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+            break;
+        last_errno = errno;
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(res);
+    if (fd < 0) {
+        error = "cannot connect to '" + display +
+                "': " + std::strerror(last_errno);
+        return -1;
+    }
+    // Point hand-offs are single small lines; do not Nagle them.
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd;
+}
+
 } // namespace
+
+bool
+isTcpEndpoint(const std::string &endpoint, std::string &host,
+              std::string &port)
+{
+    // "HOST:PORT" with an all-digit, non-empty port is TCP; anything
+    // else is a Unix-socket path (paths may legally contain ':', but
+    // not as a trailing ":<digits>" — and an absolute path never
+    // looks like "host:1234").
+    const std::size_t colon = endpoint.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == endpoint.size())
+        return false;
+    for (std::size_t i = colon + 1; i < endpoint.size(); ++i)
+        if (endpoint[i] < '0' || endpoint[i] > '9')
+            return false;
+    if (endpoint.front() == '/' || endpoint.front() == '.')
+        return false; // explicit path stays a path
+    host = endpoint.substr(0, colon);
+    port = endpoint.substr(colon + 1);
+    return true;
+}
+
+int
+connectEndpoint(const std::string &endpoint, std::string &error)
+{
+    std::string host, port;
+    if (isTcpEndpoint(endpoint, host, port))
+        return connectTcp(host, port, endpoint, error);
+    return connectUnix(endpoint, error);
+}
+
+bool
+helloCompatible(const Json &hello, std::string &error)
+{
+    const std::uint64_t protocol = hello.getU64("protocol", 1);
+    // A v1 server advertised only "protocol"; treat that as a
+    // single-version range.
+    const std::uint64_t min_protocol =
+        hello.getU64("min_protocol", protocol);
+    if (kProtocolVersion < min_protocol ||
+        kProtocolVersion > protocol) {
+        error = "protocol mismatch: daemon accepts v" +
+                std::to_string(min_protocol) + "..v" +
+                std::to_string(protocol) +
+                ", this client speaks v" +
+                std::to_string(kProtocolVersion) +
+                " — upgrade the older side";
+        return false;
+    }
+    return true;
+}
 
 ClientOutcome
 runJobOverSocket(
@@ -86,7 +184,7 @@ runJobOverSocket(
     for (std::size_t i = 0; i < points.size(); ++i)
         report.points[i].point = points[i];
 
-    const int fd = connectUnix(sock_path, outcome.error);
+    const int fd = connectEndpoint(sock_path, outcome.error);
     if (fd < 0)
         return outcome;
 
@@ -114,12 +212,7 @@ runJobOverSocket(
         }
         const std::string type = msg.getStr("type");
         if (type == "hello") {
-            const std::uint64_t protocol = msg.getU64("protocol");
-            if (protocol != kProtocolVersion) {
-                outcome.error =
-                    "protocol mismatch: server speaks v" +
-                    std::to_string(protocol) + ", client v" +
-                    std::to_string(kProtocolVersion);
+            if (!helloCompatible(msg, outcome.error)) {
                 ::close(fd);
                 return outcome;
             }

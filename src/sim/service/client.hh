@@ -42,6 +42,28 @@ struct ClientOutcome
 };
 
 /**
+ * Classify an endpoint spec: "HOST:PORT" (non-empty all-digit port,
+ * not an explicit "/"- or "."-prefixed path) is TCP — host/port are
+ * filled in — anything else is a Unix-socket path.
+ */
+bool isTcpEndpoint(const std::string &endpoint, std::string &host,
+                   std::string &port);
+
+/**
+ * Connect (blocking) to a daemon endpoint — Unix-socket path or
+ * "HOST:PORT" (TCP_NODELAY set). Returns the fd, or -1 with @p error
+ * filled.
+ */
+int connectEndpoint(const std::string &endpoint, std::string &error);
+
+/**
+ * Check a decoded "hello" against this client's protocol version.
+ * False (with an actionable one-line @p error) when this client falls
+ * outside the server's advertised [min_protocol, protocol] range.
+ */
+bool helloCompatible(const Json &hello, std::string &error);
+
+/**
  * Submit @p scenario under @p options to the server at @p sock_path
  * and assemble @p report from the streamed points.
  *

@@ -1,0 +1,706 @@
+/**
+ * @file
+ * Fleet client implementation: weighted sharding, straggler stealing,
+ * bounded-backoff failover, globally ordered merge.
+ */
+
+#include "sim/service/fleet.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <memory>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "sim/service/client.hh"
+
+namespace specint::service
+{
+
+using experiment::Report;
+using experiment::ReportPoint;
+using experiment::RunOptions;
+using experiment::Scenario;
+using experiment::SweepPoint;
+using Clock = std::chrono::steady_clock;
+
+namespace
+{
+
+/** Reconnect schedule: 100ms · 2^attempt, capped, bounded count. */
+constexpr int kBackoffBaseMs = 100;
+constexpr int kBackoffCapMs = 1600;
+constexpr unsigned kMaxReconnects = 5;
+/** Handshake (connect → hello) patience. */
+constexpr int kHelloTimeoutMs = 5000;
+/** After the last point resolves, how long to wait for straggler
+ *  "done" stats before giving up on them. */
+constexpr int kDrainTimeoutMs = 2000;
+
+std::uint64_t
+elapsedUs(Clock::time_point start)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - start)
+            .count());
+}
+
+/** One daemon the fleet knows about (may be temporarily down). */
+struct Endpoint
+{
+    std::string spec;
+    unsigned workers = 1;
+    bool alive = false;
+    /** Server-level refusal (error message): never retried. */
+    bool banned = false;
+    /** Handshaken fd not yet owned by a channel (an endpoint whose
+     *  initial partition was empty parks its connection here). */
+    int fd = -1;
+    unsigned reconnects = 0;
+    Clock::time_point nextRetry{};
+    bool served = false;
+};
+
+/** One connection == one subset job on one endpoint. */
+struct Channel
+{
+    std::size_t ep = 0;
+    int fd = -1;
+    LineBuffer rx;
+    /** Unresolved grid indices this channel owns. */
+    std::vector<std::size_t> outstanding;
+    bool done = false;
+    bool dead = false;
+    /** A revoke is in flight; its reply routes to @ref thief. */
+    bool revokePending = false;
+    /** Last revoke came back empty — everything left is running. */
+    bool stealDry = false;
+    std::size_t thief = 0;
+};
+
+/**
+ * Read one '\n'-terminated line from a blocking fd with a deadline
+ * (the hello handshake; per protocol the server sends nothing else
+ * until we submit a job, so nothing beyond the line is in flight).
+ */
+bool
+readLineTimeout(int fd, std::string &line, int timeout_ms,
+                std::string &error)
+{
+    std::string buf;
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (true) {
+        const std::size_t nl = buf.find('\n');
+        if (nl != std::string::npos) {
+            line.assign(buf, 0, nl);
+            return true;
+        }
+        const Clock::time_point now = Clock::now();
+        if (now >= deadline) {
+            error = "timed out waiting for hello";
+            return false;
+        }
+        const int remain = static_cast<int>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - now)
+                .count());
+        pollfd p{fd, POLLIN, 0};
+        const int r = ::poll(&p, 1, std::max(1, remain));
+        if (r < 0 && errno != EINTR) {
+            error = "poll failed during handshake";
+            return false;
+        }
+        if (r <= 0)
+            continue;
+        char chunk[512];
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            error = "connection closed during handshake";
+            return false;
+        }
+        buf.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+/**
+ * Connect to @p spec and consume its hello. Returns the fd (workers
+ * filled in), or -1: transport failure (error set, retryable) —
+ * unless @p proto_fatal, a version mismatch the whole run must abort
+ * on.
+ */
+int
+handshake(const std::string &spec, unsigned &workers,
+          std::string &error, bool &proto_fatal)
+{
+    proto_fatal = false;
+    const int fd = connectEndpoint(spec, error);
+    if (fd < 0)
+        return -1;
+    std::string line;
+    if (!readLineTimeout(fd, line, kHelloTimeoutMs, error)) {
+        error = "'" + spec + "': " + error;
+        ::close(fd);
+        return -1;
+    }
+    Json msg;
+    if (!Json::parse(line, msg) || !msg.isObj() ||
+        msg.getStr("type") != "hello") {
+        error = "'" + spec + "': malformed hello";
+        ::close(fd);
+        return -1;
+    }
+    if (!helloCompatible(msg, error)) {
+        error = "'" + spec + "': " + error;
+        proto_fatal = true;
+        ::close(fd);
+        return -1;
+    }
+    workers = static_cast<unsigned>(
+        std::max<std::uint64_t>(1, msg.getU64("workers", 1)));
+    return fd;
+}
+
+int
+backoffMs(unsigned attempt)
+{
+    int ms = kBackoffBaseMs;
+    for (unsigned i = 0; i < attempt && ms < kBackoffCapMs; ++i)
+        ms *= 2;
+    return std::min(ms, kBackoffCapMs);
+}
+
+} // namespace
+
+std::vector<std::string>
+parseEndpointList(const std::string &spec)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        const std::size_t comma = spec.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? spec.size() : comma;
+        if (end > start)
+            out.push_back(spec.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+FleetOutcome
+runJobOverFleet(
+    const std::vector<std::string> &endpoint_specs,
+    const Scenario &scenario, const RunOptions &options,
+    Report &report,
+    const std::function<void(std::size_t, const ReportPoint &)>
+        &on_ordered,
+    const std::function<bool()> &cancelled)
+{
+    const Clock::time_point start = Clock::now();
+    FleetOutcome outcome;
+
+    const experiment::SweepSpec sweep =
+        scenario.sweep ? scenario.sweep(options)
+                       : experiment::SweepSpec{};
+    const std::vector<SweepPoint> points = sweep.expand();
+    const std::size_t N = points.size();
+
+    report = Report{};
+    report.scenario = scenario.name;
+    report.columns = scenario.columns;
+    report.jobs = 1; // presentation: the daemons own the real pools
+    report.trials = options.trials;
+    report.seed = options.seed;
+    report.cacheEnabled = true;
+    report.points.resize(N);
+    for (std::size_t i = 0; i < N; ++i)
+        report.points[i].point = points[i];
+
+    const JobSpec job = JobSpec::fromOptions(scenario.name, options);
+
+    std::vector<Endpoint> endpoints;
+    for (const std::string &spec : endpoint_specs)
+        if (!spec.empty()) {
+            Endpoint ep;
+            ep.spec = spec;
+            endpoints.push_back(std::move(ep));
+        }
+    if (endpoints.empty()) {
+        outcome.error = "no endpoints given";
+        return outcome;
+    }
+
+    std::vector<std::unique_ptr<Channel>> channels;
+    std::vector<char> resolved(N, 0);
+    std::size_t resolvedCount = 0;
+    std::size_t emitNext = 0;
+    std::deque<std::size_t> orphans; // points needing a new home
+    std::string lastError;
+
+    auto closeAll = [&]() {
+        for (auto &ch : channels)
+            if (ch->fd >= 0)
+                ::close(ch->fd);
+        channels.clear();
+        for (Endpoint &ep : endpoints)
+            if (ep.fd >= 0) {
+                ::close(ep.fd);
+                ep.fd = -1;
+            }
+    };
+
+    // --- Phase 1: handshake every endpoint (weights come from hello,
+    // so the split cannot happen before this). A refused connect is a
+    // failover case, not an error; a protocol mismatch aborts.
+    for (Endpoint &ep : endpoints) {
+        bool proto_fatal = false;
+        std::string err;
+        ep.fd = handshake(ep.spec, ep.workers, err, proto_fatal);
+        if (ep.fd >= 0) {
+            ep.alive = true;
+            continue;
+        }
+        if (proto_fatal) {
+            outcome.error = err;
+            closeAll();
+            return outcome;
+        }
+        lastError = err;
+        ep.nextRetry = Clock::now() + std::chrono::milliseconds(
+                                          backoffMs(ep.reconnects));
+        ++ep.reconnects;
+    }
+    std::size_t aliveCount = 0;
+    unsigned totalWorkers = 0;
+    for (const Endpoint &ep : endpoints)
+        if (ep.alive) {
+            ++aliveCount;
+            totalWorkers += ep.workers;
+        }
+    if (aliveCount == 0) {
+        outcome.error = "no endpoint reachable: " + lastError;
+        return outcome;
+    }
+
+    // Submit a subset job on an endpoint, reusing its parked fd or
+    // opening a fresh connection. False = the endpoint just died; its
+    // points go back to the orphan queue.
+    auto openChannel = [&](std::size_t ep_index,
+                           std::vector<std::size_t> subset) -> bool {
+        Endpoint &ep = endpoints[ep_index];
+        std::sort(subset.begin(), subset.end());
+        int fd = ep.fd;
+        ep.fd = -1;
+        if (fd < 0) {
+            bool proto_fatal = false;
+            std::string err;
+            fd = handshake(ep.spec, ep.workers, err, proto_fatal);
+            if (fd < 0) {
+                lastError = err;
+                return false;
+            }
+        }
+        if (!writeLine(fd, makeJobMsg(job, subset).dump())) {
+            lastError = "'" + ep.spec + "': job submission failed";
+            ::close(fd);
+            return false;
+        }
+        auto ch = std::make_unique<Channel>();
+        ch->ep = ep_index;
+        ch->fd = fd;
+        ch->outstanding = std::move(subset);
+        ep.served = true;
+        channels.push_back(std::move(ch));
+        return true;
+    };
+
+    auto markEndpointDown = [&](std::size_t ep_index, bool ban) {
+        Endpoint &ep = endpoints[ep_index];
+        ep.alive = false;
+        if (ep.fd >= 0) {
+            ::close(ep.fd);
+            ep.fd = -1;
+        }
+        if (ban)
+            ep.banned = true;
+        else {
+            ep.nextRetry =
+                Clock::now() + std::chrono::milliseconds(
+                                   backoffMs(ep.reconnects));
+            ++ep.reconnects;
+        }
+    };
+
+    // A channel's transport died (or the server refused it): its
+    // unresolved points are orphaned for reassignment — the daemon
+    // cannot complete them anymore, so re-executing elsewhere keeps
+    // exactly-once intact.
+    auto channelDead = [&](Channel &ch, bool ban) {
+        if (ch.dead)
+            return;
+        ch.dead = true;
+        if (ch.fd >= 0) {
+            ::close(ch.fd);
+            ch.fd = -1;
+        }
+        if (!ch.done && !ch.outstanding.empty()) {
+            ++outcome.endpointDeaths;
+            std::fprintf(stderr,
+                         "[fleet] endpoint '%s' lost with %zu points "
+                         "outstanding; reassigning\n",
+                         endpoints[ch.ep].spec.c_str(),
+                         ch.outstanding.size());
+            for (std::size_t i : ch.outstanding)
+                orphans.push_back(i);
+            ch.outstanding.clear();
+        }
+        markEndpointDown(ch.ep, ban);
+    };
+
+    // --- Phase 2: weighted contiguous split across live endpoints.
+    {
+        std::size_t next = 0;
+        unsigned cumw = 0;
+        for (std::size_t e = 0; e < endpoints.size(); ++e) {
+            if (!endpoints[e].alive)
+                continue;
+            cumw += endpoints[e].workers;
+            const std::size_t end =
+                static_cast<std::size_t>(N) * cumw / totalWorkers;
+            std::vector<std::size_t> subset;
+            for (std::size_t i = next; i < end; ++i)
+                subset.push_back(i);
+            next = end;
+            if (subset.empty())
+                continue; // parked fd; joins via stealing
+            if (!openChannel(e, subset)) {
+                for (std::size_t i : subset)
+                    orphans.push_back(i);
+                markEndpointDown(e, false);
+            }
+        }
+    }
+
+    auto totalOutstanding = [&](std::size_t ep_index) {
+        std::size_t n = 0;
+        for (const auto &ch : channels)
+            if (!ch->dead && ch->ep == ep_index)
+                n += ch->outstanding.size();
+        return n;
+    };
+
+    // Resolve one streamed point into the report + ordered frontier.
+    auto resolvePoint = [&](PointMsg &&point) {
+        if (point.index >= N || resolved[point.index])
+            return; // duplicate (late arrival after failover)
+        resolved[point.index] = 1;
+        ++resolvedCount;
+        ReportPoint &slot = report.points[point.index];
+        if (point.failed) {
+            ++outcome.failedPoints;
+            std::fprintf(stderr, "[fleet] point %zu failed: %s\n",
+                         point.index, point.error.c_str());
+        } else {
+            slot.rows = std::move(point.rows);
+            slot.legacy = std::move(point.legacy);
+            slot.durationUs = point.durationUs;
+            slot.done = true;
+            if (point.cached)
+                ++report.cacheHits;
+            else
+                ++report.cacheMisses;
+        }
+        while (emitNext < N && resolved[emitNext]) {
+            if (report.points[emitNext].done && on_ordered)
+                on_ordered(emitNext, report.points[emitNext]);
+            ++emitNext;
+        }
+    };
+
+    auto handleLine = [&](Channel &ch, const std::string &line) {
+        Json msg;
+        if (!Json::parse(line, msg) || !msg.isObj())
+            return; // unknown chatter; drop
+        const std::string type = msg.getStr("type");
+        if (type == "point") {
+            PointMsg point;
+            if (!decodePointMsg(msg, point))
+                return;
+            ch.outstanding.erase(
+                std::remove(ch.outstanding.begin(),
+                            ch.outstanding.end(), point.index),
+                ch.outstanding.end());
+            resolvePoint(std::move(point));
+            return;
+        }
+        if (type == "revoked") {
+            std::vector<std::size_t> indices;
+            if (!decodeRevokedMsg(msg, indices))
+                return;
+            const std::size_t thief = ch.thief;
+            ch.revokePending = false;
+            if (indices.empty()) {
+                ch.stealDry = true;
+                return;
+            }
+            for (std::size_t i : indices)
+                ch.outstanding.erase(
+                    std::remove(ch.outstanding.begin(),
+                                ch.outstanding.end(), i),
+                    ch.outstanding.end());
+            if (thief < endpoints.size() &&
+                endpoints[thief].alive) {
+                if (!openChannel(thief, indices))
+                    markEndpointDown(thief, false);
+                else
+                    return;
+            }
+            // Thief vanished meanwhile: points need a new home.
+            for (std::size_t i : indices)
+                orphans.push_back(i);
+            return;
+        }
+        if (type == "done") {
+            DoneMsg done;
+            if (decodeDoneMsg(msg, done)) {
+                outcome.done.hits += done.hits;
+                outcome.done.executed += done.executed;
+                outcome.done.failed += done.failed;
+                outcome.done.revoked += done.revoked;
+            }
+            ch.done = true;
+            if (ch.fd >= 0) {
+                ::close(ch.fd);
+                ch.fd = -1;
+            }
+            return;
+        }
+        if (type == "error") {
+            lastError = "'" + endpoints[ch.ep].spec +
+                        "': " + msg.getStr("message", "server error");
+            std::fprintf(stderr, "[fleet] %s\n", lastError.c_str());
+            channelDead(ch, true); // server refused; do not retry
+            return;
+        }
+        // hello and unknown types: ignore (forward compatibility).
+    };
+
+    // --- Main loop: merge streams, home orphans, steal for idle
+    // endpoints, retry dead ones.
+    Clock::time_point drainDeadline{};
+    while (true) {
+        if (cancelled && cancelled()) {
+            outcome.interrupted = true;
+            report.interrupted = true;
+            outcome.error = "interrupted while waiting for results";
+            closeAll();
+            return outcome;
+        }
+
+        // Sweep channels that are finished or dead.
+        channels.erase(
+            std::remove_if(channels.begin(), channels.end(),
+                           [](const std::unique_ptr<Channel> &c) {
+                               return c->dead ||
+                                      (c->done && c->fd < 0);
+                           }),
+            channels.end());
+
+        if (resolvedCount == N) {
+            // All results are in; linger briefly for straggler done
+            // stats, then stop.
+            if (channels.empty())
+                break;
+            if (drainDeadline == Clock::time_point{})
+                drainDeadline =
+                    Clock::now() +
+                    std::chrono::milliseconds(kDrainTimeoutMs);
+            else if (Clock::now() >= drainDeadline)
+                break;
+        }
+
+        // Reconnect endpoints whose backoff expired (only while they
+        // could still be useful).
+        if (resolvedCount < N) {
+            for (std::size_t e = 0; e < endpoints.size(); ++e) {
+                Endpoint &ep = endpoints[e];
+                if (ep.alive || ep.banned ||
+                    ep.reconnects > kMaxReconnects ||
+                    Clock::now() < ep.nextRetry)
+                    continue;
+                bool proto_fatal = false;
+                std::string err;
+                ep.fd = handshake(ep.spec, ep.workers, err,
+                                  proto_fatal);
+                if (ep.fd >= 0) {
+                    ep.alive = true;
+                    std::fprintf(stderr,
+                                 "[fleet] endpoint '%s' is back\n",
+                                 ep.spec.c_str());
+                    // Recovered daemons start fresh steals.
+                    for (auto &ch : channels)
+                        ch->stealDry = false;
+                } else {
+                    lastError = err;
+                    if (proto_fatal)
+                        ep.banned = true;
+                    ep.nextRetry =
+                        Clock::now() +
+                        std::chrono::milliseconds(
+                            backoffMs(ep.reconnects));
+                    ++ep.reconnects;
+                }
+            }
+        }
+
+        // Home orphaned points on the least-loaded live endpoint.
+        if (!orphans.empty()) {
+            std::size_t best = endpoints.size();
+            double bestLoad = 0;
+            for (std::size_t e = 0; e < endpoints.size(); ++e) {
+                if (!endpoints[e].alive)
+                    continue;
+                const double load =
+                    static_cast<double>(totalOutstanding(e)) /
+                    endpoints[e].workers;
+                if (best == endpoints.size() || load < bestLoad) {
+                    best = e;
+                    bestLoad = load;
+                }
+            }
+            if (best < endpoints.size()) {
+                std::vector<std::size_t> subset(orphans.begin(),
+                                                orphans.end());
+                orphans.clear();
+                if (!openChannel(best, subset)) {
+                    for (std::size_t i : subset)
+                        orphans.push_back(i);
+                    markEndpointDown(best, false);
+                }
+            } else {
+                bool retriable = false;
+                for (const Endpoint &ep : endpoints)
+                    if (!ep.banned &&
+                        ep.reconnects <= kMaxReconnects)
+                        retriable = true;
+                if (!retriable) {
+                    outcome.error =
+                        "all endpoints failed: " + lastError;
+                    closeAll();
+                    return outcome;
+                }
+            }
+        }
+
+        // Straggler rebalancing: an idle live endpoint steals from
+        // the busiest victim that still has revocable work.
+        for (std::size_t e = 0; e < endpoints.size(); ++e) {
+            if (!endpoints[e].alive || totalOutstanding(e) != 0)
+                continue;
+            Channel *victim = nullptr;
+            for (auto &ch : channels) {
+                if (ch->dead || ch->done || ch->ep == e ||
+                    ch->revokePending || ch->stealDry ||
+                    ch->outstanding.size() < 2)
+                    continue;
+                if (!victim || ch->outstanding.size() >
+                                   victim->outstanding.size())
+                    victim = ch.get();
+            }
+            if (!victim)
+                continue;
+            if (!writeLine(victim->fd,
+                           makeRevokeMsg(victim->outstanding.size() /
+                                         2)
+                               .dump())) {
+                channelDead(*victim, false);
+                continue;
+            }
+            victim->revokePending = true;
+            victim->thief = e;
+        }
+
+        // Wait for traffic.
+        std::vector<pollfd> fds;
+        for (const auto &ch : channels)
+            if (ch->fd >= 0)
+                fds.push_back({ch->fd, POLLIN, 0});
+        if (fds.empty()) {
+            if (resolvedCount == N)
+                break;
+            // Nothing connected: sleep a tick so backoff can expire.
+            ::poll(nullptr, 0, 50);
+            continue;
+        }
+        const int ready =
+            ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 100);
+        if (ready < 0 && errno != EINTR) {
+            outcome.error = "poll failed";
+            closeAll();
+            return outcome;
+        }
+        if (ready <= 0)
+            continue;
+
+        for (const pollfd &p : fds) {
+            if (!(p.revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            Channel *ch = nullptr;
+            for (auto &c : channels)
+                if (c->fd == p.fd) {
+                    ch = c.get();
+                    break;
+                }
+            if (!ch)
+                continue;
+            char chunk[65536];
+            const ssize_t n = ::read(ch->fd, chunk, sizeof(chunk));
+            if (n <= 0) {
+                if (n < 0 && (errno == EINTR || errno == EAGAIN))
+                    continue;
+                if (ch->done) {
+                    // Orderly close after done.
+                    ::close(ch->fd);
+                    ch->fd = -1;
+                } else {
+                    channelDead(*ch, false);
+                }
+                continue;
+            }
+            ch->rx.feed(chunk, static_cast<std::size_t>(n));
+            std::string line;
+            while (!ch->dead && ch->rx.next(line))
+                handleLine(*ch, line);
+        }
+    }
+
+    closeAll();
+
+    if (resolvedCount != N) {
+        outcome.error = lastError.empty()
+                            ? "fleet run incomplete"
+                            : lastError;
+        return outcome;
+    }
+
+    outcome.done.points = N;
+    outcome.done.wallUs = elapsedUs(start);
+    report.wallUs = outcome.done.wallUs;
+    for (const Endpoint &ep : endpoints)
+        if (ep.served)
+            ++outcome.endpointsUsed;
+    outcome.ok = true;
+    return outcome;
+}
+
+} // namespace specint::service

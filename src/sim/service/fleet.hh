@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Fleet client: shard one sweep job across several `specsim_serve`
+ * daemons (Unix-socket or TCP endpoints) and merge the streams back
+ * into the one Report a serial run would produce.
+ *
+ * `specsim_bench <scenario> --connect ep1,ep2,...` runs this instead
+ * of the single-socket client. The sharding protocol (all protocol v2,
+ * see wire.hh):
+ *
+ * - **Weighted split.** Each endpoint's `hello` advertises its worker
+ *   count; the expanded grid is partitioned contiguously in proportion
+ *   (one connection == one subset job per endpoint).
+ * - **Exactly-once fleet-wide.** Partitions are disjoint, stolen and
+ *   reassigned points move between endpoints without overlap, and a
+ *   late duplicate result is dropped — so a point executes on exactly
+ *   one daemon per job (each daemon still keeps its own result cache,
+ *   so repeat sweeps hit locally).
+ * - **Straggler rebalancing.** An endpoint that finishes its shard
+ *   steals from the busiest one: the client sends "revoke" on the
+ *   victim's connection, the server hands back up to half of its
+ *   not-yet-started points (tail first), and the thief gets them as a
+ *   fresh subset job.
+ * - **Failover.** A dead endpoint (connection drop, SIGKILL, refused
+ *   connect) has its unresolved points reassigned to the survivors,
+ *   and is retried with bounded exponential backoff; a recovered
+ *   endpoint rejoins via the stealing path. Results already streamed
+ *   are never lost, and because point execution is deterministic, the
+ *   merged output stays byte-identical to a cold serial run.
+ * - **Ordered merge.** Each daemon streams its subset in grid order;
+ *   the client holds a global frontier and invokes the ordered sink
+ *   (CSV streaming) strictly in grid order across the whole fleet.
+ */
+
+#ifndef SPECINT_SIM_SERVICE_FLEET_HH
+#define SPECINT_SIM_SERVICE_FLEET_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/experiment/report.hh"
+#include "sim/experiment/scenario.hh"
+#include "sim/service/wire.hh"
+
+namespace specint::service
+{
+
+/** Outcome of one fleet job. */
+struct FleetOutcome
+{
+    /** Every grid point resolved (some may have failed). */
+    bool ok = false;
+    /** Set when !ok: connect/protocol/server error text. */
+    std::string error;
+    /** True when the local SIGINT/SIGTERM check cancelled the wait. */
+    bool interrupted = false;
+    /** Aggregated across all daemons; points = grid size, revoked =
+     *  total points moved by stealing/failover. */
+    DoneMsg done;
+    /** Points some daemon reported as failed (their Report slots stay
+     *  empty with done=false). */
+    std::uint64_t failedPoints = 0;
+    /** Endpoint connections lost mid-job (each triggered failover). */
+    std::uint64_t endpointDeaths = 0;
+    /** Endpoints that actually served points. */
+    std::size_t endpointsUsed = 0;
+};
+
+/**
+ * Parse a comma-separated `--connect` value into endpoint specs
+ * (empty entries dropped). Each spec is a Unix-socket path or
+ * "HOST:PORT" — see isTcpEndpoint() in client.hh.
+ */
+std::vector<std::string> parseEndpointList(const std::string &spec);
+
+/**
+ * Run @p scenario under @p options across @p endpoints and assemble
+ * @p report from the merged streams.
+ *
+ * @param on_ordered  optional sink invoked in grid order per
+ *                    successful point (fleet-global order).
+ * @param cancelled   optional cooperative-cancel poll.
+ */
+FleetOutcome runJobOverFleet(
+    const std::vector<std::string> &endpoints,
+    const experiment::Scenario &scenario,
+    const experiment::RunOptions &options,
+    experiment::Report &report,
+    const std::function<void(std::size_t,
+                             const experiment::ReportPoint &)>
+        &on_ordered = {},
+    const std::function<bool()> &cancelled = {});
+
+} // namespace specint::service
+
+#endif // SPECINT_SIM_SERVICE_FLEET_HH

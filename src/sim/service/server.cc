@@ -18,7 +18,11 @@
 #include <thread>
 #include <vector>
 
+#include <arpa/inet.h>
 #include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -170,6 +174,9 @@ struct Task
     JobSpec spec;
     std::size_t index = 0;
     bool cacheable = true;
+    /** Assigned to a worker (execution may have started); a task in
+     *  flight can no longer be revoked. */
+    bool inFlight = false;
     /** Jobs waiting on this result (slot index == grid index). */
     std::vector<Job *> waiters;
 };
@@ -194,8 +201,16 @@ struct Job
     bool active = true;
     const Scenario *scenario = nullptr;
     JobSpec spec;
-    std::size_t totalPoints = 0;
+    /** Grid indices this job runs, in grid order (the full grid for a
+     *  subset-less v2 job); slots are indexed by grid index. */
+    std::vector<std::size_t> requested;
     std::vector<std::unique_ptr<PointMsg>> slots;
+    /** Grid indices the client revoked: resolved, never emitted. */
+    std::vector<char> revoked;
+    /** Cache-key canonical string per still-unresolved grid index
+     *  (the handle revocation uses to find the pending task). */
+    std::map<std::size_t, std::string> taskKeyByIndex;
+    /** Position in @ref requested of the next point to stream. */
     std::size_t emitted = 0;
     std::size_t resolved = 0;
     DoneMsg stats;
@@ -215,10 +230,12 @@ class Server
 
   private:
     bool setupSocket();
+    bool setupTcpSocket();
     void spawnWorker();
-    void acceptClient();
+    void acceptClient(int listen_fd);
     void handleClientInput(Job &job);
     void startJob(Job &job, const Json &msg);
+    void handleRevoke(Job &job, std::size_t max_points);
     void handleWorkerInput(Worker &worker);
     void onWorkerDead(Worker &worker, const char *why);
     void resolveTask(const std::string &key, PointMsg result,
@@ -234,6 +251,7 @@ class Server
     ServeConfig config_;
     std::string fingerprint_;
     int listenFd_ = -1;
+    int tcpListenFd_ = -1;
     unsigned workerTarget_ = 2;
     /** Forks consumed by crash replacements; bounded so a point that
      *  kills every worker cannot fork-bomb the host. */
@@ -252,8 +270,7 @@ Server::setupSocket()
 {
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
-    if (config_.socketPath.empty() ||
-        config_.socketPath.size() >= sizeof(addr.sun_path)) {
+    if (config_.socketPath.size() >= sizeof(addr.sun_path)) {
         std::fprintf(stderr, "[serve] bad socket path '%s'\n",
                      config_.socketPath.c_str());
         return false;
@@ -283,6 +300,92 @@ Server::setupSocket()
     return true;
 }
 
+bool
+Server::setupTcpSocket()
+{
+    // "[HOST:]PORT"; a bare port binds loopback only — serving other
+    // hosts is an explicit 0.0.0.0 (or interface address) opt-in.
+    std::string host = "127.0.0.1";
+    std::string port = config_.tcpBind;
+    const std::size_t colon = config_.tcpBind.rfind(':');
+    if (colon != std::string::npos) {
+        host = config_.tcpBind.substr(0, colon);
+        port = config_.tcpBind.substr(colon + 1);
+        if (host.empty())
+            host = "127.0.0.1";
+    }
+
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = AI_PASSIVE | AI_NUMERICSERV;
+    addrinfo *res = nullptr;
+    const int gai = ::getaddrinfo(host.c_str(), port.c_str(), &hints,
+                                  &res);
+    if (gai != 0) {
+        std::fprintf(stderr, "[serve] cannot resolve '%s': %s\n",
+                     config_.tcpBind.c_str(), ::gai_strerror(gai));
+        return false;
+    }
+    for (addrinfo *ai = res; ai; ai = ai->ai_next) {
+        tcpListenFd_ = ::socket(ai->ai_family, ai->ai_socktype,
+                                ai->ai_protocol);
+        if (tcpListenFd_ < 0)
+            continue;
+        const int one = 1;
+        ::setsockopt(tcpListenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        if (::bind(tcpListenFd_, ai->ai_addr, ai->ai_addrlen) == 0 &&
+            ::listen(tcpListenFd_, 64) == 0)
+            break;
+        ::close(tcpListenFd_);
+        tcpListenFd_ = -1;
+    }
+    ::freeaddrinfo(res);
+    if (tcpListenFd_ < 0) {
+        std::fprintf(stderr, "[serve] cannot listen on tcp '%s'\n",
+                     config_.tcpBind.c_str());
+        return false;
+    }
+
+    // Report the bound port (meaningful with PORT 0) and write the
+    // rendezvous file atomically so a poller never reads a torn line.
+    sockaddr_storage bound{};
+    socklen_t blen = sizeof(bound);
+    unsigned bound_port = 0;
+    if (::getsockname(tcpListenFd_,
+                      reinterpret_cast<sockaddr *>(&bound),
+                      &blen) == 0) {
+        if (bound.ss_family == AF_INET)
+            bound_port = ntohs(
+                reinterpret_cast<sockaddr_in *>(&bound)->sin_port);
+        else if (bound.ss_family == AF_INET6)
+            bound_port = ntohs(
+                reinterpret_cast<sockaddr_in6 *>(&bound)->sin6_port);
+    }
+    std::fprintf(stderr, "[serve] listening on tcp %s:%u\n",
+                 host.c_str(), bound_port);
+    if (!config_.portFile.empty()) {
+        const std::string tmp = config_.portFile + ".tmp";
+        std::FILE *f = std::fopen(tmp.c_str(), "w");
+        bool ok = f != nullptr;
+        if (f) {
+            ok = std::fprintf(f, "%u\n", bound_port) > 0;
+            ok = (std::fclose(f) == 0) && ok;
+        }
+        ok = ok && std::rename(tmp.c_str(),
+                               config_.portFile.c_str()) == 0;
+        if (!ok) {
+            std::remove(tmp.c_str());
+            std::fprintf(stderr,
+                         "[serve] cannot write port file '%s'\n",
+                         config_.portFile.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
 void
 Server::spawnWorker()
 {
@@ -303,6 +406,8 @@ Server::spawnWorker()
         ::close(pair[0]);
         if (listenFd_ >= 0)
             ::close(listenFd_);
+        if (tcpListenFd_ >= 0)
+            ::close(tcpListenFd_);
         if (g_signal_pipe[0] >= 0)
             ::close(g_signal_pipe[0]);
         if (g_signal_pipe[1] >= 0)
@@ -323,11 +428,17 @@ Server::spawnWorker()
 }
 
 void
-Server::acceptClient()
+Server::acceptClient(int listen_fd)
 {
-    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0)
         return;
+    if (listen_fd == tcpListenFd_) {
+        // Every protocol message is one small line; coalescing them
+        // behind Nagle would add RTTs to each point hand-off.
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
     auto job = std::make_unique<Job>();
     job->fd = fd;
     if (!writeLine(fd, makeHelloMsg(workerTarget_, fingerprint_)
@@ -341,13 +452,31 @@ Server::acceptClient()
 void
 Server::startJob(Job &job, const Json &msg)
 {
-    JobSpec spec;
-    if (!decodeJobMsg(msg, spec)) {
+    JobMsg request;
+    if (!decodeJobMsg(msg, request)) {
         writeLine(job.fd, makeErrorMsg("malformed job request")
                               .dump());
         job.active = false;
         return;
     }
+    if (request.protocol < kMinProtocolVersion ||
+        request.protocol > kProtocolVersion) {
+        // One line, actionable, and the connection closes — an old
+        // client must fail fast instead of hanging on a reply it
+        // cannot parse.
+        writeLine(job.fd,
+                  makeErrorMsg(
+                      "protocol mismatch: client speaks v" +
+                      std::to_string(request.protocol) +
+                      ", this daemon accepts v" +
+                      std::to_string(kMinProtocolVersion) + "..v" +
+                      std::to_string(kProtocolVersion) +
+                      " — rebuild or upgrade specsim_bench")
+                      .dump());
+        job.active = false;
+        return;
+    }
+    const JobSpec &spec = request.spec;
     const Scenario *scenario = registry_.find(spec.scenario);
     if (!scenario) {
         writeLine(job.fd,
@@ -358,22 +487,48 @@ Server::startJob(Job &job, const Json &msg)
         return;
     }
 
-    job.started = true;
-    job.scenario = scenario;
-    job.spec = spec;
-    job.start = Clock::now();
-
     const experiment::RunOptions options = spec.toOptions();
     const experiment::SweepSpec sweep =
         scenario->sweep ? scenario->sweep(options)
                         : experiment::SweepSpec{};
     const std::vector<SweepPoint> points = sweep.expand();
-    job.totalPoints = points.size();
+
+    if (request.hasSubset) {
+        // Grid order regardless of how the client listed them, and
+        // every index must name a real point.
+        std::sort(request.points.begin(), request.points.end());
+        request.points.erase(std::unique(request.points.begin(),
+                                         request.points.end()),
+                             request.points.end());
+        if (!request.points.empty() &&
+            request.points.back() >= points.size()) {
+            writeLine(job.fd,
+                      makeErrorMsg(
+                          "point index " +
+                          std::to_string(request.points.back()) +
+                          " out of range (grid has " +
+                          std::to_string(points.size()) + " points)")
+                          .dump());
+            job.active = false;
+            return;
+        }
+        job.requested = std::move(request.points);
+    } else {
+        job.requested.resize(points.size());
+        for (std::size_t i = 0; i < points.size(); ++i)
+            job.requested[i] = i;
+    }
+
+    job.started = true;
+    job.scenario = scenario;
+    job.spec = spec;
+    job.start = Clock::now();
     job.slots.resize(points.size());
-    job.stats.points = points.size();
+    job.revoked.assign(points.size(), 0);
+    job.stats.points = job.requested.size();
 
     const bool cacheable = scenario->cacheable;
-    for (std::size_t i = 0; i < points.size(); ++i) {
+    for (const std::size_t i : job.requested) {
         const std::uint64_t point_seed =
             experiment::splitSeed(spec.seed, i);
         const CacheKey key = makeCacheKey(spec, i, point_seed,
@@ -405,11 +560,13 @@ Server::startJob(Job &job, const Json &msg)
             task->index = i;
             task->cacheable = false;
             task->waiters.push_back(&job);
+            job.taskKeyByIndex[i] = unique_key.canonical;
             pending_.push_back(unique_key.canonical);
             tasks_[unique_key.canonical] = std::move(task);
             continue;
         }
 
+        job.taskKeyByIndex[i] = key.canonical;
         auto it = tasks_.find(key.canonical);
         if (it != tasks_.end()) {
             // In-flight dedup: another job already wants this point.
@@ -426,6 +583,48 @@ Server::startJob(Job &job, const Json &msg)
     }
 
     dispatch();
+    tryEmit(job);
+}
+
+void
+Server::handleRevoke(Job &job, std::size_t max_points)
+{
+    // Give back up to max_points not-yet-started points, tail first
+    // (the head is closest to the streaming frontier, so the tail is
+    // what an idle endpoint can most usefully take over).
+    std::vector<std::size_t> granted;
+    for (auto rit = job.requested.rbegin();
+         rit != job.requested.rend() && granted.size() < max_points;
+         ++rit) {
+        const std::size_t i = *rit;
+        if (job.slots[i] || job.revoked[i])
+            continue; // already resolved
+        const auto keyIt = job.taskKeyByIndex.find(i);
+        if (keyIt == job.taskKeyByIndex.end())
+            continue;
+        const auto taskIt = tasks_.find(keyIt->second);
+        if (taskIt == tasks_.end() || taskIt->second->inFlight)
+            continue; // running (or racing its own completion)
+        Task &task = *taskIt->second;
+        task.waiters.erase(std::remove(task.waiters.begin(),
+                                       task.waiters.end(), &job),
+                           task.waiters.end());
+        if (task.waiters.empty()) {
+            // Nobody else wants it; dispatch() skips erased keys
+            // still sitting in pending_.
+            tasks_.erase(taskIt);
+        }
+        job.taskKeyByIndex.erase(keyIt);
+        job.revoked[i] = 1;
+        ++job.resolved;
+        ++job.stats.revoked;
+        granted.push_back(i);
+    }
+    std::sort(granted.begin(), granted.end());
+    if (job.active &&
+        !writeLine(job.fd, makeRevokedMsg(granted).dump()))
+        job.active = false;
+    // Revoking the whole tail may complete the job right here.
     tryEmit(job);
 }
 
@@ -456,6 +655,11 @@ Server::handleClientInput(Job &job)
             return;
         }
         if (job.started) {
+            std::size_t max_points = 0;
+            if (decodeRevokeMsg(msg, max_points)) {
+                handleRevoke(job, max_points);
+                continue;
+            }
             writeLine(job.fd,
                       makeErrorMsg("one job per connection").dump());
             continue;
@@ -467,7 +671,8 @@ Server::handleClientInput(Job &job)
 void
 Server::deliver(Job &job, std::size_t index, const PointMsg &msg)
 {
-    if (index >= job.slots.size() || job.slots[index])
+    if (index >= job.slots.size() || job.slots[index] ||
+        job.revoked[index])
         return;
     job.slots[index] = std::make_unique<PointMsg>(msg);
     job.slots[index]->index = index;
@@ -482,20 +687,26 @@ Server::deliver(Job &job, std::size_t index, const PointMsg &msg)
 void
 Server::tryEmit(Job &job)
 {
-    while (job.emitted < job.totalPoints &&
-           job.slots[job.emitted]) {
+    while (job.emitted < job.requested.size()) {
+        const std::size_t index = job.requested[job.emitted];
+        if (job.revoked[index]) {
+            // Given back to the client: resolved, never streamed.
+            ++job.emitted;
+            continue;
+        }
+        if (!job.slots[index])
+            break;
         if (job.active) {
             if (!writeLine(job.fd,
-                           makePointMsg(*job.slots[job.emitted])
-                               .dump()))
+                           makePointMsg(*job.slots[index]).dump()))
                 job.active = false;
         }
         // Emitted slots are dropped eagerly: a 10k-point job holds at
         // most the out-of-order window in memory.
-        job.slots[job.emitted].reset();
+        job.slots[index].reset();
         ++job.emitted;
     }
-    if (job.emitted == job.totalPoints)
+    if (job.started && job.emitted == job.requested.size())
         finishJob(job);
 }
 
@@ -621,14 +832,16 @@ Server::dispatch()
         if (it == tasks_.end())
             continue; // task resolved while queued (shutdown path)
         idle->taskKey = key;
+        it->second->inFlight = true;
         if (!writeLine(idle->fd,
                        makeExecMsg(it->second->spec,
                                    it->second->index)
                            .dump())) {
             // Worker died before the assignment arrived: the point
             // never started, so requeueing it is safe (unlike a
-            // crash mid-execution).
+            // crash mid-execution) — and it is revocable again.
             idle->taskKey.clear();
+            it->second->inFlight = false;
             pending_.push_front(key);
             onWorkerDead(*idle, "assignment write failed");
             if (workers_.empty())
@@ -685,7 +898,12 @@ Server::shutdown()
         cache_->flushIndex(fingerprint_);
     if (listenFd_ >= 0)
         ::close(listenFd_);
-    ::unlink(config_.socketPath.c_str());
+    if (tcpListenFd_ >= 0)
+        ::close(tcpListenFd_);
+    if (!config_.socketPath.empty())
+        ::unlink(config_.socketPath.c_str());
+    if (!config_.portFile.empty())
+        std::remove(config_.portFile.c_str());
     std::fprintf(stderr, "[serve] shut down (signal %d)\n",
                  static_cast<int>(g_shutdown_signal));
 }
@@ -715,7 +933,14 @@ Server::run()
     if (!config_.cacheDir.empty())
         cache_ = std::make_unique<ResultCache>(config_.cacheDir);
 
-    if (!setupSocket())
+    if (config_.socketPath.empty() && config_.tcpBind.empty()) {
+        std::fprintf(stderr,
+                     "[serve] need --socket and/or --tcp to listen\n");
+        return 1;
+    }
+    if (!config_.socketPath.empty() && !setupSocket())
+        return 1;
+    if (!config_.tcpBind.empty() && !setupTcpSocket())
         return 1;
     for (unsigned i = 0; i < workerTarget_; ++i)
         spawnWorker();
@@ -727,14 +952,19 @@ Server::run()
     std::fprintf(stderr,
                  "[serve] listening on %s (%zu workers, cache %s, "
                  "fingerprint %.12s)\n",
-                 config_.socketPath.c_str(), workers_.size(),
+                 config_.socketPath.empty() ? config_.tcpBind.c_str()
+                                            : config_.socketPath.c_str(),
+                 workers_.size(),
                  cache_ ? cache_->dir().c_str() : "off",
                  fingerprint_.c_str());
 
     while (g_shutdown_signal == 0) {
         std::vector<pollfd> fds;
         fds.push_back({g_signal_pipe[0], POLLIN, 0});
-        fds.push_back({listenFd_, POLLIN, 0});
+        if (listenFd_ >= 0)
+            fds.push_back({listenFd_, POLLIN, 0});
+        if (tcpListenFd_ >= 0)
+            fds.push_back({tcpListenFd_, POLLIN, 0});
         const std::size_t worker_base = fds.size();
         for (const auto &w : workers_)
             if (w->fd >= 0)
@@ -761,8 +991,9 @@ Server::run()
             }
             reapChildren();
         }
-        if (fds[1].revents & POLLIN)
-            acceptClient();
+        for (std::size_t k = 1; k < worker_base; ++k)
+            if (fds[k].revents & POLLIN)
+                acceptClient(fds[k].fd);
 
         // Match revents back to live objects by fd (the vectors may
         // have been resized by accept/respawn above; match by value).
@@ -796,7 +1027,8 @@ Server::run()
             Job *job = it->get();
             const bool finished =
                 job->fd < 0 ||
-                (!job->active && job->resolved == job->totalPoints);
+                (!job->active &&
+                 job->resolved == job->requested.size());
             bool referenced = false;
             if (finished) {
                 for (const auto &[key, task] : tasks_) {

@@ -2,10 +2,10 @@
  * @file
  * The sweep-service server: a persistent simulation daemon.
  *
- * `runServer` listens on a Unix-domain socket, accepts concurrent
- * clients (one sweep job per connection, line-delimited JSON — see
- * wire.hh), and executes sweep points on a pool of forked worker
- * processes:
+ * `runServer` listens on a Unix-domain socket and/or a TCP endpoint
+ * (both feed one poll loop), accepts concurrent clients (one sweep
+ * job per connection, line-delimited JSON — see wire.hh), and
+ * executes sweep points on a pool of forked worker processes:
  *
  * - **Dynamic sharding.** All misses land in one pending frontier;
  *   every idle worker immediately pulls the next point, so a worker
@@ -26,6 +26,11 @@
  *   order as they land (out-of-order completions are held back), so
  *   clients can emit CSV rows incrementally and still byte-match a
  *   cold serial run.
+ * - **Fleet building block (protocol v2).** A job may name a subset
+ *   of grid indices, and a started job accepts "revoke" requests that
+ *   hand back up to N not-yet-started points — together these let a
+ *   fleet client shard one sweep across daemons by advertised worker
+ *   capacity and rebalance stragglers (see fleet.hh).
  *
  * SIGINT/SIGTERM shut the server down gracefully: active clients get
  * an error message after their already-complete points were streamed,
@@ -46,7 +51,21 @@ namespace specint::service
 /** Server configuration (CLI flags of `specsim_serve`). */
 struct ServeConfig
 {
+    /** Unix-domain socket path ("" = no UDS listener). */
     std::string socketPath;
+    /**
+     * TCP listen endpoint as "[HOST:]PORT" ("" = no TCP listener).
+     * HOST defaults to 127.0.0.1; use 0.0.0.0 to serve other hosts.
+     * PORT 0 binds an ephemeral port (see portFile). At least one of
+     * socketPath / tcpBind must be set.
+     */
+    std::string tcpBind;
+    /**
+     * When set with tcpBind, the actually bound TCP port is written
+     * here (atomically, as one decimal line) once listening — the
+     * rendezvous mechanism for scripts/tests using ephemeral ports.
+     */
+    std::string portFile;
     /** Worker processes; 0 = one per hardware thread. */
     unsigned workers = 2;
     /** Result-cache root ("" = in-flight dedup only, no persistence). */

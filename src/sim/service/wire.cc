@@ -201,7 +201,20 @@ makeJobMsg(const JobSpec &spec)
 {
     Json j = Json::object();
     j.set("type", Json::str("job"));
+    j.set("protocol", Json::uinteger(kProtocolVersion));
     return encodeSpecInto(std::move(j), spec);
+}
+
+Json
+makeJobMsg(const JobSpec &spec,
+           const std::vector<std::size_t> &points)
+{
+    Json j = makeJobMsg(spec);
+    Json subset = Json::array();
+    for (std::size_t index : points)
+        subset.push(Json::uinteger(index));
+    j.set("points", std::move(subset));
+    return j;
 }
 
 Json
@@ -210,6 +223,7 @@ makeHelloMsg(unsigned workers, const std::string &fingerprint)
     Json j = Json::object();
     j.set("type", Json::str("hello"));
     j.set("protocol", Json::uinteger(kProtocolVersion));
+    j.set("min_protocol", Json::uinteger(kMinProtocolVersion));
     j.set("workers", Json::uinteger(workers));
     j.set("fingerprint", Json::str(fingerprint));
     return j;
@@ -244,6 +258,27 @@ makePointMsg(const PointMsg &point, const char *type)
 }
 
 Json
+makeRevokeMsg(std::size_t max_points)
+{
+    Json j = Json::object();
+    j.set("type", Json::str("revoke"));
+    j.set("max", Json::uinteger(max_points));
+    return j;
+}
+
+Json
+makeRevokedMsg(const std::vector<std::size_t> &indices)
+{
+    Json j = Json::object();
+    j.set("type", Json::str("revoked"));
+    Json arr = Json::array();
+    for (std::size_t index : indices)
+        arr.push(Json::uinteger(index));
+    j.set("indices", std::move(arr));
+    return j;
+}
+
+Json
 makeDoneMsg(const DoneMsg &done)
 {
     Json j = Json::object();
@@ -252,6 +287,7 @@ makeDoneMsg(const DoneMsg &done)
     j.set("hits", Json::uinteger(done.hits));
     j.set("executed", Json::uinteger(done.executed));
     j.set("failed", Json::uinteger(done.failed));
+    j.set("revoked", Json::uinteger(done.revoked));
     j.set("wall_us", Json::uinteger(done.wallUs));
     return j;
 }
@@ -266,10 +302,30 @@ makeErrorMsg(const std::string &message)
 }
 
 bool
-decodeJobMsg(const Json &j, JobSpec &out)
+decodeJobMsg(const Json &j, JobMsg &out)
 {
-    return j.isObj() && j.getStr("type") == "job" &&
-           decodeSpecFrom(j, out);
+    if (!j.isObj() || j.getStr("type") != "job" ||
+        !decodeSpecFrom(j, out.spec))
+        return false;
+    // A v1 client never sent a protocol field; decode it as 1 so the
+    // server can name the version in its rejection.
+    out.protocol = j.getU64("protocol", 1);
+    out.hasSubset = false;
+    out.points.clear();
+    const Json &subset = j.get("points");
+    if (!subset.isNull()) {
+        if (!subset.isArr())
+            return false;
+        out.hasSubset = true;
+        out.points.reserve(subset.items().size());
+        for (const Json &idx : subset.items()) {
+            if (!idx.isNumber())
+                return false;
+            out.points.push_back(
+                static_cast<std::size_t>(idx.u64()));
+        }
+    }
+    return true;
 }
 
 bool
@@ -304,6 +360,31 @@ decodePointMsg(const Json &j, PointMsg &out)
 }
 
 bool
+decodeRevokeMsg(const Json &j, std::size_t &max_points)
+{
+    if (!j.isObj() || j.getStr("type") != "revoke" ||
+        !j.get("max").isNumber())
+        return false;
+    max_points = static_cast<std::size_t>(j.getU64("max"));
+    return true;
+}
+
+bool
+decodeRevokedMsg(const Json &j, std::vector<std::size_t> &out)
+{
+    if (!j.isObj() || j.getStr("type") != "revoked" ||
+        !j.get("indices").isArr())
+        return false;
+    out.clear();
+    for (const Json &idx : j.get("indices").items()) {
+        if (!idx.isNumber())
+            return false;
+        out.push_back(static_cast<std::size_t>(idx.u64()));
+    }
+    return true;
+}
+
+bool
 decodeDoneMsg(const Json &j, DoneMsg &out)
 {
     if (!j.isObj() || j.getStr("type") != "done")
@@ -312,6 +393,7 @@ decodeDoneMsg(const Json &j, DoneMsg &out)
     out.hits = j.getU64("hits");
     out.executed = j.getU64("executed");
     out.failed = j.getU64("failed");
+    out.revoked = j.getU64("revoked");
     out.wallUs = j.getU64("wall_us");
     return true;
 }

@@ -6,20 +6,35 @@
  * line of JSON (dump() never emits raw newlines), discriminated by a
  * "type" field:
  *
- *   client -> server   {"type":"job","scenario":S,"trials":N,
- *                       "seed":N,"extra":{flag:value,...}}
- *   server -> client   {"type":"hello","protocol":1,"workers":N,
- *                       "fingerprint":"<sha1>"}
+ *   client -> server   {"type":"job","protocol":2,"scenario":S,
+ *                       "trials":N,"seed":N,"extra":{flag:value,...},
+ *                       "points":[I..]}   ("points" optional: absent
+ *                                          = the full sweep grid)
+ *                      {"type":"revoke","max":N}
+ *   server -> client   {"type":"hello","protocol":2,"min_protocol":2,
+ *                       "workers":N,"fingerprint":"<sha1>"}
  *                      {"type":"point","index":I,"rows":[[cell..]..],
  *                       "legacy":"...","cached":B,"duration_us":N}
  *                      {"type":"point","index":I,"failed":true,
  *                       "error":"..."}
+ *                      {"type":"revoked","indices":[I..]}
  *                      {"type":"done","points":N,"hits":N,
- *                       "executed":N,"failed":N,"wall_us":N}
+ *                       "executed":N,"failed":N,"revoked":N,
+ *                       "wall_us":N}
  *                      {"type":"error","message":"..."}
  *   server -> worker   {"type":"exec","scenario":S,"trials":N,
  *                       "seed":N,"extra":{...},"index":I}
  *   worker -> server   {"type":"result",...point fields...}
+ *
+ * Protocol v2 (the fleet revision) adds three things over v1: the job
+ * message carries the client's protocol number and an optional subset
+ * of grid indices (a fleet client splits one sweep across daemons),
+ * and a started job accepts "revoke" requests — the server gives back
+ * up to "max" not-yet-started points (tail first) so the client can
+ * reassign them to an idle endpoint. Version negotiation lives in
+ * "hello": the server advertises [min_protocol, protocol] and rejects
+ * a job whose "protocol" falls outside it with a one-line error
+ * (a v1 job message has no "protocol" field and decodes as 1).
  *
  * Points are streamed to clients in grid order (the server holds back
  * out-of-order completions), so a client can emit CSV rows as points
@@ -45,8 +60,12 @@
 namespace specint::service
 {
 
-/** Protocol revision; bumped on incompatible message changes. */
-constexpr std::uint64_t kProtocolVersion = 1;
+/** Protocol revision; bumped on incompatible message changes.
+ *  v2: job subsets + revoke (fleet sharding); v1 clients rejected. */
+constexpr std::uint64_t kProtocolVersion = 2;
+
+/** Oldest client protocol a server still accepts. */
+constexpr std::uint64_t kMinProtocolVersion = 2;
 
 /** @name Cell / row codec (lossless round-trip). */
 /// @{
@@ -72,6 +91,20 @@ struct JobSpec
     experiment::RunOptions toOptions() const;
 };
 
+/** A decoded job request: the semantic spec plus the v2 envelope
+ *  (client protocol and optional grid-index subset). */
+struct JobMsg
+{
+    JobSpec spec;
+    /** Protocol the client speaks; a v1 job has no "protocol" field
+     *  and decodes as 1. */
+    std::uint64_t protocol = 1;
+    /** When true, run only @ref points (grid indices); otherwise the
+     *  whole expanded grid. */
+    bool hasSubset = false;
+    std::vector<std::size_t> points;
+};
+
 /** One executed (or failed) point travelling over the wire. */
 struct PointMsg
 {
@@ -91,16 +124,25 @@ struct DoneMsg
     std::uint64_t hits = 0;
     std::uint64_t executed = 0;
     std::uint64_t failed = 0;
+    /** Points the client revoked (given back unstarted) — they are
+     *  counted in @ref points but were neither executed nor failed. */
+    std::uint64_t revoked = 0;
     std::uint64_t wallUs = 0;
 };
 
 /** @name Message builders (each returns a complete "type"-tagged
  *  object ready for dump()). */
 /// @{
+/** Full-grid job (no subset). Stamps the current protocol. */
 Json makeJobMsg(const JobSpec &spec);
+/** Subset job: run only @p points (grid indices). */
+Json makeJobMsg(const JobSpec &spec,
+                const std::vector<std::size_t> &points);
 Json makeHelloMsg(unsigned workers, const std::string &fingerprint);
 Json makeExecMsg(const JobSpec &spec, std::size_t index);
 Json makePointMsg(const PointMsg &point, const char *type = "point");
+Json makeRevokeMsg(std::size_t max_points);
+Json makeRevokedMsg(const std::vector<std::size_t> &indices);
 Json makeDoneMsg(const DoneMsg &done);
 Json makeErrorMsg(const std::string &message);
 /// @}
@@ -108,9 +150,11 @@ Json makeErrorMsg(const std::string &message);
 /** @name Message decoders. Each checks the "type" tag and required
  *  fields; returns false on mismatch. */
 /// @{
-bool decodeJobMsg(const Json &j, JobSpec &out);
+bool decodeJobMsg(const Json &j, JobMsg &out);
 bool decodeExecMsg(const Json &j, JobSpec &spec, std::size_t &index);
 bool decodePointMsg(const Json &j, PointMsg &out);
+bool decodeRevokeMsg(const Json &j, std::size_t &max_points);
+bool decodeRevokedMsg(const Json &j, std::vector<std::size_t> &out);
 bool decodeDoneMsg(const Json &j, DoneMsg &out);
 /// @}
 

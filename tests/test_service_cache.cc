@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include "sim/experiment/sweep.hh"
@@ -356,4 +357,71 @@ TEST(ResultCache, FingerprintChangeMissesOldEntries)
     std::string legacy;
     EXPECT_FALSE(cache.lookup(new_key, out, legacy));
     EXPECT_TRUE(cache.lookup(old_key, out, legacy));
+}
+
+TEST(ResultCache, ConcurrentWritersNeverLoseIndexUpdates)
+{
+    // Multiple daemons may share one --cache-dir (a fleet on one
+    // host). Object files are content-addressed and rename-published,
+    // but index.json is a read-merge-write — without the flock it is
+    // a lost-update race. Hammer it: several forked writers each
+    // store distinct entries and flush concurrently; the final index
+    // must account for every store.
+    constexpr int kWriters = 8;
+    constexpr int kStoresPerWriter = 4;
+
+    TempDir tmp;
+    std::vector<pid_t> children;
+    for (int w = 0; w < kWriters; ++w) {
+        const pid_t pid = ::fork();
+        ASSERT_GE(pid, 0);
+        if (pid == 0) {
+            ResultCache cache(tmp.path.string());
+            for (int s = 0; s < kStoresPerWriter; ++s) {
+                // Distinct (writer, store) -> distinct key.
+                const CacheKey key = makeCacheKey(
+                    baseSpec(),
+                    static_cast<std::size_t>(w * kStoresPerWriter +
+                                             s),
+                    static_cast<std::uint64_t>(w + 1), basePoint(),
+                    "fp-mp");
+                cache.store(key, sampleRows(), "L");
+            }
+            cache.flushIndex("fp-mp");
+            ::_exit(::testing::Test::HasFailure() ? 1 : 0);
+        }
+        children.push_back(pid);
+    }
+    for (const pid_t pid : children) {
+        int status = 0;
+        ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+        ASSERT_TRUE(WIFEXITED(status));
+        EXPECT_EQ(WEXITSTATUS(status), 0);
+    }
+
+    std::ifstream in(tmp.path / "index.json");
+    ASSERT_TRUE(in.good());
+    std::string body((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    Json index;
+    ASSERT_TRUE(Json::parse(body, index)) << body;
+    EXPECT_EQ(index.getU64("stores"),
+              static_cast<std::uint64_t>(kWriters) *
+                  kStoresPerWriter)
+        << body;
+
+    // Every entry is individually readable from a fresh handle.
+    ResultCache reader(tmp.path.string());
+    for (int w = 0; w < kWriters; ++w)
+        for (int s = 0; s < kStoresPerWriter; ++s) {
+            const CacheKey key = makeCacheKey(
+                baseSpec(),
+                static_cast<std::size_t>(w * kStoresPerWriter + s),
+                static_cast<std::uint64_t>(w + 1), basePoint(),
+                "fp-mp");
+            std::vector<Row> out;
+            std::string legacy;
+            EXPECT_TRUE(reader.lookup(key, out, legacy))
+                << "writer " << w << " store " << s;
+        }
 }

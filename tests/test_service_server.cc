@@ -33,6 +33,7 @@
 #include "sim/experiment/report.hh"
 #include "sim/experiment/runner.hh"
 #include "sim/service/client.hh"
+#include "sim/service/fleet.hh"
 #include "sim/service/server.hh"
 #include "sim/service/wire.hh"
 
@@ -123,10 +124,35 @@ class ServerProcess
         return status;
     }
 
+    /** SIGKILL the server (simulated endpoint death). */
+    void kill9()
+    {
+        if (pid_ <= 0)
+            return;
+        ::kill(pid_, SIGKILL);
+        int status = 0;
+        ::waitpid(pid_, &status, 0);
+        pid_ = -1;
+    }
+
   private:
     ServeConfig config_;
     pid_t pid_ = -1;
 };
+
+/** Poll the daemon's --port-file and return "127.0.0.1:PORT". */
+std::string
+waitTcpEndpoint(const std::string &port_file)
+{
+    for (int i = 0; i < 500; ++i) {
+        std::ifstream in(port_file);
+        unsigned port = 0;
+        if (in && (in >> port) && port != 0)
+            return "127.0.0.1:" + std::to_string(port);
+        ::usleep(10 * 1000);
+    }
+    return "";
+}
 
 RunOptions
 defaultOptions(const Scenario &sc)
@@ -417,4 +443,387 @@ TEST(ServeClient, ConnectFailureIsReported)
         defaultOptions(*sc), report);
     EXPECT_FALSE(oc.ok);
     EXPECT_FALSE(oc.error.empty());
+}
+
+// --------------------------------------------------------------------------
+// TCP transport
+// --------------------------------------------------------------------------
+
+TEST(ServeTcp, TcpServeMatchesSerial)
+{
+    const Scenario *sc = scenarios::all().find("fig8");
+    ASSERT_NE(sc, nullptr);
+    const RunOptions opt = defaultOptions(*sc);
+    const Report serial = runLocal(*sc, opt, 1);
+
+    TempDir tmp;
+    ServeConfig config;
+    config.tcpBind = "127.0.0.1:0"; // ephemeral port
+    config.portFile = (tmp.path / "port").string();
+    config.workers = 2;
+    ServerProcess server(config);
+    ASSERT_TRUE(server.forked());
+    const std::string endpoint = waitTcpEndpoint(config.portFile);
+    ASSERT_FALSE(endpoint.empty());
+
+    Report tcp;
+    ClientOutcome oc = runJobOverSocket(endpoint, *sc, opt, tcp);
+    ASSERT_TRUE(oc.ok) << oc.error;
+    EXPECT_EQ(oc.failedPoints, 0u);
+    expectReportsEqual(tcp, serial);
+}
+
+// --------------------------------------------------------------------------
+// Fleet: sharding across daemons, ordered merge, failover
+// --------------------------------------------------------------------------
+
+class FleetEquivalence : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(FleetEquivalence, TwoDaemonFleetMatchesSerial)
+{
+    const Scenario *sc = scenarios::all().find(GetParam());
+    ASSERT_NE(sc, nullptr);
+    const RunOptions opt = defaultOptions(*sc);
+    const Report serial = runLocal(*sc, opt, 1);
+
+    TempDir tmp;
+    ServeConfig c1, c2;
+    c1.tcpBind = c2.tcpBind = "127.0.0.1:0";
+    c1.portFile = (tmp.path / "port1").string();
+    c2.portFile = (tmp.path / "port2").string();
+    c1.workers = c2.workers = 2;
+    c1.cacheDir = (tmp.path / "cache1").string();
+    c2.cacheDir = (tmp.path / "cache2").string();
+    ServerProcess s1(c1), s2(c2);
+    ASSERT_TRUE(s1.forked() && s2.forked());
+    const std::string ep1 = waitTcpEndpoint(c1.portFile);
+    const std::string ep2 = waitTcpEndpoint(c2.portFile);
+    ASSERT_FALSE(ep1.empty() || ep2.empty());
+
+    std::vector<std::size_t> order;
+    Report fleet;
+    FleetOutcome oc = runJobOverFleet(
+        {ep1, ep2}, *sc, opt, fleet,
+        [&order](std::size_t index, const ReportPoint &) {
+            order.push_back(index);
+        });
+    ASSERT_TRUE(oc.ok) << oc.error;
+    EXPECT_EQ(oc.failedPoints, 0u);
+    EXPECT_EQ(oc.endpointDeaths, 0u);
+    EXPECT_EQ(oc.endpointsUsed, 2u);
+    EXPECT_EQ(oc.done.hits + oc.done.executed,
+              serial.points.size());
+    expectReportsEqual(fleet, serial);
+
+    // The merged stream is globally grid-ordered even though two
+    // daemons raced on disjoint shards.
+    ASSERT_EQ(order.size(), serial.points.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, FleetEquivalence,
+                         ::testing::Values("fig11", "ablation_rs"));
+
+TEST(FleetFailover, SigkillMidJobLosesNoResults)
+{
+    // fig11's points are heavyweight (~100ms each), so killing one
+    // daemon after the first streamed point is guaranteed to strand
+    // in-flight work on it — which failover must re-execute on the
+    // surviving daemon.
+    const Scenario *sc = scenarios::all().find("fig11");
+    ASSERT_NE(sc, nullptr);
+    const RunOptions opt = defaultOptions(*sc);
+    const Report serial = runLocal(*sc, opt, 1);
+
+    TempDir tmp;
+    ServeConfig c1, c2;
+    c1.tcpBind = c2.tcpBind = "127.0.0.1:0";
+    c1.portFile = (tmp.path / "port1").string();
+    c2.portFile = (tmp.path / "port2").string();
+    c1.workers = c2.workers = 1;
+    ServerProcess s1(c1), s2(c2);
+    ASSERT_TRUE(s1.forked() && s2.forked());
+    const std::string ep1 = waitTcpEndpoint(c1.portFile);
+    const std::string ep2 = waitTcpEndpoint(c2.portFile);
+    ASSERT_FALSE(ep1.empty() || ep2.empty());
+
+    bool killed = false;
+    Report fleet;
+    FleetOutcome oc = runJobOverFleet(
+        {ep1, ep2}, *sc, opt, fleet,
+        [&](std::size_t, const ReportPoint &) {
+            if (!killed) {
+                killed = true;
+                s2.kill9(); // endpoint death mid-sweep
+            }
+        });
+    ASSERT_TRUE(killed);
+    ASSERT_TRUE(oc.ok) << oc.error;
+    EXPECT_EQ(oc.failedPoints, 0u);
+    EXPECT_GE(oc.endpointDeaths, 1u);
+    expectReportsEqual(fleet, serial);
+}
+
+TEST(FleetFailover, AllEndpointsDeadIsAnError)
+{
+    const Scenario *sc = scenarios::all().find("fig8");
+    ASSERT_NE(sc, nullptr);
+    Report report;
+    FleetOutcome oc = runJobOverFleet(
+        {"/tmp/missing_a.sock", "/tmp/missing_b.sock"}, *sc,
+        defaultOptions(*sc), report);
+    EXPECT_FALSE(oc.ok);
+    EXPECT_NE(oc.error.find("no endpoint reachable"),
+              std::string::npos)
+        << oc.error;
+}
+
+// --------------------------------------------------------------------------
+// Protocol version negotiation
+// --------------------------------------------------------------------------
+
+TEST(ServeProtocol, V1ClientGetsOneLineActionableError)
+{
+    TempDir tmp;
+    ServeConfig config;
+    config.socketPath = (tmp.path / "serve.sock").string();
+    config.workers = 1;
+    ServerProcess server(config);
+    ASSERT_TRUE(server.forked());
+    ASSERT_TRUE(server.waitReady());
+
+    // Hand-roll what a v1 client sent: a job message with no
+    // "protocol" field.
+    std::string err;
+    const int fd = connectEndpoint(config.socketPath, err);
+    ASSERT_GE(fd, 0) << err;
+    LineReader reader(fd);
+    std::string line;
+    ASSERT_TRUE(reader.readLine(line)); // hello
+    Json v1job = Json::object();
+    v1job.set("type", Json::str("job"));
+    v1job.set("scenario", Json::str("fig8"));
+    v1job.set("trials", Json::uinteger(1));
+    v1job.set("seed", Json::uinteger(1));
+    ASSERT_TRUE(writeLine(fd, v1job.dump()));
+
+    ASSERT_TRUE(reader.readLine(line)); // the rejection, not a hang
+    Json msg;
+    ASSERT_TRUE(Json::parse(line, msg));
+    EXPECT_EQ(msg.getStr("type"), "error");
+    const std::string text = msg.getStr("message");
+    EXPECT_NE(text.find("protocol mismatch"), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("v1"), std::string::npos) << text;
+    EXPECT_NE(text.find("v2"), std::string::npos) << text;
+    // ...and the server closes the connection.
+    EXPECT_FALSE(reader.readLine(line));
+    EXPECT_TRUE(reader.eof());
+    ::close(fd);
+}
+
+TEST(ServeProtocol, V2ClientRejectsV1Daemon)
+{
+    // Fake v1 daemon: accepts one connection and sends a v1 hello
+    // (protocol 1, no min_protocol).
+    TempDir tmp;
+    const std::string path = (tmp.path / "v1.sock").string();
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                  path.c_str());
+    const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(listen_fd, 0);
+    ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr *>(&addr),
+                     sizeof(addr)),
+              0);
+    ASSERT_EQ(::listen(listen_fd, 1), 0);
+    std::thread v1_daemon([listen_fd] {
+        // Serve two clients: the single-socket client below, then
+        // the fleet client.
+        for (int c = 0; c < 2; ++c) {
+            const int fd = ::accept(listen_fd, nullptr, nullptr);
+            if (fd < 0)
+                return;
+            Json hello = Json::object();
+            hello.set("type", Json::str("hello"));
+            hello.set("protocol", Json::uinteger(1));
+            hello.set("workers", Json::uinteger(1));
+            hello.set("fingerprint", Json::str("deadbeef"));
+            writeLine(fd, hello.dump());
+            // Linger until the client hangs up so its read never
+            // races an early close.
+            char buf[256];
+            while (::read(fd, buf, sizeof(buf)) > 0) {
+            }
+            ::close(fd);
+        }
+    });
+
+    const Scenario *sc = scenarios::all().find("fig8");
+    ASSERT_NE(sc, nullptr);
+    Report report;
+    ClientOutcome oc =
+        runJobOverSocket(path, *sc, defaultOptions(*sc), report);
+    EXPECT_FALSE(oc.ok);
+    EXPECT_NE(oc.error.find("protocol mismatch"), std::string::npos)
+        << oc.error;
+    EXPECT_NE(oc.error.find("v1"), std::string::npos) << oc.error;
+    EXPECT_NE(oc.error.find("v2"), std::string::npos) << oc.error;
+
+    // The fleet client refuses the same daemon up front.
+    Report fleet_report;
+    FleetOutcome foc = runJobOverFleet({path}, *sc,
+                                       defaultOptions(*sc),
+                                       fleet_report);
+    EXPECT_FALSE(foc.ok);
+    EXPECT_NE(foc.error.find("protocol mismatch"), std::string::npos)
+        << foc.error;
+
+    v1_daemon.join();
+    ::close(listen_fd);
+}
+
+// --------------------------------------------------------------------------
+// Revocation (the fleet's work-stealing primitive)
+// --------------------------------------------------------------------------
+
+TEST(ServeRevoke, RevokeHandsBackUnstartedTailPoints)
+{
+    // fig11: heavyweight points, so the revoke below is guaranteed
+    // to arrive while point 0 is still executing.
+    const Scenario *sc = scenarios::all().find("fig11");
+    ASSERT_NE(sc, nullptr);
+    const RunOptions opt = defaultOptions(*sc);
+    const Report serial = runLocal(*sc, opt, 1);
+    const std::size_t n = serial.points.size();
+    ASSERT_GE(n, 4u);
+
+    TempDir tmp;
+    ServeConfig config;
+    config.socketPath = (tmp.path / "serve.sock").string();
+    config.workers = 1; // at most one point in flight
+    ServerProcess server(config);
+    ASSERT_TRUE(server.forked());
+    ASSERT_TRUE(server.waitReady());
+
+    std::string err;
+    const int fd = connectEndpoint(config.socketPath, err);
+    ASSERT_GE(fd, 0) << err;
+    LineReader reader(fd);
+    std::string line;
+    ASSERT_TRUE(reader.readLine(line)); // hello
+
+    const JobSpec spec = JobSpec::fromOptions(sc->name, opt);
+    ASSERT_TRUE(writeLine(fd, makeJobMsg(spec).dump()));
+    // With one worker, at most point 0 is in flight; everything else
+    // is revocable, tail first.
+    ASSERT_TRUE(writeLine(fd, makeRevokeMsg(2).dump()));
+
+    std::vector<std::size_t> revoked;
+    std::vector<std::size_t> streamed;
+    DoneMsg done;
+    bool got_done = false;
+    while (!got_done && reader.readLine(line)) {
+        Json msg;
+        ASSERT_TRUE(Json::parse(line, msg)) << line;
+        const std::string type = msg.getStr("type");
+        if (type == "revoked") {
+            ASSERT_TRUE(decodeRevokedMsg(msg, revoked));
+        } else if (type == "point") {
+            PointMsg point;
+            ASSERT_TRUE(decodePointMsg(msg, point));
+            EXPECT_FALSE(point.failed);
+            streamed.push_back(point.index);
+        } else if (type == "done") {
+            ASSERT_TRUE(decodeDoneMsg(msg, done));
+            got_done = true;
+        }
+    }
+    ::close(fd);
+    ASSERT_TRUE(got_done);
+
+    // Exactly the grid tail came back, and those points were never
+    // streamed; the rest arrived in grid order.
+    ASSERT_EQ(revoked.size(), 2u);
+    EXPECT_EQ(revoked[0], n - 2);
+    EXPECT_EQ(revoked[1], n - 1);
+    EXPECT_EQ(done.revoked, 2u);
+    EXPECT_EQ(done.points, n);
+    ASSERT_EQ(streamed.size(), n - 2);
+    for (std::size_t i = 0; i < streamed.size(); ++i)
+        EXPECT_EQ(streamed[i], i);
+}
+
+TEST(ServeRevoke, SubsetJobRunsOnlyItsPoints)
+{
+    const Scenario *sc = scenarios::all().find("ablation_rs");
+    ASSERT_NE(sc, nullptr);
+    const RunOptions opt = defaultOptions(*sc);
+    const Report serial = runLocal(*sc, opt, 1);
+    ASSERT_GE(serial.points.size(), 5u);
+
+    TempDir tmp;
+    ServeConfig config;
+    config.socketPath = (tmp.path / "serve.sock").string();
+    config.workers = 2;
+    ServerProcess server(config);
+    ASSERT_TRUE(server.forked());
+    ASSERT_TRUE(server.waitReady());
+
+    std::string err;
+    const int fd = connectEndpoint(config.socketPath, err);
+    ASSERT_GE(fd, 0) << err;
+    LineReader reader(fd);
+    std::string line;
+    ASSERT_TRUE(reader.readLine(line)); // hello
+
+    const JobSpec spec = JobSpec::fromOptions(sc->name, opt);
+    const std::vector<std::size_t> subset = {1, 3, 4};
+    ASSERT_TRUE(writeLine(fd, makeJobMsg(spec, subset).dump()));
+
+    std::vector<std::size_t> streamed;
+    DoneMsg done;
+    bool got_done = false;
+    while (!got_done && reader.readLine(line)) {
+        Json msg;
+        ASSERT_TRUE(Json::parse(line, msg)) << line;
+        const std::string type = msg.getStr("type");
+        if (type == "point") {
+            PointMsg point;
+            ASSERT_TRUE(decodePointMsg(msg, point));
+            ASSERT_FALSE(point.failed) << point.error;
+            streamed.push_back(point.index);
+            EXPECT_EQ(encodeRows(point.rows).dump(),
+                      encodeRows(serial.points[point.index].rows)
+                          .dump())
+                << "point " << point.index;
+        } else if (type == "done") {
+            ASSERT_TRUE(decodeDoneMsg(msg, done));
+            got_done = true;
+        }
+    }
+    ::close(fd);
+    ASSERT_TRUE(got_done);
+    EXPECT_EQ(streamed, subset); // grid order, nothing else
+    EXPECT_EQ(done.points, subset.size());
+
+    // Out-of-range subset indices are rejected with a clean error.
+    const int fd2 = connectEndpoint(config.socketPath, err);
+    ASSERT_GE(fd2, 0) << err;
+    LineReader reader2(fd2);
+    ASSERT_TRUE(reader2.readLine(line)); // hello
+    ASSERT_TRUE(writeLine(
+        fd2, makeJobMsg(spec, {serial.points.size() + 7}).dump()));
+    ASSERT_TRUE(reader2.readLine(line));
+    Json msg;
+    ASSERT_TRUE(Json::parse(line, msg));
+    EXPECT_EQ(msg.getStr("type"), "error");
+    EXPECT_NE(msg.getStr("message").find("out of range"),
+              std::string::npos)
+        << msg.getStr("message");
+    ::close(fd2);
 }

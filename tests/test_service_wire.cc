@@ -1,0 +1,358 @@
+/**
+ * @file
+ * Framing/codec hardening tests for the service wire protocol
+ * (src/sim/service/wire.*):
+ *
+ * - LineBuffer must reassemble a message stream identically no matter
+ *   how the transport fragments it — replayed here at every byte
+ *   boundary (all two-chunk splits) and fully byte-by-byte.
+ * - Trailing garbage must parse as a clean error, never a crash or a
+ *   misframed message; an unterminated tail must stay buffered.
+ * - LineReader must tolerate arbitrarily fragmented writes on a real
+ *   fd.
+ * - The protocol-v2 message codecs (job envelope + subset, revoke /
+ *   revoked, done.revoked) must round-trip, and a v1 job message
+ *   (no "protocol" field) must decode as protocol 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "sim/service/wire.hh"
+
+using namespace specint;
+using namespace specint::service;
+
+namespace
+{
+
+/** A representative stream: one of every client/server message type,
+ *  with every cell kind on the wire. */
+std::vector<std::string>
+sampleMessages()
+{
+    JobSpec spec;
+    spec.scenario = "fig11";
+    spec.trials = 3;
+    spec.seed = 0xfeedface;
+    spec.extra["rob"] = 224;
+
+    PointMsg point;
+    point.index = 4;
+    point.durationUs = 1234;
+    experiment::Row row;
+    row.push_back(experiment::Value::str("label"));
+    row.push_back(experiment::Value::integer(-7));
+    row.push_back(experiment::Value::uinteger(1ull << 40));
+    row.push_back(experiment::Value::real(0.1 + 0.2, 3));
+    row.push_back(experiment::Value::boolean(true));
+    point.rows.push_back(row);
+    point.legacy = "legacy text with \"quotes\" and \\slashes\\";
+
+    PointMsg failed;
+    failed.index = 5;
+    failed.failed = true;
+    failed.error = "worker crashed (killed by signal)";
+
+    DoneMsg done;
+    done.points = 10;
+    done.hits = 2;
+    done.executed = 5;
+    done.failed = 1;
+    done.revoked = 2;
+    done.wallUs = 987654;
+
+    return {
+        makeHelloMsg(8, "0123456789abcdef").dump(),
+        makeJobMsg(spec).dump(),
+        makeJobMsg(spec, {0, 3, 7}).dump(),
+        makeExecMsg(spec, 3).dump(),
+        makePointMsg(point).dump(),
+        makePointMsg(failed).dump(),
+        makeRevokeMsg(4).dump(),
+        makeRevokedMsg({6, 7}).dump(),
+        makeRevokedMsg({}).dump(),
+        makeDoneMsg(done).dump(),
+        makeErrorMsg("protocol mismatch: client speaks v1").dump(),
+    };
+}
+
+std::string
+joinStream(const std::vector<std::string> &messages)
+{
+    std::string stream;
+    for (const std::string &m : messages) {
+        stream += m;
+        stream += '\n';
+    }
+    return stream;
+}
+
+/** Feed a byte range into a LineBuffer, draining complete lines. */
+void
+feedAndDrain(LineBuffer &buf, const char *data, std::size_t n,
+             std::vector<std::string> &lines)
+{
+    buf.feed(data, n);
+    std::string line;
+    while (buf.next(line))
+        lines.push_back(line);
+}
+
+} // namespace
+
+// --------------------------------------------------------------------------
+// Framing under fragmentation
+// --------------------------------------------------------------------------
+
+TEST(WireFraming, EveryTwoChunkSplitReassemblesIdentically)
+{
+    const std::vector<std::string> expected = sampleMessages();
+    const std::string stream = joinStream(expected);
+
+    for (std::size_t cut = 0; cut <= stream.size(); ++cut) {
+        LineBuffer buf;
+        std::vector<std::string> lines;
+        feedAndDrain(buf, stream.data(), cut, lines);
+        feedAndDrain(buf, stream.data() + cut, stream.size() - cut,
+                     lines);
+        ASSERT_EQ(lines, expected) << "split at byte " << cut;
+        std::string leftover;
+        EXPECT_FALSE(buf.next(leftover));
+    }
+}
+
+TEST(WireFraming, ByteByByteFeedReassemblesIdentically)
+{
+    const std::vector<std::string> expected = sampleMessages();
+    const std::string stream = joinStream(expected);
+
+    LineBuffer buf;
+    std::vector<std::string> lines;
+    for (char c : stream)
+        feedAndDrain(buf, &c, 1, lines);
+    EXPECT_EQ(lines, expected);
+}
+
+TEST(WireFraming, FragmentedStreamParsesToIdenticalJson)
+{
+    // Beyond framing: each reassembled line must parse to the same
+    // canonical JSON as the unfragmented stream.
+    const std::vector<std::string> expected = sampleMessages();
+    const std::string stream = joinStream(expected);
+
+    LineBuffer buf;
+    std::vector<std::string> lines;
+    // Awkward prime-sized chunks so fragments straddle every
+    // message boundary at least once.
+    for (std::size_t off = 0; off < stream.size(); off += 7)
+        feedAndDrain(buf, stream.data() + off,
+                     std::min<std::size_t>(7, stream.size() - off),
+                     lines);
+    ASSERT_EQ(lines.size(), expected.size());
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        Json a, b;
+        ASSERT_TRUE(Json::parse(lines[i], a)) << lines[i];
+        ASSERT_TRUE(Json::parse(expected[i], b));
+        EXPECT_EQ(a.dump(), b.dump()) << "message " << i;
+    }
+}
+
+TEST(WireFraming, TrailingGarbageIsACleanParseErrorNotACrash)
+{
+    const std::vector<std::string> expected = sampleMessages();
+    std::string stream = joinStream(expected);
+    const std::string garbage = "{\"type\":\"job\", truncated\x01\x02";
+    stream += garbage; // no trailing newline: stays buffered
+
+    LineBuffer buf;
+    std::vector<std::string> lines;
+    for (std::size_t off = 0; off < stream.size(); off += 3)
+        feedAndDrain(buf, stream.data() + off,
+                     std::min<std::size_t>(3, stream.size() - off),
+                     lines);
+    // Valid prefix unharmed; the garbage never surfaced as a line.
+    EXPECT_EQ(lines, expected);
+    std::string leftover;
+    EXPECT_FALSE(buf.next(leftover));
+
+    // Terminate the garbage: it surfaces as one line and fails to
+    // parse with a diagnostic, rather than crashing or misframing.
+    buf.feed("\n", 1);
+    ASSERT_TRUE(buf.next(leftover));
+    EXPECT_EQ(leftover, garbage);
+    Json msg;
+    std::string error;
+    EXPECT_FALSE(Json::parse(leftover, msg, &error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(WireFraming, BinaryGarbageStreamNeverMisparses)
+{
+    // A hostile peer sends framed binary junk: every line must come
+    // back as a parse failure (or parse to JSON that the typed
+    // decoders then reject) — never a valid-looking message.
+    std::string stream;
+    for (int i = 0; i < 256; ++i)
+        stream += static_cast<char>(i);
+    stream += '\n';
+    stream += "[1,2,3]\n";     // valid JSON, wrong shape
+    stream += "\"string\"\n";  // valid JSON, wrong shape
+    stream += "{}\n";          // object without a type tag
+
+    LineBuffer buf;
+    std::vector<std::string> lines;
+    for (std::size_t off = 0; off < stream.size(); off += 5)
+        feedAndDrain(buf, stream.data() + off,
+                     std::min<std::size_t>(5, stream.size() - off),
+                     lines);
+    for (const std::string &line : lines) {
+        Json msg;
+        if (!Json::parse(line, msg))
+            continue; // clean parse error
+        JobMsg job;
+        PointMsg point;
+        DoneMsg done;
+        JobSpec spec;
+        std::size_t index = 0;
+        std::vector<std::size_t> indices;
+        EXPECT_FALSE(decodeJobMsg(msg, job)) << line;
+        EXPECT_FALSE(decodePointMsg(msg, point)) << line;
+        EXPECT_FALSE(decodeDoneMsg(msg, done)) << line;
+        EXPECT_FALSE(decodeExecMsg(msg, spec, index)) << line;
+        EXPECT_FALSE(decodeRevokeMsg(msg, index)) << line;
+        EXPECT_FALSE(decodeRevokedMsg(msg, indices)) << line;
+    }
+}
+
+TEST(WireFraming, LineReaderSurvivesFragmentedWrites)
+{
+    const std::vector<std::string> expected = sampleMessages();
+    const std::string stream = joinStream(expected);
+
+    int pipefd[2];
+    ASSERT_EQ(::pipe(pipefd), 0);
+    std::thread writer([&stream, fd = pipefd[1]] {
+        // Worst-case fragmentation: one byte per write.
+        for (char c : stream)
+            if (::write(fd, &c, 1) != 1)
+                break;
+        ::close(fd);
+    });
+
+    LineReader reader(pipefd[0]);
+    std::vector<std::string> lines;
+    std::string line;
+    while (reader.readLine(line))
+        lines.push_back(line);
+    EXPECT_TRUE(reader.eof());
+    writer.join();
+    ::close(pipefd[0]);
+    EXPECT_EQ(lines, expected);
+}
+
+// --------------------------------------------------------------------------
+// Protocol v2 codec round-trips
+// --------------------------------------------------------------------------
+
+TEST(WireCodec, JobEnvelopeRoundTripsWithSubset)
+{
+    JobSpec spec;
+    spec.scenario = "fig11";
+    spec.trials = 5;
+    spec.seed = 42;
+    spec.extra["window"] = 64;
+
+    JobMsg full;
+    ASSERT_TRUE(decodeJobMsg(makeJobMsg(spec), full));
+    EXPECT_EQ(full.protocol, kProtocolVersion);
+    EXPECT_FALSE(full.hasSubset);
+    EXPECT_EQ(full.spec.scenario, "fig11");
+    EXPECT_EQ(full.spec.trials, 5u);
+    EXPECT_EQ(full.spec.seed, 42u);
+    EXPECT_EQ(full.spec.extra.at("window"), 64u);
+
+    JobMsg subset;
+    ASSERT_TRUE(
+        decodeJobMsg(makeJobMsg(spec, {2, 0, 9}), subset));
+    EXPECT_TRUE(subset.hasSubset);
+    EXPECT_EQ(subset.points,
+              (std::vector<std::size_t>{2, 0, 9}));
+
+    // An empty subset is a valid (vacuous) job, distinct from "the
+    // whole grid".
+    JobMsg empty;
+    ASSERT_TRUE(decodeJobMsg(makeJobMsg(spec, {}), empty));
+    EXPECT_TRUE(empty.hasSubset);
+    EXPECT_TRUE(empty.points.empty());
+}
+
+TEST(WireCodec, V1JobMessageDecodesAsProtocolOne)
+{
+    // What a v1 client sent: no "protocol", no "points".
+    Json v1 = Json::object();
+    v1.set("type", Json::str("job"));
+    v1.set("scenario", Json::str("fig8"));
+    v1.set("trials", Json::uinteger(1));
+    v1.set("seed", Json::uinteger(7));
+
+    JobMsg decoded;
+    ASSERT_TRUE(decodeJobMsg(v1, decoded));
+    EXPECT_EQ(decoded.protocol, 1u); // so the server can name it
+    EXPECT_FALSE(decoded.hasSubset);
+}
+
+TEST(WireCodec, RevokeAndRevokedRoundTrip)
+{
+    std::size_t max_points = 0;
+    ASSERT_TRUE(decodeRevokeMsg(makeRevokeMsg(17), max_points));
+    EXPECT_EQ(max_points, 17u);
+
+    std::vector<std::size_t> indices;
+    ASSERT_TRUE(
+        decodeRevokedMsg(makeRevokedMsg({3, 5, 8}), indices));
+    EXPECT_EQ(indices, (std::vector<std::size_t>{3, 5, 8}));
+    ASSERT_TRUE(decodeRevokedMsg(makeRevokedMsg({}), indices));
+    EXPECT_TRUE(indices.empty());
+}
+
+TEST(WireCodec, DoneCarriesRevokedCount)
+{
+    DoneMsg done;
+    done.points = 9;
+    done.revoked = 4;
+    DoneMsg decoded;
+    ASSERT_TRUE(decodeDoneMsg(makeDoneMsg(done), decoded));
+    EXPECT_EQ(decoded.points, 9u);
+    EXPECT_EQ(decoded.revoked, 4u);
+}
+
+TEST(WireCodec, HelloAdvertisesVersionRange)
+{
+    const Json hello = makeHelloMsg(4, "cafebabe");
+    EXPECT_EQ(hello.getU64("protocol"), kProtocolVersion);
+    EXPECT_EQ(hello.getU64("min_protocol"), kMinProtocolVersion);
+    EXPECT_EQ(hello.getU64("workers"), 4u);
+}
+
+TEST(WireCodec, MalformedSubsetIsRejected)
+{
+    JobSpec spec;
+    spec.scenario = "fig8";
+    Json j = makeJobMsg(spec);
+    Json bad = Json::array();
+    bad.push(Json::str("not-an-index"));
+    j.set("points", std::move(bad));
+    JobMsg decoded;
+    EXPECT_FALSE(decodeJobMsg(j, decoded));
+
+    Json j2 = makeJobMsg(spec);
+    j2.set("points", Json::str("nope"));
+    EXPECT_FALSE(decodeJobMsg(j2, decoded));
+}
